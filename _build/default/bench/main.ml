@@ -1,0 +1,372 @@
+(* Benchmark harness: one Bechamel test (or indexed family) per table /
+   figure of the paper, plus the operation-counted table regeneration
+   (printed after the wall-clock section).
+
+   - table1/*            one execution-phase round per scheme (Table 1)
+   - thm1/*              per-round cost vs N: decentralized vs delegated
+                         CSM (Theorem 1's throughput claim)
+   - fastpoly/*          naive vs quasi-linear coding (§6.2)
+   - rs/*                Berlekamp-Welch vs Gao decoding
+   - intermix/*          Algorithm 1: honest audit, adaptive fraud
+                         localization, O(1) commoner check (Figure 5)
+   - consensus/*         Dolev-Strong and PBFT instances (consensus phase)
+
+   Everything is deterministic (fixed seeds). *)
+
+open Bechamel
+open Toolkit
+module F = Csm_field.Fp.Default
+module Params = Csm_core.Params
+
+(* ----- Table 1: one round per scheme ----- *)
+
+module R = Csm_smr.Replication.Make (F)
+module E = Csm_core.Engine.Make (F)
+module D = Csm_intermix.Delegation.Make (F)
+module M = R.M
+
+let t1_n = 24
+let t1_mu = 0.25
+let t1_d = 2
+let t1_machine = M.degree_machine t1_d
+
+let t1_k, t1_b =
+  let b = int_of_float (t1_mu *. float_of_int t1_n) in
+  let k_max = Params.max_machines ~network:Params.Sync ~n:t1_n ~b ~d:t1_d in
+  let rec divisor k = if t1_n mod k = 0 then k else divisor (k - 1) in
+  (divisor k_max, b)
+
+let rng0 = Csm_rng.create 0xBE7C
+
+let t1_states () =
+  Array.init t1_k (fun _ ->
+      Array.init t1_machine.M.state_dim (fun _ -> F.random rng0))
+
+let t1_commands () =
+  Array.init t1_k (fun _ ->
+      Array.init t1_machine.M.input_dim (fun _ -> F.random rng0))
+
+let bench_full_round =
+  let t =
+    R.Full.create ~machine:t1_machine ~n:t1_n ~k:t1_k ~init:(t1_states ())
+  in
+  let commands = t1_commands () in
+  Test.make ~name:"full-replication-round"
+    (Staged.stage (fun () ->
+         ignore
+           (R.Full.round t ~commands
+              ~byzantine:(fun _ -> false)
+              ~b:(R.security_full ~n:t1_n `Sync)
+              ())))
+
+let bench_partial_round =
+  let t =
+    R.Partial.create ~machine:t1_machine ~n:t1_n ~k:t1_k ~init:(t1_states ())
+  in
+  let commands = t1_commands () in
+  Test.make ~name:"partial-replication-round"
+    (Staged.stage (fun () ->
+         ignore
+           (R.Partial.round t ~commands
+              ~byzantine:(fun _ -> false)
+              ~b:(R.security_partial ~n:t1_n ~k:t1_k `Sync)
+              ())))
+
+let csm_params n k d =
+  Params.make ~network:Params.Sync ~n ~k ~d
+    ~b:(Params.max_faults ~network:Params.Sync ~n ~k ~d)
+
+let bench_csm_decentralized_round =
+  let params = csm_params t1_n t1_k t1_d in
+  let engine = E.create ~machine:t1_machine ~params ~init:(t1_states ()) in
+  let commands = t1_commands () in
+  Test.make ~name:"csm-decentralized-round"
+    (Staged.stage (fun () ->
+         let r = E.round engine ~commands ~byzantine:(fun i -> i < t1_b) () in
+         assert (r.E.decoded <> None)))
+
+let bench_csm_delegated_round =
+  let params = csm_params t1_n t1_k t1_d in
+  let engine = E.create ~machine:t1_machine ~params ~init:(t1_states ()) in
+  let commands = t1_commands () in
+  Test.make ~name:"csm-intermix-round"
+    (Staged.stage (fun () ->
+         let out =
+           D.round engine ~commands
+             ~byzantine:(fun i -> i < t1_b)
+             ~worker:(t1_n - 1)
+             ~committee:[ 0; 1; 2 ] ()
+         in
+         assert (out.D.decoded <> None)))
+
+let bench_csm_delegated_batched =
+  let params = csm_params t1_n t1_k t1_d in
+  let engine = E.create ~machine:t1_machine ~params ~init:(t1_states ()) in
+  let commands = t1_commands () in
+  Test.make ~name:"csm-intermix-batched-round"
+    (Staged.stage (fun () ->
+         let out =
+           D.round ~batch:true engine ~commands
+             ~byzantine:(fun i -> i < t1_b)
+             ~worker:(t1_n - 1)
+             ~committee:[ 0; 1; 2 ] ()
+         in
+         assert (out.D.decoded <> None)))
+
+let table1_group =
+  Test.make_grouped ~name:"table1"
+    [
+      bench_full_round;
+      bench_partial_round;
+      bench_csm_decentralized_round;
+      bench_csm_delegated_round;
+      bench_csm_delegated_batched;
+    ]
+
+(* ----- Theorem 1 throughput scaling: round cost vs N ----- *)
+
+let thm1_ns = [ 12; 24; 48; 96 ]
+
+let thm1_engine n =
+  let d = 2 in
+  let b = n / 4 in
+  let k = max 1 (Params.max_machines ~network:Params.Sync ~n ~b ~d) in
+  let params = Params.make ~network:Params.Sync ~n ~k ~d ~b in
+  let machine = M.degree_machine d in
+  let rng = Csm_rng.create (0x7117 + n) in
+  let init =
+    Array.init k (fun _ ->
+        Array.init machine.M.state_dim (fun _ -> F.random rng))
+  in
+  let commands =
+    Array.init k (fun _ ->
+        Array.init machine.M.input_dim (fun _ -> F.random rng))
+  in
+  (E.create ~machine ~params ~init, commands)
+
+let thm1_decentralized =
+  Test.make_indexed ~name:"csm-decentralized" ~args:thm1_ns (fun n ->
+      let engine, commands = thm1_engine n in
+      Staged.stage (fun () ->
+          let r = E.round engine ~commands ~byzantine:(fun _ -> false) () in
+          assert (r.E.decoded <> None)))
+
+let thm1_delegated =
+  Test.make_indexed ~name:"csm-delegated" ~args:thm1_ns (fun n ->
+      let engine, commands = thm1_engine n in
+      Staged.stage (fun () ->
+          let out =
+            D.round engine ~commands
+              ~byzantine:(fun _ -> false)
+              ~worker:(n - 1) ~committee:[ 0; 1; 2 ] ()
+          in
+          assert (out.D.decoded <> None)))
+
+let thm1_group =
+  Test.make_grouped ~name:"thm1" [ thm1_decentralized; thm1_delegated ]
+
+(* ----- §6.2: naive vs fast polynomial coding ----- *)
+
+module Lag = Csm_poly.Lagrange.Make (F)
+module Sub = Csm_poly.Subproduct.Make (F)
+
+let fastpoly_ns = [ 64; 256; 1024 ]
+
+let fastpoly_instance n =
+  let k = n / 2 in
+  let rng = Csm_rng.create (0xFA57 + n) in
+  let omegas = Array.init k (fun i -> F.of_int i) in
+  let alphas = Array.init n (fun i -> F.of_int (k + i)) in
+  let values = Array.init k (fun _ -> F.random rng) in
+  (omegas, alphas, values)
+
+let bench_naive_encode =
+  Test.make_indexed ~name:"naive-encode" ~args:fastpoly_ns (fun n ->
+      let omegas, alphas, values = fastpoly_instance n in
+      let c = Lag.coeff_matrix ~omegas ~alphas in
+      Staged.stage (fun () -> ignore (Lag.encode_with_matrix c values)))
+
+let bench_fast_encode =
+  Test.make_indexed ~name:"fast-encode" ~args:fastpoly_ns (fun n ->
+      let omegas, alphas, values = fastpoly_instance n in
+      Staged.stage (fun () ->
+          let poly = Sub.interpolate omegas values in
+          ignore (Sub.eval_all poly alphas)))
+
+let fastpoly_group =
+  Test.make_grouped ~name:"fastpoly" [ bench_naive_encode; bench_fast_encode ]
+
+(* ----- Reed-Solomon decoders ----- *)
+
+module RS = Csm_rs.Reed_solomon.Make (F)
+
+let rs_instance n =
+  let k = n / 3 in
+  let rng = Csm_rng.create (0xDEC + n) in
+  let msg = RS.P.random rng ~degree:(k - 1) in
+  let points = Array.init n (fun i -> F.of_int (i + 1)) in
+  let word = RS.encode ~message:msg ~points in
+  let corrupted, _ = RS.corrupt rng ~count:(RS.max_errors ~n ~k) word in
+  (k, Array.map2 (fun x y -> (x, y)) points corrupted)
+
+let bench_rs_bw =
+  Test.make_indexed ~name:"berlekamp-welch" ~args:[ 16; 32; 64 ] (fun n ->
+      let k, pairs = rs_instance n in
+      Staged.stage (fun () -> assert (RS.decode_bw ~k pairs <> None)))
+
+let bench_rs_gao =
+  Test.make_indexed ~name:"gao" ~args:[ 16; 32; 64 ] (fun n ->
+      let k, pairs = rs_instance n in
+      Staged.stage (fun () -> assert (RS.decode_gao ~k pairs <> None)))
+
+(* syndrome decoder on classical points (n | p-1) *)
+module BMD = Csm_rs.Bm.Make (F)
+
+let bench_rs_bm =
+  Test.make_indexed ~name:"berlekamp-massey" ~args:[ 16; 32; 64 ] (fun n ->
+      let k = n / 3 in
+      let inst = BMD.instance ~n in
+      let rng = Csm_rng.create (0xB3 + n) in
+      let msg = BMD.P.random rng ~degree:(k - 1) in
+      let word = BMD.encode inst ~message:msg in
+      let corrupted, _ = RS.corrupt rng ~count:((n - k) / 2) word in
+      Staged.stage (fun () -> assert (BMD.decode inst ~k corrupted <> None)))
+
+let rs_group =
+  Test.make_grouped ~name:"rs" [ bench_rs_bw; bench_rs_gao; bench_rs_bm ]
+
+(* ----- INTERMIX (Figure 5) ----- *)
+
+module IX = Csm_intermix.Intermix.Make (F)
+
+let ix_instance () =
+  let rng = Csm_rng.create 0x1713 in
+  let n = 32 and k = 64 in
+  let a = IX.M.random_mat rng n k in
+  let x = IX.M.random_vec rng k in
+  (a, x)
+
+let bench_ix_honest =
+  let a, x = ix_instance () in
+  let w = IX.honest_worker a x in
+  Test.make ~name:"audit-honest"
+    (Staged.stage (fun () -> assert ((IX.audit w a x).IX.result = IX.Accept)))
+
+let bench_ix_adaptive =
+  let a, x = ix_instance () in
+  let w =
+    IX.malicious_worker ~strategy:IX.Adaptive ~bad_rows:[ 7 ] ~offset:F.one a x
+  in
+  Test.make ~name:"audit-adaptive-fraud"
+    (Staged.stage (fun () ->
+         match (IX.audit w a x).IX.result with
+         | IX.Accept -> assert false
+         | IX.Alert _ -> ()))
+
+let bench_ix_commoner =
+  let a, x = ix_instance () in
+  let w =
+    IX.malicious_worker ~strategy:IX.Adaptive ~bad_rows:[ 7 ] ~offset:F.one a x
+  in
+  let alert =
+    match (IX.audit w a x).IX.result with
+    | IX.Alert alert -> alert
+    | IX.Accept -> assert false
+  in
+  Test.make ~name:"commoner-check"
+    (Staged.stage (fun () -> assert (IX.commoner_check a x alert)))
+
+let intermix_group =
+  Test.make_grouped ~name:"intermix"
+    [ bench_ix_honest; bench_ix_adaptive; bench_ix_commoner ]
+
+(* ----- Consensus phase ----- *)
+
+module DS = Csm_consensus.Dolev_strong
+module Pbft = Csm_consensus.Pbft
+module Auth = Csm_crypto.Auth
+
+let bench_dolev_strong =
+  let n = 9 and f = 2 in
+  let keyring = Auth.create_keyring (Csm_rng.create 5) ~n in
+  let cfg = { DS.n; f; leader = 0; delta = 10; instance = "bench"; keyring } in
+  Test.make ~name:"dolev-strong-n9"
+    (Staged.stage (fun () ->
+         let { DS.decisions; _ } = DS.run cfg ~proposal:"v" () in
+         assert (decisions.(1) = DS.Decided "v")))
+
+let bench_pbft =
+  let n = 7 and f = 2 in
+  let keyring = Auth.create_keyring (Csm_rng.create 6) ~n in
+  let cfg = { Pbft.n; f; base_timeout = 2000; instance = "bench"; keyring } in
+  Test.make ~name:"pbft-n7"
+    (Staged.stage (fun () ->
+         let { Pbft.decisions; _ } =
+           Pbft.run cfg ~proposals:(fun _ -> Some "v") ()
+         in
+         assert (decisions.(1) = Some "v")))
+
+let consensus_group =
+  Test.make_grouped ~name:"consensus" [ bench_dolev_strong; bench_pbft ]
+
+(* ----- runner ----- *)
+
+let all_tests =
+  Test.make_grouped ~name:"csm"
+    [
+      table1_group;
+      thm1_group;
+      fastpoly_group;
+      rs_group;
+      intermix_group;
+      consensus_group;
+    ]
+
+let run_benchmarks () =
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.2) ~kde:None
+      ~stabilize:false ()
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let raw = Benchmark.all cfg instances all_tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] -> est
+          | Some _ | None -> nan
+        in
+        (name, ns) :: acc)
+      results []
+    |> List.sort compare
+  in
+  Format.printf "@[<v>== wall-clock (ns/run, OLS on monotonic clock) ==@,";
+  List.iter (fun (name, ns) -> Format.printf "%-44s %14.0f ns@," name ns) rows;
+  Format.printf "@]@."
+
+let () =
+  run_benchmarks ();
+  (* operation-counted table regeneration (the paper's own metric) *)
+  Format.printf "@.";
+  Format.printf "%a@.@." Csm_harness.Table1.pp_table
+    (Csm_harness.Table1.run ~rounds:2 ~n:24 ~mu:0.25 ~d:2 ());
+  Format.printf "%a@.@." Csm_harness.Table2.pp_table
+    (Csm_harness.Table2.run_all ());
+  Format.printf "@[<v>Throughput scaling (μ=0.25, d=2)@,%a@]@.@."
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut
+       Csm_harness.Scaling.pp_scaling)
+    (Csm_harness.Scaling.throughput_sweep ~mu:0.25 ~d:2 [ 12; 16; 24; 32; 48 ]);
+  Format.printf "@[<v>Storage/security growth (Theorem 1)@,%a@]@.@."
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut
+       Csm_harness.Scaling.pp_growth)
+    (Csm_harness.Scaling.growth_sweep ~mu:0.25 ~d:2
+       [ 16; 32; 64; 128; 256; 512; 1024 ]);
+  Format.printf "@[<v>Coding cost: naive vs fast (§6.2)@,%a@]@."
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut
+       Csm_harness.Scaling.pp_coding)
+    (Csm_harness.Scaling.coding_sweep [ 16; 64; 256; 1024; 4096 ])

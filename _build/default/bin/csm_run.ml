@@ -1,0 +1,102 @@
+(* End-to-end networked CSM demo CLI:
+
+     csm_run [-n N] [-k K] [-d D] [-b B] [--rounds R]
+             [--network sync|partial] [--adversary none|lie|equivocate|withhold]
+
+   Runs the full protocol (consensus + coded execution + client
+   delivery) on the simulator and prints a per-round report. *)
+
+open Cmdliner
+module F = Csm_field.Fp.Default
+module P = Csm_core.Protocol.Make (F)
+module E = P.E
+module M = E.M
+module Params = Csm_core.Params
+
+let run n k d b rounds network adversary seed =
+  let network =
+    match network with
+    | "partial" -> Params.Partial_sync
+    | _ -> Params.Sync
+  in
+  let machine = M.degree_machine d in
+  let params =
+    try Params.make ~network ~n ~k ~d ~b
+    with Invalid_argument msg ->
+      prerr_endline msg;
+      exit 1
+  in
+  let rng = Csm_rng.create seed in
+  let init =
+    Array.init k (fun i -> [| F.of_int (1000 * (i + 1)) |])
+  in
+  let engine = E.create ~machine ~params ~init in
+  let cfg = P.default_config params in
+  let liars = List.init b (fun i -> n - 1 - i) in
+  let adv =
+    match adversary with
+    | "lie" -> P.lying_adversary liars
+    | "equivocate" -> P.equivocating_adversary liars
+    | "withhold" -> P.withholding_adversary liars
+    | _ -> P.passive_adversary
+  in
+  Format.printf "CSM: N=%d K=%d d=%d b=%d %s adversary=%s@." n k d b
+    (match network with Params.Sync -> "sync" | Params.Partial_sync -> "partial-sync")
+    adversary;
+  Format.printf "machine: %a@." M.pp machine;
+  if liars <> [] && adversary <> "none" then
+    Format.printf "byzantine nodes: %s@."
+      (String.concat "," (List.map string_of_int liars));
+  let workload r =
+    Array.init k (fun m -> [| F.of_int ((10 * r) + m + 1 + Csm_rng.int rng 5) |])
+  in
+  let outcomes = P.run cfg engine ~workload ~rounds adv in
+  List.iter
+    (fun (o : P.round_outcome) ->
+      Format.printf "round %d: consensus=%s executed=%b honest_agree=%b@."
+        o.P.round
+        (match o.P.consensus with
+        | P.Agreed _ -> "agreed"
+        | P.Skipped -> "skipped(⊥)"
+        | P.Disagreement -> "DISAGREEMENT")
+        o.P.executed o.P.honest_agree;
+      (match o.P.decoded with
+      | Some dec when dec.E.error_nodes <> [] ->
+        Format.printf "  corrected errors from nodes: %s@."
+          (String.concat "," (List.map string_of_int dec.E.error_nodes))
+      | _ -> ());
+      Array.iteri
+        (fun m out ->
+          match out with
+          | Some y ->
+            Format.printf "  machine %d output -> client: %s@." m
+              (F.to_string y.(0))
+          | None -> Format.printf "  machine %d: no delivery@." m)
+        o.P.delivered)
+    outcomes;
+  let executed =
+    List.length (List.filter (fun o -> o.P.executed) outcomes)
+  in
+  Format.printf "summary: %d/%d rounds executed@." executed rounds
+
+let () =
+  let n = Arg.(value & opt int 11 & info [ "n" ] ~doc:"Nodes.") in
+  let k = Arg.(value & opt int 3 & info [ "k" ] ~doc:"State machines.") in
+  let d = Arg.(value & opt int 2 & info [ "d" ] ~doc:"Degree.") in
+  let b = Arg.(value & opt int 2 & info [ "b" ] ~doc:"Byzantine nodes.") in
+  let rounds = Arg.(value & opt int 5 & info [ "rounds" ] ~doc:"Rounds.") in
+  let network =
+    Arg.(value & opt string "sync" & info [ "network" ] ~doc:"sync|partial.")
+  in
+  let adversary =
+    Arg.(
+      value & opt string "lie"
+      & info [ "adversary" ] ~doc:"none|lie|equivocate|withhold.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"RNG seed.") in
+  let cmd =
+    Cmd.v
+      (Cmd.info "csm_run" ~doc:"Run the networked Coded State Machine")
+      Term.(const run $ n $ k $ d $ b $ rounds $ network $ adversary $ seed)
+  in
+  exit (Cmd.eval cmd)

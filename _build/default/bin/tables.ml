@@ -1,0 +1,217 @@
+(* CLI that regenerates the paper's tables as measured artifacts.
+
+     tables table1 [-n N] [--mu MU] [-d D] [--rounds R]
+     tables table2
+     tables scaling [--mu MU] [-d D]
+     tables growth [--mu MU] [-d D]
+     tables coding
+     tables all *)
+
+open Cmdliner
+
+let print_table1 n mu d rounds =
+  let result = Csm_harness.Table1.run ~rounds ~n ~mu ~d () in
+  Format.printf "%a@." Csm_harness.Table1.pp_table result
+
+let print_table2 () =
+  let checks = Csm_harness.Table2.run_all () in
+  Format.printf "%a@." Csm_harness.Table2.pp_table checks;
+  let bad =
+    List.filter
+      (fun c ->
+        not (c.Csm_harness.Table2.at_bound_ok && c.Csm_harness.Table2.beyond_fails))
+      checks
+  in
+  if bad <> [] then begin
+    Format.printf "FAILED: %d bounds did not validate@." (List.length bad);
+    exit 1
+  end
+
+let print_scaling mu d ns =
+  Format.printf "@[<v>Throughput scaling (μ=%.3f, d=%d)@,%a@]@." mu d
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut
+       Csm_harness.Scaling.pp_scaling)
+    (Csm_harness.Scaling.throughput_sweep ~mu ~d ns)
+
+let print_growth mu d ns =
+  Format.printf "@[<v>Storage/security scaling (μ=%.3f, d=%d)@,%a@]@." mu d
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut
+       Csm_harness.Scaling.pp_growth)
+    (Csm_harness.Scaling.growth_sweep ~mu ~d ns)
+
+let print_coding ns =
+  Format.printf "@[<v>Coding cost: naive vs fast (§6.2)@,%a@]@."
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut
+       Csm_harness.Scaling.pp_coding)
+    (Csm_harness.Scaling.coding_sweep ns)
+
+let n_arg =
+  Arg.(value & opt int 24 & info [ "n" ] ~docv:"N" ~doc:"Network size.")
+
+let mu_arg =
+  Arg.(value & opt float 0.25 & info [ "mu" ] ~docv:"MU" ~doc:"Fault fraction.")
+
+let d_arg =
+  Arg.(value & opt int 2 & info [ "d" ] ~docv:"D" ~doc:"Transition degree.")
+
+let rounds_arg =
+  Arg.(value & opt int 3 & info [ "rounds" ] ~docv:"R" ~doc:"Rounds measured.")
+
+let table1_cmd =
+  let run n mu d rounds = print_table1 n mu d rounds in
+  Cmd.v (Cmd.info "table1" ~doc:"Measured Table 1 (β, γ, λ per scheme)")
+    Term.(const run $ n_arg $ mu_arg $ d_arg $ rounds_arg)
+
+let table2_cmd =
+  Cmd.v (Cmd.info "table2" ~doc:"Boundary validation of Table 2")
+    Term.(const print_table2 $ const ())
+
+let default_ns = [ 12; 16; 24; 32; 48; 64 ]
+
+let scaling_cmd =
+  let run mu d = print_scaling mu d default_ns in
+  Cmd.v (Cmd.info "scaling" ~doc:"Throughput λ vs N for all schemes")
+    Term.(const run $ mu_arg $ d_arg)
+
+let growth_cmd =
+  let run mu d = print_growth mu d [ 16; 32; 64; 128; 256; 512; 1024 ] in
+  Cmd.v (Cmd.info "growth" ~doc:"K_max and β vs N (Theorem 1)")
+    Term.(const run $ mu_arg $ d_arg)
+
+let coding_cmd =
+  let run () = print_coding [ 16; 64; 256; 1024; 2048; 4096; 8192 ] in
+  Cmd.v (Cmd.info "coding" ~doc:"Naive vs fast coding operation counts")
+    Term.(const run $ const ())
+
+let print_stragglers () =
+  Format.printf "@[<v>Straggler tolerance (early decode at d(K-1)+2b+1 results)@,%a@]@."
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut
+       Csm_harness.Stragglers.pp_point)
+    (Csm_harness.Stragglers.sweep ())
+
+let print_allocation () =
+  let module RA = Csm_smr.Random_allocation in
+  let n = 24 and k = 6 and epochs = 500 in
+  Format.printf
+    "@[<v>Random allocation vs CSM (Section 7; N=%d, K=%d, %d epochs)@,%a@]@."
+    n k epochs
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut RA.pp_result)
+    [
+      RA.run_static ~seed:1 ~n ~k ~budget:3 ~epochs;
+      RA.run_adaptive ~seed:2 ~n ~k ~budget:3 ~epochs ~delay:0;
+      RA.run_adaptive ~seed:3 ~n ~k ~budget:3 ~epochs ~delay:1;
+      RA.run_adaptive ~seed:4 ~n ~k ~budget:3 ~epochs ~delay:2;
+      RA.csm_reference ~n ~k ~d:1 ~budget:3 ~epochs;
+      RA.csm_reference ~n ~k ~d:1 ~budget:9 ~epochs;
+    ]
+
+let print_pipeline () =
+  Format.printf "@[<v>Pipelining (consensus t+1 ∥ execution t, §2.2 remark)@,%a@,%a@]@."
+    Csm_harness.Pipeline.pp
+    (Csm_harness.Pipeline.run ~rounds:10 ())
+    Csm_harness.Pipeline.pp
+    (Csm_harness.Pipeline.run ~rounds:50 ())
+
+let print_intermix () =
+  let module CF = Csm_field.Counted.Make (Csm_field.Fp.Default) in
+  let module IXC = Csm_intermix.Intermix.Make (CF) in
+  Format.printf "@[<v>INTERMIX measured vs worst-case closed form (§6.1)@,";
+  List.iter
+    (fun (n, k) ->
+      let r = Csm_rng.create (n + k) in
+      let a = IXC.M.random_mat r n k in
+      let x = IXC.M.random_vec r k in
+      let ledger = Csm_metrics.Ledger.create () in
+      let scope = Csm_metrics.Scope.of_ledger (module CF) ledger in
+      let j = 3 in
+      let w =
+        IXC.malicious_worker ~scope ~strategy:IXC.Adaptive ~bad_rows:[ 1 ]
+          ~offset:CF.one a x
+      in
+      let verdict =
+        IXC.run_protocol ~scope w a x
+          ~auditors:(List.init j (fun i -> i))
+          ~dishonest_auditor:(fun _ -> None)
+      in
+      Format.printf
+        "N=%-4d K=%-4d J=%d  measured=%-8d  worst-case=%-8d  caught=%b  interactions=%d@,"
+        n k j
+        (Csm_metrics.Ledger.grand_total ledger)
+        (IXC.worst_case_complexity ~n ~k ~j)
+        (not verdict.IXC.accepted)
+        verdict.IXC.max_interactions)
+    [ (16, 16); (32, 32); (32, 64); (64, 128); (128, 256) ];
+  Format.printf "@]@."
+
+let pipeline_cmd =
+  Cmd.v
+    (Cmd.info "pipeline" ~doc:"Consensus/execution pipelining makespan")
+    Term.(const print_pipeline $ const ())
+
+let intermix_cmd =
+  Cmd.v
+    (Cmd.info "intermix" ~doc:"INTERMIX measured ops vs closed form")
+    Term.(const print_intermix $ const ())
+
+let csv_cmd =
+  let dir_arg =
+    Arg.(value & opt string "results" & info [ "dir" ] ~doc:"Output directory.")
+  in
+  let run dir =
+    let paths = Csm_harness.Report.write_all ~dir () in
+    List.iter (Format.printf "wrote %s@.") paths
+  in
+  Cmd.v (Cmd.info "csv" ~doc:"Write every sweep as CSV files")
+    Term.(const run $ dir_arg)
+
+let stragglers_cmd =
+  Cmd.v
+    (Cmd.info "stragglers" ~doc:"Early-decode latency vs straggler count")
+    Term.(const print_stragglers $ const ())
+
+let allocation_cmd =
+  Cmd.v
+    (Cmd.info "allocation"
+       ~doc:"Random allocation vs CSM under dynamic adversaries (Section 7)")
+    Term.(const print_allocation $ const ())
+
+let all_cmd =
+  let run () =
+    print_table1 24 0.25 2 3;
+    Format.printf "@.";
+    print_table2 ();
+    Format.printf "@.";
+    print_scaling 0.25 2 default_ns;
+    Format.printf "@.";
+    print_growth 0.25 2 [ 16; 32; 64; 128; 256; 512; 1024 ];
+    Format.printf "@.";
+    print_coding [ 16; 64; 256; 1024; 4096 ];
+    Format.printf "@.";
+    print_stragglers ();
+    Format.printf "@.";
+    print_allocation ();
+    Format.printf "@.";
+    print_pipeline ();
+    Format.printf "@.";
+    print_intermix ()
+  in
+  Cmd.v (Cmd.info "all" ~doc:"Every table and sweep") Term.(const run $ const ())
+
+let () =
+  let info = Cmd.info "tables" ~doc:"Regenerate the CSM paper's tables" in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            table1_cmd;
+            table2_cmd;
+            scaling_cmd;
+            growth_cmd;
+            coding_cmd;
+            stragglers_cmd;
+            allocation_cmd;
+            pipeline_cmd;
+            intermix_cmd;
+            csv_cmd;
+            all_cmd;
+          ]))

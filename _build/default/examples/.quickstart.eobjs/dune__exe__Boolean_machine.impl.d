@@ -1,0 +1,1 @@
+examples/boolean_machine.ml: Array Csm_core Csm_field Csm_machine Csm_rng Format

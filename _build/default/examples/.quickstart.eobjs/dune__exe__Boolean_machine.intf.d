@@ -1,0 +1,1 @@
+examples/boolean_machine.mli:

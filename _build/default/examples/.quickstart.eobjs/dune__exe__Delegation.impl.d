@@ -1,0 +1,1 @@
+examples/delegation.ml: Array Csm_core Csm_field Csm_intermix Csm_metrics Format List String

@@ -1,0 +1,1 @@
+examples/figure2.ml: Array Csm_core Csm_field Format List

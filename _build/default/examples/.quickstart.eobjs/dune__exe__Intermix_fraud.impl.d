@@ -1,0 +1,1 @@
+examples/intermix_fraud.ml: Array Csm_field Csm_intermix Csm_rng Format List

@@ -1,0 +1,1 @@
+examples/intermix_fraud.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Csm_core Csm_field Format List String

@@ -1,0 +1,1 @@
+examples/recovery.ml: Array Csm_core Csm_field Format List

@@ -1,0 +1,1 @@
+examples/sharded_ledger.ml: Array Csm_core Csm_field Csm_smr Format List String

@@ -1,0 +1,1 @@
+examples/sharded_ledger.mli:

@@ -1,0 +1,67 @@
+(* Appendix A end to end: a Boolean state machine (majority register)
+   is expressed as a GF(2) polynomial via Zou's construction, embedded
+   into GF(2^10) so the network has enough evaluation points, and run
+   as a Coded State Machine under Byzantine faults.
+
+   Run with:  dune exec examples/boolean_machine.exe *)
+
+module G = Csm_field.Gf2m.Gf1024
+module Params = Csm_core.Params
+module E = Csm_core.Engine.Make (G)
+module BM = Csm_machine.Boolean_machine.Make (G)
+
+let () =
+  (* majority(state, in1, in2) as a polynomial over GF(2^10) *)
+  let machine = BM.majority_register () in
+  let d = BM.M.degree machine in
+  Format.printf "majority register lifted to GF(2^10): %a@." BM.M.pp machine;
+  Format.printf
+    "(over GF(2), majority(a,b,c) = ab + bc + ca — degree %d)@.@." d;
+
+  let k = 2 and b = 1 in
+  let n = Params.composite_degree ~k ~d + (2 * b) + 1 in
+  let params = Params.make ~network:Params.Sync ~n ~k ~d ~b in
+  Format.printf "parameters: %a@." Params.pp params;
+
+  (* two independent registers, starting at 0 and 1 *)
+  let init = [| BM.embed_bits [| false |]; BM.embed_bits [| true |] |] in
+  let engine = E.create ~machine ~params ~init in
+
+  (* Coded states are arbitrary GF(2^10) elements — NOT bits — yet the
+     decoded results are always exact bits, by the Appendix-A embedding
+     invariance. *)
+  Format.printf "@.coded states (field elements, not bits):@.";
+  for i = 0 to n - 1 do
+    Format.printf "  node %d: %s@." i
+      (G.to_string (E.coded_state engine ~node:i).(0))
+  done;
+
+  let rng = Csm_rng.create 2024 in
+  let states = ref [| [| false |]; [| true |] |] in
+  Format.printf "@.running 6 rounds with node 0 Byzantine:@.";
+  for round = 1 to 6 do
+    let input_bits =
+      Array.init k (fun _ -> [| Csm_rng.bool rng; Csm_rng.bool rng |])
+    in
+    let commands = Array.map BM.embed_bits input_bits in
+    let report = E.round engine ~commands ~byzantine:(fun i -> i = 0) () in
+    match report.E.decoded with
+    | None -> failwith "decode failed"
+    | Some dec ->
+      let maj s a b = (s && a) || (a && b) || (s && b) in
+      Format.printf "  round %d:" round;
+      for m = 0 to k - 1 do
+        let bit = (BM.to_bits dec.E.next_states.(m)).(0) in
+        let expect =
+          maj !states.(m).(0) input_bits.(m).(0) input_bits.(m).(1)
+        in
+        assert (bit = expect);
+        Format.printf " reg%d: maj(%b,%b,%b) = %b" m !states.(m).(0)
+          input_bits.(m).(0) input_bits.(m).(1) bit;
+        !states.(m) <- [| bit |]
+      done;
+      Format.printf "@."
+  done;
+  Format.printf
+    "@.every decoded bit matched the bit-level reference, with node 0@.";
+  Format.printf "lying every round — Appendix A verified end to end ✓@."

@@ -1,0 +1,88 @@
+(* Figure 5 / Algorithm 1: INTERMIX catching a cheating worker.
+
+   A worker claims Ŷ = A·X for an N×K matrix.  An honest auditor
+   recomputes, finds a wrong row, and interactively bisects the row's
+   inner product; whatever the worker answers, after at most ⌈log₂ K⌉
+   exchanges it is pinned to an inconsistency any commoner can check
+   with ONE addition or ONE multiplication.
+
+   Run with:  dune exec examples/intermix_fraud.exe *)
+
+module F = Csm_field.Fp.Default
+module IX = Csm_intermix.Intermix.Make (F)
+module M = IX.M
+
+let () =
+  let rng = Csm_rng.create 99 in
+  let n = 8 and k = 16 in
+  let a = M.random_mat rng n k in
+  let x = M.random_vec rng k in
+
+  Format.printf "INTERMIX: verifiable computation of Y = A·X  (A: %dx%d)@.@."
+    n k;
+
+  (* honest run *)
+  let w = IX.honest_worker a x in
+  let report = IX.audit w a x in
+  Format.printf "honest worker:   auditor result = %s, interactions = %d@."
+    (match report.IX.result with IX.Accept -> "ACCEPT" | IX.Alert _ -> "ALERT")
+    report.IX.interactions;
+
+  (* a blatant liar answers bisection queries truthfully: the very first
+     split exposes that its halves don't sum to its claim *)
+  let blatant =
+    IX.malicious_worker ~strategy:IX.Blatant ~bad_rows:[ 5 ]
+      ~offset:(F.of_int 1) a x
+  in
+  let report = IX.audit blatant a x in
+  (match report.IX.result with
+  | IX.Accept -> assert false
+  | IX.Alert alert ->
+    Format.printf "blatant liar:    caught after %d interaction(s): %s@."
+      report.IX.interactions
+      (match alert with
+      | IX.Sum_mismatch _ -> "halves don't sum to the claim"
+      | IX.Leaf_mismatch _ -> "singleton claim is wrong");
+    Format.printf "                 commoner confirms in O(1): %b@."
+      (IX.commoner_check a x alert));
+
+  (* an adaptive liar splits its lie consistently at every level; it
+     survives every sum check but is cornered at a singleton *)
+  let adaptive =
+    IX.malicious_worker ~strategy:IX.Adaptive ~bad_rows:[ 5 ]
+      ~offset:(F.of_int 1) a x
+  in
+  let report = IX.audit adaptive a x in
+  (match report.IX.result with
+  | IX.Accept -> assert false
+  | IX.Alert alert ->
+    Format.printf
+      "adaptive liar:   cornered after %d interactions (= log2 %d): %s@."
+      report.IX.interactions k
+      (match alert with
+      | IX.Sum_mismatch _ -> "sum mismatch"
+      | IX.Leaf_mismatch _ -> "singleton claim is wrong");
+    Format.printf "                 commoner confirms in O(1): %b@."
+      (IX.commoner_check a x alert));
+
+  (* dishonest auditor framing an honest worker: dismissed in O(1) *)
+  let w = IX.honest_worker a x in
+  let bogus =
+    IX.Leaf_mismatch
+      { l_query = { IX.row = 0; lo = 0; hi = 1 }; l_claim = F.mul a.(0).(0) x.(0) }
+  in
+  Format.printf "bogus alert:     commoner dismisses in O(1): %b@."
+    (not (IX.commoner_check a x bogus));
+
+  (* committee sizing: how many auditors for 10^-6 failure at mu = 1/3 *)
+  let j = IX.committee_size ~epsilon:1e-6 ~mu:(1. /. 3.) in
+  Format.printf
+    "@.committee: J = %d auditors suffice for Pr[no honest auditor] <= 1e-6@."
+    j;
+  let verdict =
+    IX.run_protocol w a x
+      ~auditors:(List.init j (fun i -> i mod n))
+      ~dishonest_auditor:(fun _ -> None)
+  in
+  Format.printf "full protocol on honest worker: accepted = %b@."
+    verdict.IX.accepted

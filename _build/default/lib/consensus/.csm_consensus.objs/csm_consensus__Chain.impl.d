@@ -1,0 +1,1 @@
+lib/consensus/chain.ml: Array Csm_crypto Csm_sim Pbft Printf

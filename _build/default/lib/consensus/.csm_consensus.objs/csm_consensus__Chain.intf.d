@@ -1,0 +1,1 @@
+lib/consensus/chain.mli: Csm_crypto Csm_sim Pbft

@@ -1,0 +1,1 @@
+lib/consensus/dolev_strong.ml: Array Csm_crypto Csm_sim List

@@ -1,0 +1,1 @@
+lib/consensus/dolev_strong.mli: Csm_crypto Csm_sim

@@ -1,0 +1,1 @@
+lib/consensus/pbft.ml: Array Csm_crypto Csm_sim Digest List Printf String

@@ -1,0 +1,1 @@
+lib/consensus/pbft.mli: Csm_crypto Csm_sim

@@ -1,0 +1,45 @@
+(** Multi-slot pipelined replicated log over single-slot PBFT: all slots
+    run concurrently in one simulation. *)
+
+module Net = Csm_sim.Net
+module Auth = Csm_crypto.Auth
+
+type msg = { slot : int; inner : Pbft.msg }
+
+type config = {
+  n : int;
+  f : int;
+  slots : int;
+  base_timeout : int;
+  instance : string;
+  keyring : Auth.keyring;
+}
+
+val slot_config : config -> int -> Pbft.config
+
+val sub_api : config -> int -> msg Net.api -> Pbft.msg Net.api
+(** Slot-scoped view of the network api (tagged messages / timers). *)
+
+val honest :
+  config ->
+  me:int ->
+  proposals:(int -> string option) ->
+  on_decide:(node:int -> slot:int -> string -> unit) ->
+  unit ->
+  msg Net.behavior
+
+type outcome = {
+  decisions : string option array array;  (** node → slot → decision *)
+  stats : Net.stats;
+}
+
+val run :
+  config ->
+  ?proposals:(int -> int -> string option) ->
+  ?byzantine:(int -> msg Net.behavior option) ->
+  ?latency:Net.latency ->
+  ?max_time:int ->
+  unit ->
+  outcome
+(** [proposals node slot] is the node's proposal for a slot when it
+    leads it. *)

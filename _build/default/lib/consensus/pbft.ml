@@ -1,0 +1,348 @@
+(* PBFT single-slot consensus ([10, 11]) for the partially synchronous
+   setting: N = 3f + 1 nodes, leader of view v is v mod N.
+
+   Message flow (happy path):
+     leader:   PrePrepare(v, value)
+     replicas: Prepare(v, digest)        — on a valid pre-prepare
+     replicas: Commit(v, digest)         — on 2f+1 matching prepares
+     decide                              — on 2f+1 matching commits
+
+   A replica that enters a view arms a timeout (doubling per view); if
+   it expires without a decision the replica broadcasts
+   ViewChange(v+1, prepared-cert option) and moves to v+1.  On 2f+1
+   view-change messages for v', the leader of v' broadcasts
+   NewView(v', value', justification) where value' is the value of the
+   highest prepared certificate it has seen (or its own proposal when
+   none) — preserving safety across views.  Replicas treat a valid
+   NewView as the PrePrepare of v'.
+
+   View-change signatures cover only the view number (not the optional
+   prepared certificate), so a NewView justification is exactly
+   verifiable by every replica; the certificate itself is a quorum of
+   Prepare signatures and is validated independently.
+
+   Simplifications vs. production PBFT (see DESIGN.md): one slot (no
+   sequence numbers, checkpoints or garbage collection). *)
+
+module Auth = Csm_crypto.Auth
+module Net = Csm_sim.Net
+
+type digest = string
+
+let digest_of (value : string) : digest = Digest.string value
+
+type prepared_cert = {
+  pc_view : int;
+  pc_value : string;
+  pc_prepares : (int * Auth.signature) list;  (* quorum of Prepare signers *)
+}
+
+type payload =
+  | Pre_prepare of { view : int; value : string }
+  | Prepare of { view : int; digest : digest }
+  | Commit of { view : int; digest : digest }
+  | View_change of { new_view : int; prepared : prepared_cert option }
+  | New_view of {
+      view : int;
+      value : string;
+      justification : (int * Auth.signature) list;
+    }
+
+type msg = { payload : payload; signature : Auth.signature; signer : int }
+
+type config = {
+  n : int;
+  f : int;  (* n = 3f + 1 *)
+  base_timeout : int;  (* view-0 timeout; doubles per view *)
+  instance : string;
+  keyring : Auth.keyring;
+}
+
+let leader_of cfg view = view mod cfg.n
+
+(* Deterministic serialization for signing.  The prepared certificate is
+   deliberately excluded from the View_change payload (see header). *)
+let payload_string cfg (p : payload) =
+  let body =
+    match p with
+    | Pre_prepare { view; value } -> Printf.sprintf "pp|%d|%s" view value
+    | Prepare { view; digest } -> Printf.sprintf "p|%d|%s" view digest
+    | Commit { view; digest } -> Printf.sprintf "c|%d|%s" view digest
+    | View_change { new_view; prepared = _ } -> Printf.sprintf "vc|%d" new_view
+    | New_view { view; value; justification = _ } ->
+      Printf.sprintf "nv|%d|%s" view value
+  in
+  cfg.instance ^ "!" ^ body
+
+type phase = Idle | Preprepared | Prepared | Decided
+
+type node_state = {
+  mutable view : int;
+  mutable phase : phase;
+  mutable value : string option;  (* value accepted in the current view *)
+  mutable prepares : (int * Auth.signature) list;
+  mutable commits : int list;
+  mutable last_prepared : prepared_cert option;
+  mutable view_changes : (int * (int * Auth.signature) list) list;
+  mutable decided : string option;
+  mutable timer_view : int;
+  mutable pending_prepares : (int * int * digest * Auth.signature) list;
+  mutable pending_commits : (int * int * digest) list;
+}
+
+let timeout_for cfg view = cfg.base_timeout * (1 lsl min view 16)
+
+let quorum cfg = (2 * cfg.f) + 1
+
+(* A prepared certificate is valid if it carries a quorum of distinct,
+   correctly signed Prepare messages for its view/value. *)
+let valid_cert cfg (pc : prepared_cert) =
+  let payload =
+    payload_string cfg
+      (Prepare { view = pc.pc_view; digest = digest_of pc.pc_value })
+  in
+  let signers = List.sort_uniq compare (List.map fst pc.pc_prepares) in
+  List.length signers >= quorum cfg
+  && List.for_all
+       (fun (id, sg) -> Auth.verify cfg.keyring ~id payload sg)
+       pc.pc_prepares
+
+let honest cfg ~me ?proposal ~(on_decide : int -> string -> unit) () :
+    msg Net.behavior =
+  let signer = Auth.signer cfg.keyring me in
+  let st =
+    {
+      view = 0;
+      phase = Idle;
+      value = None;
+      prepares = [];
+      commits = [];
+      last_prepared = None;
+      view_changes = [];
+      decided = None;
+      timer_view = 0;
+      pending_prepares = [];
+      pending_commits = [];
+    }
+  in
+  let make p =
+    { payload = p; signature = Auth.sign signer (payload_string cfg p); signer = me }
+  in
+  let arm_timer api =
+    st.timer_view <- st.view;
+    api.Net.set_timer ~delay:(timeout_for cfg st.view) ~tag:st.view
+  in
+  let record_prepare id sg = st.prepares <- (id, sg) :: st.prepares in
+  let record_commit id = st.commits <- id :: st.commits in
+  let rec handle api (m : msg) =
+    if st.decided <> None then ()
+    else if
+      not
+        (Auth.verify cfg.keyring ~id:m.signer
+           (payload_string cfg m.payload)
+           m.signature)
+    then ()
+    else
+      match m.payload with
+      | Pre_prepare { view; value } ->
+        on_pre_prepare api ~sender:m.signer view value
+      | New_view { view; value; justification } ->
+        if view >= st.view && m.signer = leader_of cfg view then begin
+          let vc_payload =
+            payload_string cfg (View_change { new_view = view; prepared = None })
+          in
+          let signers = List.sort_uniq compare (List.map fst justification) in
+          let ok =
+            List.length signers >= quorum cfg
+            && List.for_all
+                 (fun (id, sg) -> Auth.verify cfg.keyring ~id vc_payload sg)
+                 justification
+          in
+          if ok then begin
+            enter_view api view;
+            on_pre_prepare api ~sender:m.signer view value
+          end
+        end
+      | Prepare { view; digest } -> (
+        if view = st.view then
+          match st.value with
+          | Some v when String.equal (digest_of v) digest ->
+            if not (List.mem_assoc m.signer st.prepares) then begin
+              record_prepare m.signer m.signature;
+              maybe_prepared api
+            end
+          | Some _ | None ->
+            if
+              not
+                (List.exists
+                   (fun (s, vw, _, _) -> s = m.signer && vw = view)
+                   st.pending_prepares)
+            then
+              st.pending_prepares <-
+                (m.signer, view, digest, m.signature) :: st.pending_prepares)
+      | Commit { view; digest } -> (
+        if view = st.view then
+          match st.value with
+          | Some v when String.equal (digest_of v) digest ->
+            if not (List.mem m.signer st.commits) then begin
+              record_commit m.signer;
+              maybe_committed api
+            end
+          | Some _ | None ->
+            if
+              not
+                (List.exists
+                   (fun (s, vw, _) -> s = m.signer && vw = view)
+                   st.pending_commits)
+            then
+              st.pending_commits <-
+                (m.signer, view, digest) :: st.pending_commits)
+      | View_change { new_view; prepared } ->
+        if new_view >= st.view then begin
+          (match prepared with
+          | Some pc when valid_cert cfg pc ->
+            let better =
+              match st.last_prepared with
+              | None -> true
+              | Some cur -> pc.pc_view > cur.pc_view
+            in
+            if better then st.last_prepared <- Some pc
+          | Some _ | None -> ());
+          let existing =
+            match List.assoc_opt new_view st.view_changes with
+            | Some l -> l
+            | None -> []
+          in
+          if not (List.mem_assoc m.signer existing) then begin
+            let updated = (m.signer, m.signature) :: existing in
+            st.view_changes <-
+              (new_view, updated)
+              :: List.remove_assoc new_view st.view_changes;
+            if
+              List.length updated >= quorum cfg
+              && leader_of cfg new_view = me
+              && new_view >= st.view
+            then begin
+              enter_view api new_view;
+              if st.value = None then begin
+                let value =
+                  match st.last_prepared with
+                  | Some pc -> pc.pc_value
+                  | None -> (
+                    match proposal with Some v -> v | None -> "")
+                in
+                let nv =
+                  make
+                    (New_view
+                       { view = new_view; value; justification = updated })
+                in
+                api.Net.broadcast nv;
+                handle api nv
+              end
+            end
+          end
+        end
+
+  and on_pre_prepare api ~sender view value =
+    if view = st.view && sender = leader_of cfg view && st.value = None then begin
+      st.value <- Some value;
+      st.phase <- Preprepared;
+      let p = make (Prepare { view; digest = digest_of value }) in
+      api.Net.broadcast p;
+      handle api p;
+      drain_buffers api
+    end
+
+  and drain_buffers api =
+    match st.value with
+    | None -> ()
+    | Some v ->
+      let d = digest_of v in
+      List.iter
+        (fun (s, view, dg, sg) ->
+          if view = st.view && String.equal dg d
+             && not (List.mem_assoc s st.prepares)
+          then record_prepare s sg)
+        st.pending_prepares;
+      List.iter
+        (fun (s, view, dg) ->
+          if view = st.view && String.equal dg d && not (List.mem s st.commits)
+          then record_commit s)
+        st.pending_commits;
+      maybe_prepared api;
+      maybe_committed api
+
+  and maybe_prepared api =
+    match (st.phase, st.value) with
+    | Preprepared, Some v when List.length st.prepares >= quorum cfg ->
+      st.phase <- Prepared;
+      st.last_prepared <-
+        Some { pc_view = st.view; pc_value = v; pc_prepares = st.prepares };
+      let c = make (Commit { view = st.view; digest = digest_of v }) in
+      api.Net.broadcast c;
+      handle api c
+    | _ -> ()
+
+  and maybe_committed _api =
+    match (st.phase, st.value) with
+    | Prepared, Some v when List.length st.commits >= quorum cfg ->
+      if st.decided = None then begin
+        st.decided <- Some v;
+        st.phase <- Decided;
+        on_decide me v
+      end
+    | _ -> ()
+
+  and enter_view api view =
+    if view > st.view then begin
+      st.view <- view;
+      st.phase <- Idle;
+      st.value <- None;
+      st.prepares <- [];
+      st.commits <- [];
+      arm_timer api;
+      drain_buffers api
+    end
+  in
+  {
+    Net.init =
+      (fun api ->
+        arm_timer api;
+        if me = leader_of cfg 0 then
+          match proposal with
+          | Some value ->
+            let pp = make (Pre_prepare { view = 0; value }) in
+            api.Net.broadcast pp;
+            handle api pp
+          | None -> ());
+    on_message = (fun api ~sender:_ m -> handle api m);
+    on_timer =
+      (fun api view ->
+        if st.decided = None && view = st.view && st.timer_view = view then begin
+          let next = st.view + 1 in
+          let vc =
+            make (View_change { new_view = next; prepared = st.last_prepared })
+          in
+          api.Net.broadcast vc;
+          enter_view api next;
+          handle api vc
+        end);
+  }
+
+type outcome = {
+  decisions : string option array;
+  stats : Net.stats;
+}
+
+let run cfg ?(proposals = fun _ -> None) ?(byzantine = fun _ -> None)
+    ?(latency = Net.sync ~delta:10) ?(max_time = 200_000) () : outcome =
+  let decisions = Array.make cfg.n None in
+  let on_decide i v = decisions.(i) <- Some v in
+  let behaviors =
+    Array.init cfg.n (fun i ->
+        match byzantine i with
+        | Some b -> b
+        | None -> honest cfg ~me:i ?proposal:(proposals i) ~on_decide ())
+  in
+  let stats = Net.run ~max_time ~latency behaviors in
+  { decisions; stats }

@@ -1,0 +1,64 @@
+(** PBFT single-slot consensus for the partially synchronous setting
+    (N = 3f + 1), with view changes. *)
+
+module Auth = Csm_crypto.Auth
+module Net = Csm_sim.Net
+
+type digest = string
+
+val digest_of : string -> digest
+
+type prepared_cert = {
+  pc_view : int;
+  pc_value : string;
+  pc_prepares : (int * Auth.signature) list;
+}
+
+type payload =
+  | Pre_prepare of { view : int; value : string }
+  | Prepare of { view : int; digest : digest }
+  | Commit of { view : int; digest : digest }
+  | View_change of { new_view : int; prepared : prepared_cert option }
+  | New_view of {
+      view : int;
+      value : string;
+      justification : (int * Auth.signature) list;
+    }
+
+type msg = { payload : payload; signature : Auth.signature; signer : int }
+
+type config = {
+  n : int;
+  f : int;
+  base_timeout : int;
+  instance : string;
+  keyring : Auth.keyring;
+}
+
+val leader_of : config -> int -> int
+val payload_string : config -> payload -> string
+val quorum : config -> int
+val valid_cert : config -> prepared_cert -> bool
+val timeout_for : config -> int -> int
+
+val honest :
+  config ->
+  me:int ->
+  ?proposal:string ->
+  on_decide:(int -> string -> unit) ->
+  unit ->
+  msg Net.behavior
+
+type outcome = {
+  decisions : string option array;
+  stats : Net.stats;
+}
+
+val run :
+  config ->
+  ?proposals:(int -> string option) ->
+  ?byzantine:(int -> msg Net.behavior option) ->
+  ?latency:Net.latency ->
+  ?max_time:int ->
+  unit ->
+  outcome

@@ -1,0 +1,1 @@
+lib/core/adversary.ml: Array Csm_field Csm_rng Engine Params Printf

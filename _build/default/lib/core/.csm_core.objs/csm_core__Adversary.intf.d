@@ -1,0 +1,1 @@
+lib/core/adversary.mli: Csm_field Engine

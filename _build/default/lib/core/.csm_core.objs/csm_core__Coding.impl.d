@@ -1,0 +1,1 @@
+lib/core/coding.ml: Array Csm_field Csm_poly Lazy

@@ -1,0 +1,1 @@
+lib/core/coding.mli: Csm_field Csm_poly Lazy

@@ -1,0 +1,1 @@
+lib/core/engine.ml: Array Coding Csm_field Csm_machine Csm_metrics Csm_rs List Params

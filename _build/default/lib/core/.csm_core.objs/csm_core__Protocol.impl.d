@@ -1,0 +1,1 @@
+lib/core/protocol.ml: Array Csm_consensus Csm_crypto Csm_field Csm_rng Csm_sim Engine List Params Printf Queue String Wire

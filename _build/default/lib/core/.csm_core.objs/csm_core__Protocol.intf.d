@@ -1,0 +1,1 @@
+lib/core/protocol.mli: Csm_crypto Csm_field Csm_sim Engine Params Wire

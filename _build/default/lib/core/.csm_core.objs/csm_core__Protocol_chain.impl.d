@@ -1,0 +1,1 @@
+lib/core/protocol_chain.ml: Array Csm_consensus Csm_crypto Csm_field Csm_sim Engine List Params String Wire

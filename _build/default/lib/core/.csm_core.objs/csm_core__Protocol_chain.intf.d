@@ -1,0 +1,1 @@
+lib/core/protocol_chain.mli: Csm_crypto Csm_field Csm_sim Engine Wire

@@ -1,0 +1,1 @@
+lib/core/wire.ml: Array Csm_field List String

@@ -1,0 +1,105 @@
+(* A library of named Byzantine execution-phase strategies.
+
+   The engine accepts any corruption function; these are the named
+   strategies used across tests, benches and experiments, from weakest
+   to strongest:
+
+   - [uniform_shift]: add a constant to every coordinate (detectable,
+     always corrected within the bound);
+   - [random_garbage]: fresh random vectors (the generic worst case for
+     unique decoding beyond the bound);
+   - [selective k]: corrupt only the coordinates belonging to one target
+     machine's slice of the result vector — shows per-coordinate
+     decoding isolates damage no better or worse than full corruption;
+   - [colluding_codeword]: all liars evaluate a COMMON low-degree shift
+     polynomial δ at their own points, producing a consistent fake
+     codeword h+δ — the optimal attack that makes the Table-2 bound
+     exactly tight (see the collusion-tightness test);
+   - [flip_flop]: lie only on even rounds — an intermittent fault that
+     must be re-detected each time (the decoder is stateless). *)
+
+module Field_intf = Csm_field.Field_intf
+
+module Make (F : Field_intf.S) = struct
+  module E = Engine.Make (F)
+
+  type t = {
+    name : string;
+    corruption : round:int -> engine:E.t -> E.corruption;
+  }
+
+  let uniform_shift ?(offset = 1) () =
+    {
+      name = "uniform-shift";
+      corruption =
+        (fun ~round:_ ~engine:_ ~node:_ g ->
+          Array.map (fun v -> F.add v (F.of_int offset)) g);
+    }
+
+  let random_garbage ~seed =
+    {
+      name = "random-garbage";
+      corruption =
+        (fun ~round ~engine:_ ~node g ->
+          let rng = Csm_rng.create (seed + (round * 7919) + node) in
+          Array.map (fun _ -> F.random rng) g);
+    }
+
+  (* Corrupt only the result coordinates that influence machine
+     [target]'s decoded values — which, because decoding is
+     per-coordinate over ALL machines' shared polynomial h_j, is every
+     coordinate; the selective strategy instead perturbs a single
+     coordinate index, showing that even a one-coordinate lie is caught
+     by that coordinate's decoder. *)
+  let selective ~coordinate =
+    {
+      name = Printf.sprintf "selective-coord-%d" coordinate;
+      corruption =
+        (fun ~round:_ ~engine:_ ~node:_ g ->
+          let g' = Array.copy g in
+          if coordinate < Array.length g' then
+            g'.(coordinate) <- F.add g'.(coordinate) F.one;
+          g');
+    }
+
+  (* All liars agree on δ(z) of degree ≤ d(K−1) and report (h+δ)(αᵢ). *)
+  let colluding_codeword ?(delta_seed = 0xDE17A) () =
+    {
+      name = "colluding-codeword";
+      corruption =
+        (fun ~round ~engine ~node g ->
+          let p = engine.E.params in
+          let kdim =
+            Params.code_dimension ~k:p.Params.k ~d:p.Params.d
+          in
+          let rng = Csm_rng.create (delta_seed + round) in
+          (* deterministic per-round δ shared by all colluders *)
+          let delta_coeffs =
+            Array.init kdim (fun _ -> F.random rng)
+          in
+          let alpha = engine.E.coding.E.Coding.alphas.(node) in
+          let dv = ref F.zero in
+          for i = kdim - 1 downto 0 do
+            dv := F.add (F.mul !dv alpha) delta_coeffs.(i)
+          done;
+          Array.map (fun v -> F.add v !dv) g);
+    }
+
+  let flip_flop inner =
+    {
+      name = "flip-flop:" ^ inner.name;
+      corruption =
+        (fun ~round ~engine ->
+          if round mod 2 = 0 then inner.corruption ~round ~engine
+          else fun ~node:_ g -> g);
+    }
+
+  let all ~seed =
+    [
+      uniform_shift ();
+      random_garbage ~seed;
+      selective ~coordinate:0;
+      colluding_codeword ();
+      flip_flop (uniform_shift ());
+    ]
+end

@@ -1,0 +1,28 @@
+(** Named Byzantine execution-phase strategies used across tests and
+    experiments, from uniform lies to the optimal colluding-codeword
+    attack. *)
+
+module Field_intf = Csm_field.Field_intf
+
+module Make (F : Field_intf.S) : sig
+  module E : module type of Engine.Make (F)
+
+  type t = {
+    name : string;
+    corruption : round:int -> engine:E.t -> E.corruption;
+  }
+
+  val uniform_shift : ?offset:int -> unit -> t
+  val random_garbage : seed:int -> t
+  val selective : coordinate:int -> t
+
+  val colluding_codeword : ?delta_seed:int -> unit -> t
+  (** All liars shift by a common degree-≤d(K−1) polynomial evaluated at
+      their own points: a consistent alternative codeword, the bound-
+      tight attack. *)
+
+  val flip_flop : t -> t
+  (** Apply the inner strategy on even rounds only. *)
+
+  val all : seed:int -> t list
+end

@@ -1,0 +1,89 @@
+(* Parameter calculus of CSM: Theorems 1 and 2 and the Table-2 bounds.
+
+   All bounds trace back to Reed–Solomon unique decoding of the
+   composite polynomial h_t(z) = f(u_t(z), v_t(z)), which has degree
+   K' = d·(K−1):
+
+   - synchronous: decode length N with b errors  ⇔ 2b + 1 ≤ N − d(K−1);
+   - partially synchronous: b results may be withheld, so decode length
+     N − b with b errors                         ⇔ 3b + 1 ≤ N − d(K−1);
+   - input consensus: b + 1 ≤ N (sync, signed Dolev–Strong) or
+     3b + 1 ≤ N (PBFT);
+   - output delivery: clients need b + 1 matching responses out of N,
+     hence 2b + 1 ≤ N. *)
+
+type network = Sync | Partial_sync
+
+type t = {
+  n : int;  (* nodes *)
+  k : int;  (* state machines *)
+  d : int;  (* degree of the transition polynomial *)
+  b : int;  (* Byzantine nodes tolerated *)
+  network : network;
+}
+
+let composite_degree ~k ~d = d * (k - 1)
+
+let code_dimension ~k ~d = composite_degree ~k ~d + 1
+
+(* Table 2, middle column. *)
+let decoding_ok { n; k; d; b; network } =
+  match network with
+  | Sync -> (2 * b) + 1 <= n - composite_degree ~k ~d
+  | Partial_sync -> (3 * b) + 1 <= n - composite_degree ~k ~d
+
+(* Table 2, left column. *)
+let consensus_ok { n; b; network; _ } =
+  match network with Sync -> b + 1 <= n | Partial_sync -> (3 * b) + 1 <= n
+
+(* Table 2, right column. *)
+let output_delivery_ok { n; b; _ } = (2 * b) + 1 <= n
+
+let valid t =
+  t.n >= 1 && t.k >= 1 && t.d >= 1 && t.b >= 0 && t.k <= t.n
+  && decoding_ok t && consensus_ok t && output_delivery_ok t
+
+(* Maximum K for given (N, b, d): from the decoding bound.
+   Sync:    K ≤ (N − 2b − 1)/d + 1   (Theorem 1 with b = μN)
+   Partial: K ≤ (N − 3b − 1)/d + 1   (Theorem 2 with b = νN) *)
+let max_machines ~network ~n ~b ~d =
+  let slack =
+    match network with
+    | Sync -> n - (2 * b) - 1
+    | Partial_sync -> n - (3 * b) - 1
+  in
+  if slack < 0 then 0 else min n ((slack / d) + 1)
+
+(* Maximum b for given (N, K, d): invert the decoding bound.
+   Sync:    b ≤ (N − d(K−1) − 1)/2
+   Partial: b ≤ (N − d(K−1) − 1)/3 *)
+let max_faults ~network ~n ~k ~d =
+  let slack = n - composite_degree ~k ~d - 1 in
+  if slack < 0 then -1
+  else
+    match network with Sync -> slack / 2 | Partial_sync -> slack / 3
+
+(* Theorem statements with fault fraction: K_max = ⌊(1−cμ)N/d + 1 − 1/d⌋
+   with c = 2 (sync) or 3 (partial sync). *)
+let theorem_k_max ~network ~n ~mu ~d =
+  let b = int_of_float (mu *. float_of_int n) in
+  max_machines ~network ~n ~b ~d
+
+(* Storage efficiency: each node stores one coded state of the same size
+   as an original state, so γ = K (Section 5.1). *)
+let storage_efficiency t = t.k
+
+let make ~network ~n ~k ~d ~b =
+  let t = { n; k; d; b; network } in
+  if not (valid t) then
+    invalid_arg
+      (Printf.sprintf
+         "Params.make: infeasible (n=%d k=%d d=%d b=%d): need %s" n k d b
+         (match network with
+         | Sync -> "2b+1 <= N - d(K-1)"
+         | Partial_sync -> "3b+1 <= N - d(K-1)"));
+  t
+
+let pp ppf t =
+  Format.fprintf ppf "{n=%d; k=%d; d=%d; b=%d; %s}" t.n t.k t.d t.b
+    (match t.network with Sync -> "sync" | Partial_sync -> "partial-sync")

@@ -1,0 +1,46 @@
+(** CSM parameter calculus: Theorems 1–2 and the Table-2 feasibility
+    bounds. *)
+
+type network = Sync | Partial_sync
+
+type t = {
+  n : int;
+  k : int;
+  d : int;
+  b : int;
+  network : network;
+}
+
+val composite_degree : k:int -> d:int -> int
+(** Degree of h_t(z) = f(u_t(z), v_t(z)): d·(K−1). *)
+
+val code_dimension : k:int -> d:int -> int
+(** Reed–Solomon dimension d·(K−1) + 1. *)
+
+val decoding_ok : t -> bool
+(** Table 2, decoding column. *)
+
+val consensus_ok : t -> bool
+(** Table 2, input-consensus column. *)
+
+val output_delivery_ok : t -> bool
+(** Table 2, output-delivery column. *)
+
+val valid : t -> bool
+
+val max_machines : network:network -> n:int -> b:int -> d:int -> int
+(** Largest feasible K. *)
+
+val max_faults : network:network -> n:int -> k:int -> d:int -> int
+(** Largest tolerable b (-1 when even b = 0 is infeasible). *)
+
+val theorem_k_max : network:network -> n:int -> mu:float -> d:int -> int
+(** K_max with a fault fraction: ⌊(1−cμ)N/d + 1 − 1/d⌋, c ∈ {2,3}. *)
+
+val storage_efficiency : t -> int
+(** γ = K (Section 5.1). *)
+
+val make : network:network -> n:int -> k:int -> d:int -> b:int -> t
+(** @raise Invalid_argument when infeasible. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,86 @@
+(* Multi-round CSM over the chained (pipelined) PBFT log.
+
+   The per-round driver in [Protocol] runs one consensus instance per
+   round, sequentially.  In a real deployment the consensus slots for
+   all upcoming rounds run concurrently (the Section-2.2 remark); this
+   driver agrees on R command vectors in ONE chained-PBFT simulation
+   (see [Csm_consensus.Chain]) and then executes the decided rounds in
+   order on the coded engine.  Rounds whose slot decided an invalid or
+   undecodable value are skipped consistently. *)
+
+module Field_intf = Csm_field.Field_intf
+module Net = Csm_sim.Net
+module Auth = Csm_crypto.Auth
+module Chain = Csm_consensus.Chain
+
+module Make (F : Field_intf.S) = struct
+  module E = Engine.Make (F)
+  module W = Wire.Make (F)
+
+  type round_report = {
+    slot : int;
+    agreed : F.t array array option;  (* decided commands (None = skipped) *)
+    decoded : E.decoded option;
+  }
+
+  type outcome = {
+    reports : round_report list;
+    consensus_stats : Net.stats;
+  }
+
+  (* [workload slot] is the command vector every honest node proposes
+     for that slot (the clients-broadcast model: all honest nodes see
+     the same pools). *)
+  let run ?(corruption = E.default_corruption) ~keyring ~base_timeout
+      ~(byzantine : int -> bool) (engine : E.t)
+      ~(workload : int -> F.t array array) ~rounds () : outcome =
+    let p = engine.E.params in
+    let n = p.Params.n and b = p.Params.b in
+    if p.Params.network <> Params.Partial_sync then
+      invalid_arg "Protocol_chain.run: chained PBFT is the partial-sync path";
+    let cfg =
+      {
+        Chain.n;
+        f = b;
+        slots = rounds;
+        base_timeout;
+        instance = "csm-chain";
+        keyring;
+      }
+    in
+    let proposals _node slot = Some (W.encode_commands (workload slot)) in
+    let { Chain.decisions; stats } =
+      Chain.run cfg ~proposals
+        ~byzantine:(fun i -> if byzantine i then Some Net.silent else None)
+        ()
+    in
+    let dim = engine.E.machine.E.M.input_dim in
+    let reports =
+      List.init rounds (fun slot ->
+          (* honest nodes must agree on the slot *)
+          let honest =
+            List.filter_map
+              (fun i -> if byzantine i then None else decisions.(i).(slot))
+              (List.init n (fun i -> i))
+          in
+          let agreed =
+            match honest with
+            | [] -> None
+            | first :: rest ->
+              if not (List.for_all (String.equal first) rest) then None
+              else W.decode_commands ~k:p.Params.k ~dim first
+          in
+          match agreed with
+          | None -> { slot; agreed = None; decoded = None }
+          | Some commands ->
+            let report =
+              E.round engine ~commands ~byzantine ~corruption
+                ~withheld:byzantine ()
+            in
+            (* Byzantine nodes may also withhold: we model the worst
+               partial-sync case where the b faulty nodes send nothing,
+               so decoding runs on N − b results. *)
+            { slot; agreed = Some commands; decoded = report.E.decoded })
+    in
+    { reports; consensus_stats = stats }
+end

@@ -1,0 +1,38 @@
+(** Multi-round CSM over the chained (pipelined) PBFT log: all consensus
+    slots agreed concurrently in one simulation, then executed in order
+    (the partial-synchrony deployment shape). *)
+
+module Field_intf = Csm_field.Field_intf
+module Net = Csm_sim.Net
+module Auth = Csm_crypto.Auth
+
+module Make (F : Field_intf.S) : sig
+  module E : module type of Engine.Make (F)
+  module W : module type of Wire.Make (F)
+
+  type round_report = {
+    slot : int;
+    agreed : F.t array array option;
+    decoded : E.decoded option;
+  }
+
+  type outcome = {
+    reports : round_report list;
+    consensus_stats : Net.stats;
+  }
+
+  val run :
+    ?corruption:E.corruption ->
+    keyring:Auth.keyring ->
+    base_timeout:int ->
+    byzantine:(int -> bool) ->
+    E.t ->
+    workload:(int -> F.t array array) ->
+    rounds:int ->
+    unit ->
+    outcome
+  (** Byzantine nodes are silent in consensus and withhold in execution
+      (the binding partial-sync fault mode).
+      @raise Invalid_argument unless the engine's params are
+      [Partial_sync]. *)
+end

@@ -1,0 +1,34 @@
+(* Wire serialization of field-element vectors.
+
+   Consensus protocols agree on byte strings; commands are K vectors of
+   field elements.  The format is a plain decimal encoding — compact
+   enough for a simulation and trivially deterministic, which matters
+   because consensus values are compared and signed as strings. *)
+
+module Field_intf = Csm_field.Field_intf
+
+module Make (F : Field_intf.S) = struct
+  let encode_vector (v : F.t array) =
+    String.concat "," (Array.to_list (Array.map (fun x -> string_of_int (F.to_int x)) v))
+
+  let decode_vector ~dim s =
+    if s = "" && dim = 0 then Some [||]
+    else
+      let parts = String.split_on_char ',' s in
+      if List.length parts <> dim then None
+      else
+        try
+          Some (Array.of_list (List.map (fun p -> F.of_int (int_of_string p)) parts))
+        with Failure _ -> None
+
+  (* K command vectors, ';'-separated. *)
+  let encode_commands (commands : F.t array array) =
+    String.concat ";" (Array.to_list (Array.map encode_vector commands))
+
+  let decode_commands ~k ~dim s =
+    let parts = String.split_on_char ';' s in
+    if List.length parts <> k then None
+    else
+      let decoded = List.filter_map (decode_vector ~dim) parts in
+      if List.length decoded = k then Some (Array.of_list decoded) else None
+end

@@ -1,0 +1,14 @@
+(** Deterministic wire encoding of field-element vectors, used as the
+    consensus value format. *)
+
+module Field_intf = Csm_field.Field_intf
+
+module Make (F : Field_intf.S) : sig
+  val encode_vector : F.t array -> string
+  val decode_vector : dim:int -> string -> F.t array option
+
+  val encode_commands : F.t array array -> string
+  (** K command vectors, ';'-separated. *)
+
+  val decode_commands : k:int -> dim:int -> string -> F.t array array option
+end

@@ -1,0 +1,1 @@
+lib/crypto/auth.ml: Array Char Csm_rng Digest Format Printf String

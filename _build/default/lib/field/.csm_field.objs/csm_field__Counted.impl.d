@@ -1,0 +1,1 @@
+lib/field/counted.ml: Csm_metrics Field_intf Fun

@@ -1,0 +1,1 @@
+lib/field/counted.mli: Csm_metrics Field_intf

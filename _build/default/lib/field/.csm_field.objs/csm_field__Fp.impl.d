@@ -1,0 +1,1 @@
+lib/field/fp.ml: Csm_rng Field_intf Format Lazy List Stdlib

@@ -1,0 +1,1 @@
+lib/field/gf2m.ml: Array Csm_rng Field_intf Format Lazy List Printf Stdlib

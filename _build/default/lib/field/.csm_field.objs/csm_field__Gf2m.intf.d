@@ -1,0 +1,1 @@
+lib/field/gf2m.mli: Field_intf

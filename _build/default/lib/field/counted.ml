@@ -1,0 +1,84 @@
+(* Operation-counting wrapper around any field.
+
+   The wrapper writes into a swappable current counter so that a protocol
+   simulation can attribute costs per role ("now node 3 is computing",
+   "now the worker is computing") without changing the field type flowing
+   through the algebraic code. *)
+
+module Make (F : Field_intf.S) : sig
+  include Field_intf.S with type t = F.t
+
+  val set_counter : Csm_metrics.Counter.t -> unit
+  (** Route subsequent operation counts into the given counter. *)
+
+  val counter : unit -> Csm_metrics.Counter.t
+  (** The counter currently receiving counts. *)
+
+  val with_counter : Csm_metrics.Counter.t -> (unit -> 'a) -> 'a
+  (** Run a thunk with counts routed to the given counter, restoring the
+      previous counter afterwards (exception-safe). *)
+end = struct
+  type t = F.t
+
+  let current = ref (Csm_metrics.Counter.create ())
+
+  let set_counter c = current := c
+  let counter () = !current
+
+  let with_counter c f =
+    let saved = !current in
+    current := c;
+    Fun.protect ~finally:(fun () -> current := saved) f
+
+  let zero = F.zero
+  let one = F.one
+  let of_int = F.of_int
+  let to_int = F.to_int
+
+  let add a b =
+    Csm_metrics.Counter.add !current;
+    F.add a b
+
+  let sub a b =
+    Csm_metrics.Counter.add !current;
+    F.sub a b
+
+  let neg a =
+    Csm_metrics.Counter.add !current;
+    F.neg a
+
+  let mul a b =
+    Csm_metrics.Counter.mul !current;
+    F.mul a b
+
+  let inv a =
+    Csm_metrics.Counter.inv !current;
+    F.inv a
+
+  let div a b =
+    Csm_metrics.Counter.inv !current;
+    F.div a b
+
+  let pow x n =
+    (* Charge the square-and-multiply cost explicitly so that pow-heavy
+       code (e.g. Vandermonde construction) is accounted for: two
+       multiplications per exponent bit. *)
+    let rec count e acc = if e = 0 then acc else count (e lsr 1) (acc + 2) in
+    let c = count (abs n) 0 in
+    for _ = 1 to c do
+      Csm_metrics.Counter.mul !current
+    done;
+    if n < 0 then Csm_metrics.Counter.inv !current;
+    F.pow x n
+
+  let equal = F.equal
+  let compare = F.compare
+  let is_zero = F.is_zero
+  let order = F.order
+  let characteristic = F.characteristic
+  let root_of_unity = F.root_of_unity
+  let random = F.random
+  let random_nonzero = F.random_nonzero
+  let pp = F.pp
+  let to_string = F.to_string
+end

@@ -1,0 +1,15 @@
+(** Operation-counting wrapper around a field: same element type, every
+    arithmetic operation recorded into a swappable
+    {!Csm_metrics.Counter.t}.  This is how the paper's throughput metric
+    (operation counts per node, Section 2.2) is measured exactly. *)
+
+module Make (F : Field_intf.S) : sig
+  include Field_intf.S with type t = F.t
+
+  val set_counter : Csm_metrics.Counter.t -> unit
+  val counter : unit -> Csm_metrics.Counter.t
+
+  val with_counter : Csm_metrics.Counter.t -> (unit -> 'a) -> 'a
+  (** Run a thunk with counts routed to the given counter; restores the
+      previous counter afterwards, also on exceptions. *)
+end

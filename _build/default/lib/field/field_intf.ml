@@ -1,0 +1,55 @@
+(** Signatures for finite fields.
+
+    Everything in the reproduction (polynomials, Reed–Solomon codes, the
+    CSM engine, INTERMIX) is a functor over [S] so that the same code runs
+    over prime fields and over binary extension fields (Appendix A). *)
+
+module type S = sig
+  type t
+
+  val zero : t
+  val one : t
+
+  val of_int : int -> t
+  (** Canonical injection: reduces its argument into the field.  Accepts
+      any int (negative ints are reduced to the equivalent residue in
+      prime fields; in GF(2^m) the low [m] bits are kept). *)
+
+  val to_int : t -> int
+  (** Canonical integer representative in [\[0, order)]. *)
+
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val neg : t -> t
+  val mul : t -> t -> t
+
+  val inv : t -> t
+  (** @raise Division_by_zero on [zero]. *)
+
+  val div : t -> t -> t
+  (** @raise Division_by_zero when the divisor is [zero]. *)
+
+  val pow : t -> int -> t
+  (** [pow x n] for any int [n] (negative exponents invert).
+      [pow zero 0 = one] by convention. *)
+
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val is_zero : t -> bool
+
+  val order : int
+  (** Number of elements |F|.  All fields in this repo have order that
+      fits in an OCaml int. *)
+
+  val characteristic : int
+
+  val root_of_unity : int -> t option
+  (** [root_of_unity n] is a primitive n-th root of unity when one exists
+      (used for NTT-based polynomial multiplication); [None] otherwise. *)
+
+  val random : Csm_rng.t -> t
+  val random_nonzero : Csm_rng.t -> t
+
+  val pp : Format.formatter -> t -> unit
+  val to_string : t -> string
+end

@@ -1,0 +1,23 @@
+(** Prime fields F_p for p < 2^31, over native int arithmetic. *)
+
+module type PRIME = sig
+  val p : int
+end
+
+module Make (P : PRIME) : Field_intf.S
+(** Builds F_p.
+    @raise Invalid_argument if [P.p] is not a prime in [\[2, 2^31)]. *)
+
+module Default : Field_intf.S
+(** The NTT-friendly prime p = 15·2^27 + 1 = 2013265921 (two-adicity 27):
+    the default field of the reproduction. *)
+
+module Mersenne31 : Field_intf.S
+(** p = 2^31 − 1; no radix-2 NTT support, exercises the generic
+    polynomial-arithmetic path. *)
+
+module F97 : Field_intf.S
+(** Tiny field for exhaustive tests. *)
+
+module F257 : Field_intf.S
+(** Small field for boundary experiments. *)

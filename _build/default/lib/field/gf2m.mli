@@ -1,0 +1,47 @@
+(** Binary extension fields GF(2^m) with the Appendix-A bit embedding. *)
+
+module type PARAMS = sig
+  val m : int
+
+  val modulus : int
+  (** Bits of the irreducible degree-m reduction polynomial including the
+      leading x^m term, or 0 to use a built-in default. *)
+end
+
+val default_modulus : int -> int
+(** Built-in irreducible polynomial of degree [m] (1 ≤ m ≤ 31).
+    @raise Invalid_argument outside that range. *)
+
+val irreducible_over_gf2 : int -> bool
+(** Rabin's irreducibility test for a bit-packed GF(2) polynomial
+    (used to validate every modulus at field instantiation). *)
+
+module Make (P : PARAMS) : sig
+  include Field_intf.S
+
+  val m : int
+
+  val embed_bit : int -> t
+  (** Appendix-A embedding: bit 0 ↦ 00…0, bit 1 ↦ 00…01 in GF(2^m). *)
+end
+
+module Gf256 : sig
+  include Field_intf.S
+
+  val m : int
+  val embed_bit : int -> t
+end
+
+module Gf1024 : sig
+  include Field_intf.S
+
+  val m : int
+  val embed_bit : int -> t
+end
+
+module Gf65536 : sig
+  include Field_intf.S
+
+  val m : int
+  val embed_bit : int -> t
+end

@@ -1,0 +1,1 @@
+lib/harness/pipeline.ml: Array Csm_consensus Csm_core Csm_field Csm_rng Csm_sim Format

@@ -1,0 +1,1 @@
+lib/harness/report.ml: Csm_smr Filename Fun List Printf Scaling Stragglers String Sys Table1 Table2

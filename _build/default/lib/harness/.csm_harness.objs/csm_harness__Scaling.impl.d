@@ -1,0 +1,1 @@
+lib/harness/scaling.ml: Array Csm_core Csm_field Csm_metrics Csm_poly Csm_rng Format List Table1

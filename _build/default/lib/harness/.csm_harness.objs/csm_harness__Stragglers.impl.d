@@ -1,0 +1,1 @@
+lib/harness/stragglers.ml: Array Csm_core Csm_field Csm_rng Csm_sim Format List

@@ -1,0 +1,1 @@
+lib/harness/table1.ml: Array Csm_core Csm_field Csm_intermix Csm_metrics Csm_rng Csm_smr Format List

@@ -1,0 +1,1 @@
+lib/harness/table2.ml: Array Csm_consensus Csm_core Csm_crypto Csm_field Csm_rng Csm_sim Format List Printf String

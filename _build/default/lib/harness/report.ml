@@ -1,0 +1,155 @@
+(* CSV export of every experiment sweep, for plotting/inspection outside
+   the CLI.  One file per experiment, stable headers, deterministic
+   contents. *)
+
+let write_file ~dir ~name lines =
+  let path = Filename.concat dir name in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> List.iter (fun l -> output_string oc (l ^ "\n")) lines);
+  path
+
+let csv_row cells = String.concat "," cells
+
+let table1_csv (setup, rows) =
+  csv_row [ "scheme"; "security"; "storage_gamma"; "throughput"; "ops_per_node" ]
+  :: List.map
+       (fun (r : Table1.row) ->
+         csv_row
+           [
+             r.Table1.scheme;
+             string_of_int r.Table1.security;
+             Printf.sprintf "%.3f" r.Table1.storage_gamma;
+             Printf.sprintf "%.9f" r.Table1.throughput;
+             Printf.sprintf "%.1f" r.Table1.per_node_ops;
+           ])
+       rows
+  @ [
+      csv_row
+        [
+          "#setup";
+          Printf.sprintf "N=%d" setup.Table1.n;
+          Printf.sprintf "mu=%.3f" setup.Table1.mu;
+          Printf.sprintf "d=%d" setup.Table1.d;
+          Printf.sprintf "K=%d" setup.Table1.k;
+        ];
+    ]
+
+let table2_csv checks =
+  csv_row [ "label"; "bound"; "at_bound_ok"; "beyond_fails" ]
+  :: List.map
+       (fun (c : Table2.check) ->
+         csv_row
+           [
+             c.Table2.label;
+             c.Table2.bound;
+             string_of_bool c.Table2.at_bound_ok;
+             string_of_bool c.Table2.beyond_fails;
+           ])
+       checks
+
+let scaling_csv points =
+  csv_row
+    [ "n"; "k"; "b"; "gamma"; "lambda_full"; "lambda_partial"; "lambda_csm";
+      "lambda_csm_intermix" ]
+  :: List.map
+       (fun (p : Scaling.scaling_point) ->
+         csv_row
+           [
+             string_of_int p.Scaling.n;
+             string_of_int p.Scaling.k;
+             string_of_int p.Scaling.b;
+             string_of_int p.Scaling.gamma;
+             Printf.sprintf "%.9f" p.Scaling.lambda_full;
+             Printf.sprintf "%.9f" p.Scaling.lambda_partial;
+             Printf.sprintf "%.9f" p.Scaling.lambda_csm;
+             Printf.sprintf "%.9f" p.Scaling.lambda_csm_intermix;
+           ])
+       points
+
+let growth_csv points =
+  csv_row [ "n"; "k_max"; "beta" ]
+  :: List.map
+       (fun (g : Scaling.growth_point) ->
+         csv_row
+           [
+             string_of_int g.Scaling.gn;
+             string_of_int g.Scaling.gk_max;
+             string_of_int g.Scaling.gbeta;
+           ])
+       points
+
+let coding_csv points =
+  csv_row [ "n"; "naive_ops"; "fast_ops" ]
+  :: List.map
+       (fun (c : Scaling.coding_cost) ->
+         csv_row
+           [
+             string_of_int c.Scaling.cn;
+             string_of_int c.Scaling.naive_ops;
+             string_of_int c.Scaling.fast_ops;
+           ])
+       points
+
+let stragglers_csv points =
+  csv_row [ "n"; "stragglers"; "slack"; "t_wait_all"; "t_early"; "correct" ]
+  :: List.map
+       (fun (p : Stragglers.point) ->
+         csv_row
+           [
+             string_of_int p.Stragglers.n;
+             string_of_int p.Stragglers.stragglers;
+             string_of_int p.Stragglers.slack;
+             Printf.sprintf "%.2f" p.Stragglers.t_wait_all;
+             Printf.sprintf "%.2f" p.Stragglers.t_early;
+             string_of_bool p.Stragglers.correct;
+           ])
+       points
+
+let allocation_csv results =
+  let module RA = Csm_smr.Random_allocation in
+  csv_row [ "scheme"; "budget"; "epochs"; "compromise_rate"; "migrations_per_epoch" ]
+  :: List.map
+       (fun (r : RA.experiment_result) ->
+         csv_row
+           [
+             r.RA.scheme;
+             string_of_int r.RA.budget;
+             string_of_int r.RA.epochs;
+             Printf.sprintf "%.4f" r.RA.compromise_rate;
+             Printf.sprintf "%.2f" r.RA.migrations_per_epoch;
+           ])
+       results
+
+(* Produce the full result set into [dir]; returns the written paths. *)
+let write_all ~dir () =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let module RA = Csm_smr.Random_allocation in
+  let paths =
+    [
+      write_file ~dir ~name:"table1.csv"
+        (table1_csv (Table1.run ~rounds:2 ~n:24 ~mu:0.25 ~d:2 ()));
+      write_file ~dir ~name:"table2.csv" (table2_csv (Table2.run_all ()));
+      write_file ~dir ~name:"scaling.csv"
+        (scaling_csv
+           (Scaling.throughput_sweep ~mu:0.25 ~d:2 [ 12; 16; 24; 32; 48 ]));
+      write_file ~dir ~name:"growth.csv"
+        (growth_csv
+           (Scaling.growth_sweep ~mu:0.25 ~d:2
+              [ 16; 32; 64; 128; 256; 512; 1024 ]));
+      write_file ~dir ~name:"coding.csv"
+        (coding_csv (Scaling.coding_sweep [ 16; 64; 256; 1024; 4096 ]));
+      write_file ~dir ~name:"stragglers.csv"
+        (stragglers_csv (Stragglers.sweep ()));
+      write_file ~dir ~name:"allocation.csv"
+        (allocation_csv
+           [
+             RA.run_static ~seed:1 ~n:24 ~k:6 ~budget:3 ~epochs:500;
+             RA.run_adaptive ~seed:2 ~n:24 ~k:6 ~budget:3 ~epochs:500 ~delay:0;
+             RA.run_adaptive ~seed:3 ~n:24 ~k:6 ~budget:3 ~epochs:500 ~delay:1;
+             RA.csm_reference ~n:24 ~k:6 ~d:1 ~budget:3 ~epochs:500;
+           ]);
+    ]
+  in
+  paths

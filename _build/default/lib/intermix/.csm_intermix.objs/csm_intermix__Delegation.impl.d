@@ -1,0 +1,1 @@
+lib/intermix/delegation.ml: Array Csm_core Csm_field Csm_metrics Csm_poly Csm_rng Csm_rs Intermix List

@@ -1,0 +1,1 @@
+lib/intermix/delegation.mli: Csm_core Csm_field Csm_metrics Csm_rng Intermix

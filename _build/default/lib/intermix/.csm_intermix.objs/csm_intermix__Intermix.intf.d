@@ -1,0 +1,1 @@
+lib/intermix/intermix.mli: Csm_crypto Csm_field Csm_linalg Csm_metrics Csm_rng

@@ -1,0 +1,49 @@
+(** Centralized encoding/decoding with INTERMIX verification
+    (Section 6.2): the throughput-scaling execution path of Theorem 1. *)
+
+module Field_intf = Csm_field.Field_intf
+module Scope = Csm_metrics.Scope
+module Params = Csm_core.Params
+
+module Make (F : Field_intf.S) : sig
+  module E : module type of Csm_core.Engine.Make (F)
+  module IX : module type of Intermix.Make (F)
+
+  type worker_behavior =
+    | Honest
+    | Lying_encode of { node : int; offset : F.t }
+    | Lying_decode of { coeff : int; offset : F.t }
+    | Lying_update of { node : int; offset : F.t }
+
+  type fraud_stage = Encode | Decode_cert | Evaluate | Update
+
+  type outcome = {
+    decoded : E.decoded option;  (** None iff aborted (fraud or overload) *)
+    fraud : fraud_stage option;
+    max_interactions : int;
+  }
+
+  val tau_threshold : n:int -> k':int -> int
+  (** ⌈(N+K'+1)/2⌉: minimum agreement-set size of equation (9). *)
+
+  val round :
+    ?scope:Scope.t ->
+    ?behavior:worker_behavior ->
+    ?batch:bool ->
+    ?challenge_rng:Csm_rng.t ->
+    ?corruption:E.corruption ->
+    E.t ->
+    commands:F.t array array ->
+    byzantine:(int -> bool) ->
+    worker:int ->
+    committee:int list ->
+    unit ->
+    outcome
+  (** One delegated round: fast worker coding at every stage, each
+      matrix–vector identity audited by the committee; on an accepted
+      round the engine's coded states advance.  With [batch], the
+      shared-matrix stages (encode / evaluate / update) verify ONE
+      random linear combination of the coordinate identities instead of
+      each one (Schwartz–Zippel soundness error ≤ dim/|F|); the
+      per-coordinate τ-certificates of equation (9) are unaffected. *)
+end

@@ -1,0 +1,284 @@
+(* INTERMIX: information-theoretically verifiable matrix–vector
+   multiplication (Section 6.1, Algorithm 1).
+
+   Roles:
+   - the worker computes Ŷ = A·X and broadcasts it (possibly lying);
+   - each auditor recomputes A·X; on a mismatch at some row i it
+     interactively bisects: it asks the worker for the two half
+     inner-products of the current segment, checks that they sum to the
+     worker's prior claim for the segment, and recurses into a half that
+     is wrong — after ≤ log₂K rounds the fraud is pinned either to a
+     sum inconsistency or to a singleton claim, both checkable in O(1);
+   - commoners verify an auditor's alert in constant time.
+
+   The worker is modeled as an oracle over segment queries, so malicious
+   strategies can answer adaptively.  Soundness is information-theoretic:
+   whatever the oracle answers, if Ŷ ≠ A·X an honest auditor produces an
+   alert that any commoner confirms with one addition-comparison or one
+   singleton product. *)
+
+module Field_intf = Csm_field.Field_intf
+module Scope = Csm_metrics.Scope
+
+module Make (F : Field_intf.S) = struct
+  module M = Csm_linalg.Linalg.Make (F)
+
+  (* A segment query: the inner product A_row[lo..hi) · X[lo..hi). *)
+  type query = { row : int; lo : int; hi : int }
+
+  type worker = {
+    claimed : F.t array;  (* Ŷ as broadcast *)
+    answer : query -> F.t;  (* oracle for bisection queries *)
+  }
+
+  let true_answer (a : M.mat) (x : M.vec) { row; lo; hi } =
+    let acc = ref F.zero in
+    for j = lo to hi - 1 do
+      acc := F.add !acc (F.mul a.(row).(j) x.(j))
+    done;
+    !acc
+
+  let honest_worker ?(scope = Scope.null) ?(role = "worker") a x =
+    let claimed = scope.Scope.run ~role (fun () -> M.mat_vec a x) in
+    {
+      claimed;
+      answer = (fun q -> scope.Scope.run ~role (fun () -> true_answer a x q));
+    }
+
+  (* Malicious strategies.
+
+     [Blatant]: lies on [bad_rows] of Ŷ and answers queries honestly —
+     the first bisection level exposes a sum mismatch.
+
+     [Adaptive]: lies on [bad_rows] and keeps its answers *consistent*
+     with its own previous lies for as long as possible (splitting the
+     lie into one half at each level); the fraud survives every sum
+     check and is only pinned at a singleton claim — the worst case for
+     the number of interactive rounds. *)
+  type strategy = Blatant | Adaptive
+
+  let malicious_worker ?(scope = Scope.null) ?(role = "worker")
+      ~(strategy : strategy) ~bad_rows ~offset a x =
+    let claimed =
+      scope.Scope.run ~role (fun () ->
+          let y = M.mat_vec a x in
+          List.iter (fun r -> y.(r) <- F.add y.(r) offset) bad_rows;
+          y)
+    in
+    let answer q =
+      scope.Scope.run ~role (fun () ->
+          let truth = true_answer a x q in
+          match strategy with
+          | Blatant -> truth
+          | Adaptive ->
+            (* Maintain the lie along the leftmost path of the lied-on
+               rows: a query fully inside a bad row whose segment
+               contains index [q.lo = 0 side] keeps the offset on the
+               left half. *)
+            if List.mem q.row bad_rows && q.lo = 0 then F.add truth offset
+            else truth)
+    in
+    { claimed; answer }
+
+  (* One bisection step as shown to the commoners. *)
+  type challenge = {
+    c_query : query;  (* the segment whose claim is being split *)
+    c_claim : F.t;  (* worker's claim for that segment *)
+    c_left : F.t;  (* worker's answers for the two halves *)
+    c_right : F.t;
+    c_mid : int;
+  }
+
+  type alert =
+    | Sum_mismatch of challenge
+        (* left + right ≠ claim: one addition to check *)
+    | Leaf_mismatch of { l_query : query; l_claim : F.t }
+        (* singleton segment: claim ≠ A[row][lo]·X[lo], one product *)
+
+  type audit_result = Accept | Alert of alert
+
+  type audit_report = {
+    result : audit_result;
+    interactions : int;  (* bisection levels used *)
+  }
+
+  (* Algorithm 1, run by an honest auditor. *)
+  let audit ?(scope = Scope.null) ?(role = "auditor") (w : worker)
+      (a : M.mat) (x : M.vec) : audit_report =
+    scope.Scope.run ~role (fun () ->
+        let y = M.mat_vec a x in
+        let n = M.rows a and k = M.cols a in
+        let bad = ref (-1) in
+        for i = n - 1 downto 0 do
+          if not (F.equal y.(i) w.claimed.(i)) then bad := i
+        done;
+        if !bad < 0 then { result = Accept; interactions = 0 }
+        else begin
+          let row = !bad in
+          (* recurse on segments; claim = worker's commitment for seg *)
+          let rec bisect ~lo ~hi ~claim ~level =
+            if hi - lo = 1 then
+              {
+                result =
+                  Alert (Leaf_mismatch { l_query = { row; lo; hi }; l_claim = claim });
+                interactions = level;
+              }
+            else begin
+              let mid = lo + ((hi - lo) / 2) in
+              let ql = { row; lo; hi = mid } and qr = { row; lo = mid; hi } in
+              let zl = w.answer ql and zr = w.answer qr in
+              if not (F.equal (F.add zl zr) claim) then
+                {
+                  result =
+                    Alert
+                      (Sum_mismatch
+                         {
+                           c_query = { row; lo; hi };
+                           c_claim = claim;
+                           c_left = zl;
+                           c_right = zr;
+                           c_mid = mid;
+                         });
+                  interactions = level + 1;
+                }
+              else begin
+                (* locate a lying half by recomputing both *)
+                let tl = true_answer a x ql in
+                if not (F.equal zl tl) then
+                  bisect ~lo ~hi:mid ~claim:zl ~level:(level + 1)
+                else bisect ~lo:mid ~hi ~claim:zr ~level:(level + 1)
+              end
+            end
+          in
+          bisect ~lo:0 ~hi:k ~claim:w.claimed.(row) ~level:0
+        end)
+
+  (* Commoner verification: O(1) field work regardless of K and N.
+     Returns [true] when the alert is valid, i.e. the worker is exposed;
+     a dishonest auditor's bogus alert returns [false] and is dismissed. *)
+  let commoner_check ?(scope = Scope.null) ?(role = "commoner") (a : M.mat)
+      (x : M.vec) (alert : alert) : bool =
+    scope.Scope.run ~role (fun () ->
+        match alert with
+        | Sum_mismatch c ->
+          not (F.equal (F.add c.c_left c.c_right) c.c_claim)
+        | Leaf_mismatch { l_query; l_claim } ->
+          not
+            (F.equal l_claim
+               (F.mul a.(l_query.row).(l_query.lo) x.(l_query.lo))))
+
+  (* Full protocol outcome for a network of N nodes: the committee
+     audits; commoners accept the worker's Ŷ iff no *valid* alert is
+     raised.  Dishonest auditors can only raise invalid alerts (dismissed)
+     or stay silent. *)
+  type verdict = {
+    accepted : bool;  (* network accepts Ŷ *)
+    valid_alerts : alert list;
+    dismissed_alerts : alert list;
+    max_interactions : int;
+  }
+
+  let run_protocol ?(scope = Scope.null) (w : worker) (a : M.mat) (x : M.vec)
+      ~(auditors : int list) ~(dishonest_auditor : int -> alert option) :
+      verdict =
+    let valid = ref [] and dismissed = ref [] in
+    let max_inter = ref 0 in
+    List.iter
+      (fun aud ->
+        match dishonest_auditor aud with
+        | Some bogus ->
+          (* a dishonest auditor raising a bogus alert *)
+          if commoner_check ~scope a x bogus then valid := bogus :: !valid
+          else dismissed := bogus :: !dismissed
+        | None ->
+          (* attribute audit work to the auditor's NODE role so that
+             per-node throughput accounting includes committee costs *)
+          let report =
+            audit ~scope ~role:(Csm_metrics.Ledger.node_role aud) w a x
+          in
+          max_inter := max !max_inter report.interactions;
+          (match report.result with
+          | Accept -> ()
+          | Alert alert ->
+            if commoner_check ~scope a x alert then valid := alert :: !valid
+            else dismissed := alert :: !dismissed))
+      auditors;
+    {
+      accepted = !valid = [];
+      valid_alerts = !valid;
+      dismissed_alerts = !dismissed;
+      max_interactions = !max_inter;
+    }
+
+  (* ----- Committee election (Section 6.1) ----- *)
+
+  (* J = ⌈log ε / log μ⌉: smallest J with μ^J ≤ ε. *)
+  let committee_size ~epsilon ~mu =
+    if epsilon <= 0.0 || epsilon >= 1.0 then
+      invalid_arg "Intermix.committee_size: epsilon in (0,1)";
+    if mu <= 0.0 then 1
+    else if mu >= 1.0 then invalid_arg "Intermix.committee_size: mu < 1"
+    else max 1 (int_of_float (ceil (log epsilon /. log mu)))
+
+  (* Local coin: each node self-elects with probability J/N. *)
+  let elect_self rng ~n ~j =
+    let p = float_of_int j /. float_of_int n in
+    List.filter (fun _ -> Csm_rng.float rng < p) (List.init n (fun i -> i))
+
+  (* VRF election: node i is an auditor for [seed] iff its verified VRF
+     value is below J/N.  Identities stay secret until nodes reveal
+     their proofs (Remark: hinders adaptive corruption). *)
+  let elect_vrf keyring ~seed ~n ~j =
+    let threshold = float_of_int j /. float_of_int n in
+    List.filter_map
+      (fun i ->
+        let signer = Csm_crypto.Auth.signer keyring i in
+        let value, proof = Csm_crypto.Auth.vrf_eval signer ~input:seed in
+        if value < threshold then Some (i, proof) else None)
+      (List.init n (fun i -> i))
+
+  let verify_vrf_election keyring ~seed ~n ~j (node, proof) =
+    ignore node;
+    let threshold = float_of_int j /. float_of_int n in
+    match Csm_crypto.Auth.vrf_verify keyring ~input:seed proof with
+    | Some v -> v < threshold
+    | None -> false
+
+  (* Worst-case complexity formula of Section 6.1:
+     (J+1)·c(AX) + 8JK + 3J·log K + N − J − 1, with c(AX) = 2NK. *)
+  let worst_case_complexity ~n ~k ~j =
+    let c_ax = 2 * n * k in
+    let log_k =
+      int_of_float (ceil (log (float_of_int (max 2 k)) /. log 2.0))
+    in
+    ((j + 1) * c_ax) + (8 * j * k) + (3 * j * log_k) + n - j - 1
+
+  (* ----- Verifiable polynomial evaluation (INTERPOL [42]) -----
+
+     Evaluating p(x) = Σ cᵢ xⁱ is the inner product of the coefficient
+     vector with the power vector (1, x, x², …), so batch evaluation of
+     one polynomial at many points is exactly a matrix–vector product
+     with a Vandermonde "matrix of queries": row i = powers of xᵢ,
+     vector = coefficients.  INTERMIX therefore verifies delegated
+     polynomial evaluation as-is; this wrapper packages that reduction
+     (the paper cites INTERPOL as the sibling construction). *)
+
+  type eval_instance = {
+    ei_matrix : M.mat;  (* Vandermonde of the evaluation points *)
+    ei_coeffs : M.vec;  (* the polynomial's coefficients *)
+  }
+
+  let eval_instance ~(coeffs : F.t array) ~(points : F.t array) =
+    let cols = Array.length coeffs in
+    if cols = 0 then invalid_arg "Intermix.eval_instance: empty polynomial";
+    { ei_matrix = M.vandermonde points ~cols; ei_coeffs = Array.copy coeffs }
+
+  let eval_honest_worker ?scope ?role inst =
+    honest_worker ?scope ?role inst.ei_matrix inst.ei_coeffs
+
+  let eval_claimed_values w = w.claimed
+
+  let verify_eval ?scope inst w ~auditors ~dishonest_auditor =
+    run_protocol ?scope w inst.ei_matrix inst.ei_coeffs ~auditors
+      ~dishonest_auditor
+end

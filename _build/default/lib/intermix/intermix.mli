@@ -1,0 +1,129 @@
+(** INTERMIX (Section 6.1, Algorithm 1): information-theoretically
+    verifiable matrix–vector multiplication with a single worker, a
+    random auditor committee, and constant-time commoner verification. *)
+
+module Field_intf = Csm_field.Field_intf
+module Scope = Csm_metrics.Scope
+
+module Make (F : Field_intf.S) : sig
+  module M : module type of Csm_linalg.Linalg.Make (F)
+
+  type query = { row : int; lo : int; hi : int }
+  (** The inner product A_row[lo..hi)·X[lo..hi). *)
+
+  type worker = {
+    claimed : F.t array;  (** Ŷ as broadcast *)
+    answer : query -> F.t;  (** oracle for bisection queries *)
+  }
+
+  val true_answer : M.mat -> M.vec -> query -> F.t
+
+  val honest_worker : ?scope:Scope.t -> ?role:string -> M.mat -> M.vec -> worker
+
+  type strategy =
+    | Blatant  (** wrong claim, honest answers: caught at level 1 *)
+    | Adaptive
+        (** splits its lie consistently down the bisection: caught only
+            at a singleton claim — the worst case of log K rounds *)
+
+  val malicious_worker :
+    ?scope:Scope.t ->
+    ?role:string ->
+    strategy:strategy ->
+    bad_rows:int list ->
+    offset:F.t ->
+    M.mat ->
+    M.vec ->
+    worker
+
+  type challenge = {
+    c_query : query;
+    c_claim : F.t;
+    c_left : F.t;
+    c_right : F.t;
+    c_mid : int;
+  }
+
+  type alert =
+    | Sum_mismatch of challenge
+    | Leaf_mismatch of { l_query : query; l_claim : F.t }
+
+  type audit_result = Accept | Alert of alert
+
+  type audit_report = { result : audit_result; interactions : int }
+
+  val audit :
+    ?scope:Scope.t -> ?role:string -> worker -> M.mat -> M.vec -> audit_report
+  (** Algorithm 1: recompute A·X; on mismatch, interactively localize the
+      fraud in ≤ ⌈log₂ K⌉ bisection rounds. *)
+
+  val commoner_check :
+    ?scope:Scope.t -> ?role:string -> M.mat -> M.vec -> alert -> bool
+  (** O(1) validity check of an alert: one addition or one product. *)
+
+  type verdict = {
+    accepted : bool;
+    valid_alerts : alert list;
+    dismissed_alerts : alert list;
+    max_interactions : int;
+  }
+
+  val run_protocol :
+    ?scope:Scope.t ->
+    worker ->
+    M.mat ->
+    M.vec ->
+    auditors:int list ->
+    dishonest_auditor:(int -> alert option) ->
+    verdict
+  (** Full INTERMIX instance: honest auditors run Algorithm 1; dishonest
+      ones may inject bogus alerts (dismissed by commoners). *)
+
+  val committee_size : epsilon:float -> mu:float -> int
+  (** J = ⌈log ε / log μ⌉: Pr[no honest auditor] ≤ ε. *)
+
+  val elect_self : Csm_rng.t -> n:int -> j:int -> int list
+  (** Local-coin self-election with probability J/N each. *)
+
+  val elect_vrf :
+    Csm_crypto.Auth.keyring ->
+    seed:string ->
+    n:int ->
+    j:int ->
+    (int * Csm_crypto.Auth.vrf_proof) list
+  (** Secret VRF-based election (Section 6.1, dynamic-adversary
+      hardening). *)
+
+  val verify_vrf_election :
+    Csm_crypto.Auth.keyring ->
+    seed:string ->
+    n:int ->
+    j:int ->
+    int * Csm_crypto.Auth.vrf_proof ->
+    bool
+
+  val worst_case_complexity : n:int -> k:int -> j:int -> int
+  (** The Section-6.1 closed form
+      (J+1)·c(AX) + 8JK + 3J·log K + N − J − 1 with c(AX) = 2NK. *)
+
+  (** {2 Verifiable polynomial evaluation (INTERPOL [42])} *)
+
+  type eval_instance
+
+  val eval_instance : coeffs:F.t array -> points:F.t array -> eval_instance
+  (** Batch evaluation of Σ cᵢ zⁱ at the given points, as an INTERMIX
+      matrix–vector instance (Vandermonde reduction). *)
+
+  val eval_honest_worker :
+    ?scope:Scope.t -> ?role:string -> eval_instance -> worker
+
+  val eval_claimed_values : worker -> F.t array
+
+  val verify_eval :
+    ?scope:Scope.t ->
+    eval_instance ->
+    worker ->
+    auditors:int list ->
+    dishonest_auditor:(int -> alert option) ->
+    verdict
+end

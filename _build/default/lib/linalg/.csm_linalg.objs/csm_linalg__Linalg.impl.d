@@ -1,0 +1,1 @@
+lib/linalg/linalg.ml: Array Csm_field Format List

@@ -1,0 +1,1 @@
+lib/linalg/linalg.mli: Csm_field Csm_rng Format

@@ -1,0 +1,1 @@
+lib/machine/boolean_machine.ml: Array Csm_field Csm_mvpoly Machine Printf

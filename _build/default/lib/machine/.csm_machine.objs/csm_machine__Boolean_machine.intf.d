@@ -1,0 +1,1 @@
+lib/machine/boolean_machine.mli: Csm_field Csm_mvpoly Machine

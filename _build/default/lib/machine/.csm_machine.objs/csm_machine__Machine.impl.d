@@ -1,0 +1,1 @@
+lib/machine/machine.ml: Array Csm_field Csm_mvpoly Format List Printf

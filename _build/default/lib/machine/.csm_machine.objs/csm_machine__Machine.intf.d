@@ -1,0 +1,1 @@
+lib/machine/machine.mli: Csm_field Csm_mvpoly Csm_rng Format

@@ -1,0 +1,123 @@
+(* Boolean state machines via the Appendix-A construction.
+
+   A machine over bits is lifted to GF(2^m): each state/input bit is
+   embedded (0 ↦ 0, 1 ↦ 1) and each transition bit-function becomes a
+   multivariate polynomial (Zou's construction).  The resulting machine
+   is an ordinary polynomial machine that CSM can code — the degree is
+   the number of variables of the widest bit-function. *)
+
+module Field_intf = Csm_field.Field_intf
+
+module Make (G : Field_intf.S) = struct
+  module B = Csm_mvpoly.Boolean.Make (G)
+  module C = Csm_mvpoly.Circuit.Make (G)
+  module M = Machine.Make (G)
+
+  (* Build a machine from gate-level circuits: wires 0..state_bits-1 are
+     the current state bits, the rest the input bits.  Compiles the DAG
+     (polynomial degree bounded by the circuits' AND-depth, not by the
+     bit count as in the truth-table construction). *)
+  let of_circuit ~name ~state_bits ~input_bits
+      ~(next : Csm_mvpoly.Circuit.gate array)
+      ~(outs : Csm_mvpoly.Circuit.gate array) =
+    let vars = state_bits + input_bits in
+    let all = Array.append next outs in
+    let polys = C.compile_all ~vars all in
+    let nb = Array.length next in
+    M.create ~name ~state_dim:state_bits ~input_dim:input_bits
+      ~output_dim:(Array.length outs)
+      ~next_state:(Array.sub polys 0 nb)
+      ~output:(Array.sub polys nb (Array.length outs))
+
+  (* Lift a vector of Boolean functions into a polynomial machine:
+     [next_bits.(i)] computes next-state bit i from all state+input bits,
+     and [out_bits.(j)] computes output bit j. *)
+  let lift ~name ~state_bits ~input_bits ~next_bits ~out_bits =
+    let n = state_bits + input_bits in
+    let next_state = Array.map (fun f -> B.of_function ~n f) next_bits in
+    let output = Array.map (fun f -> B.of_function ~n f) out_bits in
+    M.create ~name ~state_dim:state_bits ~input_dim:input_bits
+      ~output_dim:(Array.length out_bits) ~next_state ~output
+
+  (* Majority register: one state bit, two input bits; the state moves to
+     the majority of (state, in₁, in₂); output is the new state.  Over
+     GF(2), majority(a,b,c) = ab + bc + ca, so the lifted machine has
+     degree 2 (the construction's cubic terms cancel). *)
+  let majority_register () =
+    let maj (a : bool array) =
+      let c = Array.fold_left (fun c b -> if b then c + 1 else c) 0 a in
+      c >= 2
+    in
+    lift ~name:"majority-register" ~state_bits:1 ~input_bits:2
+      ~next_bits:[| maj |]
+      ~out_bits:[| maj |]
+
+  (* Toggle latch: state bit flips when input bit 0 is set AND input
+     bit 1 (enable) is set; output is the state after the update.
+     next = s XOR (x₀ AND x₁), a degree-2 polynomial. *)
+  let toggle_latch () =
+    let next (v : bool array) =
+      let s = v.(0) and x0 = v.(1) and x1 = v.(2) in
+      s <> (x0 && x1)
+    in
+    lift ~name:"toggle-latch" ~state_bits:1 ~input_bits:2 ~next_bits:[| next |]
+      ~out_bits:[| next |]
+
+  (* Ripple counter with enable: [bits] state bits, one input bit.
+     When the input is set the counter increments modulo 2^bits:
+       next₀ = s₀ XOR en
+       nextᵢ = sᵢ XOR (en AND s₀ AND … AND sᵢ₋₁)
+     Output: the carry out of the top bit (overflow indicator).
+     Degree grows with the width — a natural family for exercising the
+     Appendix-A path at d = 2..bits+1. *)
+  let ripple_counter ~bits =
+    if bits < 1 || bits > 4 then
+      invalid_arg "Boolean_machine.ripple_counter: bits in [1,4]";
+    let next i (v : bool array) =
+      (* v = state bits 0..bits-1, then enable at index bits *)
+      let en = v.(bits) in
+      let carry = ref en in
+      for j = 0 to i - 1 do
+        carry := !carry && v.(j)
+      done;
+      v.(i) <> !carry
+    in
+    let overflow (v : bool array) =
+      let en = v.(bits) in
+      let all = ref en in
+      for j = 0 to bits - 1 do
+        all := !all && v.(j)
+      done;
+      !all
+    in
+    lift
+      ~name:(Printf.sprintf "ripple-counter-%d" bits)
+      ~state_bits:bits ~input_bits:1
+      ~next_bits:(Array.init bits next)
+      ~out_bits:[| overflow |]
+
+  (* Pack an integer into state bits (LSB first) and back. *)
+  let bits_of_int ~bits v = Array.init bits (fun i -> (v lsr i) land 1 = 1)
+
+  let int_of_bits (a : bool array) =
+    let v = ref 0 in
+    Array.iteri (fun i b -> if b then v := !v lor (1 lsl i)) a;
+    !v
+
+  (* Reference bit-level execution, for validating the lifted machine. *)
+  let step_bits ~next_bits ~out_bits (state : bool array) (input : bool array)
+      =
+    let v = Array.append state input in
+    ( Array.map (fun f -> f v) next_bits,
+      Array.map (fun f -> f v) out_bits )
+
+  let embed_bits bits = Array.map (fun b -> B.embed_bit b) bits
+
+  let to_bits (v : G.t array) =
+    Array.map
+      (fun x ->
+        if G.is_zero x then false
+        else if G.equal x G.one then true
+        else failwith "Boolean_machine.to_bits: non-bit field element")
+      v
+end

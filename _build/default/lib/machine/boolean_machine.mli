@@ -1,0 +1,56 @@
+(** Boolean machines lifted to GF(2^m) polynomial machines via the
+    Appendix-A construction. *)
+
+module Field_intf = Csm_field.Field_intf
+
+module Make (G : Field_intf.S) : sig
+  module B : module type of Csm_mvpoly.Boolean.Make (G)
+  module C : module type of Csm_mvpoly.Circuit.Make (G)
+  module M : module type of Machine.Make (G)
+
+  val of_circuit :
+    name:string ->
+    state_bits:int ->
+    input_bits:int ->
+    next:Csm_mvpoly.Circuit.gate array ->
+    outs:Csm_mvpoly.Circuit.gate array ->
+    M.t
+  (** Machine from gate-level circuits (wires: state bits then input
+      bits); degree bounded by the circuits' AND-depth. *)
+
+  val lift :
+    name:string ->
+    state_bits:int ->
+    input_bits:int ->
+    next_bits:(bool array -> bool) array ->
+    out_bits:(bool array -> bool) array ->
+    M.t
+  (** Lift Boolean bit-functions (over state bits followed by input bits)
+      into a polynomial machine over G. *)
+
+  val majority_register : unit -> M.t
+  (** next = majority(state, in₁, in₂); degree 3. *)
+
+  val toggle_latch : unit -> M.t
+  (** next = state XOR (in₀ AND in₁); degree 2. *)
+
+  val ripple_counter : bits:int -> M.t
+  (** [bits]-bit counter with an enable input; output = overflow carry.
+      @raise Invalid_argument unless 1 ≤ bits ≤ 4. *)
+
+  val bits_of_int : bits:int -> int -> bool array
+  (** LSB-first bit vector of an integer. *)
+
+  val int_of_bits : bool array -> int
+
+  val step_bits :
+    next_bits:(bool array -> bool) array ->
+    out_bits:(bool array -> bool) array ->
+    bool array ->
+    bool array ->
+    bool array * bool array
+  (** Reference bit-level step for cross-validation. *)
+
+  val embed_bits : bool array -> G.t array
+  val to_bits : G.t array -> bool array
+end

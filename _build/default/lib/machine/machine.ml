@@ -1,0 +1,207 @@
+(* Deterministic state machines with polynomial transition functions.
+
+   A machine is (X, Y, S, f) with S = F^{state_dim}, X = F^{input_dim},
+   Y = F^{output_dim} and f given componentwise by multivariate
+   polynomials over the state_dim + input_dim variables
+   (variables 0..state_dim-1 are the state, the rest the input).
+   The total degree d of f is the parameter that drives every CSM bound
+   (Theorems 1 and 2). *)
+
+module Field_intf = Csm_field.Field_intf
+
+module Make (F : Field_intf.S) = struct
+  module Mv = Csm_mvpoly.Mvpoly.Make (F)
+
+  type t = {
+    name : string;
+    state_dim : int;
+    input_dim : int;
+    output_dim : int;
+    next_state : Mv.t array;  (* state_dim polynomials *)
+    output : Mv.t array;  (* output_dim polynomials *)
+  }
+
+  let create ~name ~state_dim ~input_dim ~output_dim ~next_state ~output =
+    let vars = state_dim + input_dim in
+    if Array.length next_state <> state_dim then
+      invalid_arg "Machine.create: next_state arity";
+    if Array.length output <> output_dim then
+      invalid_arg "Machine.create: output arity";
+    Array.iter
+      (fun p ->
+        if Mv.vars p <> vars then
+          invalid_arg "Machine.create: polynomial variable count mismatch")
+      next_state;
+    Array.iter
+      (fun p ->
+        if Mv.vars p <> vars then
+          invalid_arg "Machine.create: polynomial variable count mismatch")
+      output;
+    { name; state_dim; input_dim; output_dim; next_state; output }
+
+  let degree t =
+    let d =
+      Array.fold_left
+        (fun acc p -> max acc (Mv.total_degree p))
+        0
+        (Array.append t.next_state t.output)
+    in
+    max d 1
+
+  let step t ~state ~input =
+    if Array.length state <> t.state_dim then
+      invalid_arg "Machine.step: state arity";
+    if Array.length input <> t.input_dim then
+      invalid_arg "Machine.step: input arity";
+    let point = Array.append state input in
+    ( Array.map (fun p -> Mv.eval p point) t.next_state,
+      Array.map (fun p -> Mv.eval p point) t.output )
+
+  (* Run one machine for several rounds; returns outputs and final state. *)
+  let run t ~state inputs =
+    let outputs = ref [] in
+    let s = ref state in
+    List.iter
+      (fun x ->
+        let s', y = step t ~state:!s ~input:x in
+        s := s';
+        outputs := y :: !outputs)
+      inputs;
+    (List.rev !outputs, !s)
+
+  (* Uncoded reference execution of K independent copies — the ground
+     truth that every replication/coding scheme must reproduce. *)
+  let run_fleet t ~states ~commands =
+    let k = Array.length states in
+    if Array.length commands <> k then
+      invalid_arg "Machine.run_fleet: command arity";
+    let next = Array.make k [||] and out = Array.make k [||] in
+    for i = 0 to k - 1 do
+      let s', y = step t ~state:states.(i) ~input:commands.(i) in
+      next.(i) <- s';
+      out.(i) <- y
+    done;
+    (next, out)
+
+  (* ----- Concrete machines used across examples, tests and benches ----- *)
+
+  (* Bank ledger (degree 1): one account per machine.
+     state  = [balance]
+     input  = [delta]           (deposit if positive field element)
+     s'     = s + delta
+     y      = s + delta         (new balance receipt)               *)
+  let bank () =
+    let vars = 2 in
+    let s = Mv.var vars 0 and x = Mv.var vars 1 in
+    let s' = Mv.add s x in
+    create ~name:"bank" ~state_dim:1 ~input_dim:1 ~output_dim:1
+      ~next_state:[| s' |] ~output:[| s' |]
+
+  (* Interest market (degree 2): multiplicative update.
+     state  = [position]
+     input  = [rate]
+     s'     = s + s·rate       (position accrues interest)
+     y      = s·rate           (interest paid this round)           *)
+  let interest_market () =
+    let vars = 2 in
+    let s = Mv.var vars 0 and x = Mv.var vars 1 in
+    let sx = Mv.mul s x in
+    create ~name:"interest-market" ~state_dim:1 ~input_dim:1 ~output_dim:1
+      ~next_state:[| Mv.add s sx |] ~output:[| sx |]
+
+  (* Cubic accumulator (degree 3): a simple polynomial commitment-style
+     accumulator.
+     state  = [acc]
+     input  = [v]
+     s'     = acc + v³
+     y      = acc + v³                                               *)
+  let cubic_accumulator () =
+    let vars = 2 in
+    let s = Mv.var vars 0 and x = Mv.var vars 1 in
+    let s' = Mv.add s (Mv.pow x 3) in
+    create ~name:"cubic-accumulator" ~state_dim:1 ~input_dim:1 ~output_dim:1
+      ~next_state:[| s' |] ~output:[| s' |]
+
+  (* Two-asset quadratic market (degree 2, multi-dimensional state):
+     state = [reserve_a; reserve_b], input = [trade_a; trade_b]
+     a' = a + trade_a
+     b' = b + trade_b + trade_a·trade_b   (quadratic slippage term)
+     y  = [a'; b']                                                    *)
+  let pair_market () =
+    let vars = 4 in
+    let a = Mv.var vars 0
+    and b = Mv.var vars 1
+    and ta = Mv.var vars 2
+    and tb = Mv.var vars 3 in
+    let a' = Mv.add a ta in
+    let b' = Mv.add (Mv.add b tb) (Mv.mul ta tb) in
+    create ~name:"pair-market" ~state_dim:2 ~input_dim:2 ~output_dim:2
+      ~next_state:[| a'; b' |] ~output:[| a'; b' |]
+
+  (* Parametric machine of exact degree d, used by the scaling sweeps:
+     s' = s + x^d, y = s·x + x (degree d in the state update when d≥2,
+     and ensures the composite polynomial really reaches degree d·(K−1)). *)
+  let degree_machine d =
+    if d < 1 then invalid_arg "Machine.degree_machine: d >= 1";
+    let vars = 2 in
+    let s = Mv.var vars 0 and x = Mv.var vars 1 in
+    let s' = Mv.add s (Mv.pow x d) in
+    let y = Mv.add (Mv.mul s x) x in
+    let y = if d = 1 then Mv.add s x else y in
+    create
+      ~name:(Printf.sprintf "degree-%d" d)
+      ~state_dim:1 ~input_dim:1 ~output_dim:1 ~next_state:[| s' |]
+      ~output:[| y |]
+
+  (* Register bank with selector (degree 2): [slots] registers per
+     machine; the input carries a one-hot selector vector and a value.
+     Selected register is overwritten; the output echoes the previous
+     value of the selected register:
+       sᵢ' = sᵢ + selᵢ·(v − sᵢ)
+       y   = Σᵢ selᵢ·sᵢ
+     (With a well-formed one-hot selector this is a key-value store; on
+     arbitrary field inputs it is still a degree-2 polynomial machine,
+     which is all CSM needs.) *)
+  let register_bank ~slots =
+    if slots < 1 then invalid_arg "Machine.register_bank: slots >= 1";
+    let vars = slots + slots + 1 in
+    (* vars: 0..slots-1 state; slots..2*slots-1 selector; 2*slots value *)
+    let s i = Mv.var vars i in
+    let sel i = Mv.var vars (slots + i) in
+    let v = Mv.var vars (2 * slots) in
+    let next_state =
+      Array.init slots (fun i ->
+          Mv.add (s i) (Mv.mul (sel i) (Mv.sub v (s i))))
+    in
+    let output =
+      [|
+        Array.to_list (Array.init slots (fun i -> Mv.mul (sel i) (s i)))
+        |> List.fold_left Mv.add (Mv.zero vars);
+      |]
+    in
+    create
+      ~name:(Printf.sprintf "register-bank-%d" slots)
+      ~state_dim:slots ~input_dim:(slots + 1) ~output_dim:1 ~next_state
+      ~output
+
+  (* One-hot command for the register bank: write [value] to [slot]. *)
+  let register_write ~slots ~slot value =
+    if slot < 0 || slot >= slots then invalid_arg "Machine.register_write";
+    Array.init (slots + 1) (fun i ->
+        if i < slots then (if i = slot then F.one else F.zero)
+        else value)
+
+  (* Random machine for property tests. *)
+  let random rng ~state_dim ~input_dim ~output_dim ~degree:d ~terms =
+    let vars = state_dim + input_dim in
+    let p () = Mv.random rng ~vars ~degree:d ~terms in
+    create
+      ~name:(Printf.sprintf "random-d%d" d)
+      ~state_dim ~input_dim ~output_dim
+      ~next_state:(Array.init state_dim (fun _ -> p ()))
+      ~output:(Array.init output_dim (fun _ -> p ()))
+
+  let pp ppf t =
+    Format.fprintf ppf "@[<v>machine %s: S=F^%d, X=F^%d, Y=F^%d, degree %d@]"
+      t.name t.state_dim t.input_dim t.output_dim (degree t)
+end

@@ -1,0 +1,78 @@
+(** Deterministic state machines with multivariate-polynomial transition
+    functions — the computation model of Section 2, restricted (as in
+    Section 4) to polynomials of constant total degree d. *)
+
+module Field_intf = Csm_field.Field_intf
+
+module Make (F : Field_intf.S) : sig
+  module Mv : module type of Csm_mvpoly.Mvpoly.Make (F)
+
+  type t = {
+    name : string;
+    state_dim : int;
+    input_dim : int;
+    output_dim : int;
+    next_state : Mv.t array;
+    output : Mv.t array;
+  }
+
+  val create :
+    name:string ->
+    state_dim:int ->
+    input_dim:int ->
+    output_dim:int ->
+    next_state:Mv.t array ->
+    output:Mv.t array ->
+    t
+  (** @raise Invalid_argument on arity mismatches. *)
+
+  val degree : t -> int
+  (** Total degree d of the transition function (at least 1). *)
+
+  val step : t -> state:F.t array -> input:F.t array -> F.t array * F.t array
+  (** [(S(t+1), Y(t)) = f(S(t), X(t))]. *)
+
+  val run : t -> state:F.t array -> F.t array list -> F.t array list * F.t array
+  (** Multi-round execution of one machine; returns outputs and final
+      state. *)
+
+  val run_fleet :
+    t ->
+    states:F.t array array ->
+    commands:F.t array array ->
+    F.t array array * F.t array array
+  (** One round of K independent machines: the uncoded ground truth. *)
+
+  val bank : unit -> t
+  (** Degree 1: balance += delta; receipt = new balance. *)
+
+  val interest_market : unit -> t
+  (** Degree 2: s' = s + s·rate, y = s·rate. *)
+
+  val cubic_accumulator : unit -> t
+  (** Degree 3: s' = s + v³. *)
+
+  val pair_market : unit -> t
+  (** Degree 2, state/input dimension 2: quadratic slippage market. *)
+
+  val degree_machine : int -> t
+  (** Parametric machine of exact degree d for scaling sweeps. *)
+
+  val register_bank : slots:int -> t
+  (** Degree-2 key-value register bank: input = one-hot selector +
+      value; sᵢ' = sᵢ + selᵢ·(v−sᵢ); y = Σ selᵢ·sᵢ (previous value). *)
+
+  val register_write : slots:int -> slot:int -> F.t -> F.t array
+  (** Well-formed one-hot write command for [register_bank]. *)
+
+  val random :
+    Csm_rng.t ->
+    state_dim:int ->
+    input_dim:int ->
+    output_dim:int ->
+    degree:int ->
+    terms:int ->
+    t
+
+  val pp : Format.formatter -> t -> unit
+end

@@ -1,0 +1,1 @@
+lib/metrics/ledger.ml: Array Counter Format Hashtbl List Printf

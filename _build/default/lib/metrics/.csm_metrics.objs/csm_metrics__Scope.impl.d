@@ -1,0 +1,1 @@
+lib/metrics/scope.ml: Counter Ledger

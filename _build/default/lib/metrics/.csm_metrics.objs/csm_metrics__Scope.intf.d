@@ -1,0 +1,1 @@
+lib/metrics/scope.mli: Counter Ledger

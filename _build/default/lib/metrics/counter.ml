@@ -1,0 +1,51 @@
+(* Field-operation counters.
+
+   The paper measures throughput in "number of additions and multiplications
+   in F" (Section 2.2); a counter records exactly those, split by kind so
+   that analyses can weight them differently if desired. *)
+
+type t = {
+  mutable adds : int;  (* additions, subtractions, negations *)
+  mutable muls : int;  (* multiplications *)
+  mutable invs : int;  (* inversions / divisions *)
+}
+
+let create () = { adds = 0; muls = 0; invs = 0 }
+
+let reset t =
+  t.adds <- 0;
+  t.muls <- 0;
+  t.invs <- 0
+
+let add t = t.adds <- t.adds + 1
+let mul t = t.muls <- t.muls + 1
+let inv t = t.invs <- t.invs + 1
+
+let adds t = t.adds
+let muls t = t.muls
+let invs t = t.invs
+
+(* Total cost in field operations.  An inversion by extended Euclid or
+   Fermat costs O(log p) multiplications; we charge a flat weight so that
+   totals remain architecture-independent.  The paper's complexity model
+   counts additions and multiplications; inversions only appear inside
+   interpolation where their count is dominated by multiplications. *)
+let inv_weight = 32
+
+let total t = t.adds + t.muls + (inv_weight * t.invs)
+
+let snapshot t = { adds = t.adds; muls = t.muls; invs = t.invs }
+
+let diff ~before ~after =
+  { adds = after.adds - before.adds;
+    muls = after.muls - before.muls;
+    invs = after.invs - before.invs }
+
+let accumulate ~into t =
+  into.adds <- into.adds + t.adds;
+  into.muls <- into.muls + t.muls;
+  into.invs <- into.invs + t.invs
+
+let pp ppf t =
+  Format.fprintf ppf "{adds=%d; muls=%d; invs=%d; total=%d}" t.adds t.muls
+    t.invs (total t)

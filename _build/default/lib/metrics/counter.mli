@@ -1,0 +1,42 @@
+(** Field-operation counters used to measure the paper's throughput metric
+    λ = K / (Σᵢ per-node operation count / N), Section 2.2. *)
+
+type t = {
+  mutable adds : int;
+  mutable muls : int;
+  mutable invs : int;
+}
+
+val create : unit -> t
+
+val reset : t -> unit
+
+val add : t -> unit
+(** Record one addition / subtraction / negation. *)
+
+val mul : t -> unit
+(** Record one multiplication. *)
+
+val inv : t -> unit
+(** Record one inversion / division. *)
+
+val adds : t -> int
+val muls : t -> int
+val invs : t -> int
+
+val inv_weight : int
+(** Flat cost charged per inversion in [total]. *)
+
+val total : t -> int
+(** Total operation count: [adds + muls + inv_weight * invs]. *)
+
+val snapshot : t -> t
+(** Immutable copy of the current counts. *)
+
+val diff : before:t -> after:t -> t
+(** Counts accumulated between two snapshots. *)
+
+val accumulate : into:t -> t -> unit
+(** [accumulate ~into t] adds [t]'s counts into [into]. *)
+
+val pp : Format.formatter -> t -> unit

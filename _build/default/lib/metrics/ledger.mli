@@ -1,0 +1,32 @@
+(** Per-role operation-cost ledger for protocol runs. *)
+
+type t
+
+val create : unit -> t
+
+val counter : t -> string -> Counter.t
+(** [counter t role] returns (creating if needed) the counter for [role]. *)
+
+val node_role : int -> string
+(** Canonical role name for compute node [i]. *)
+
+val node : t -> int -> Counter.t
+(** Counter for compute node [i]. *)
+
+val roles : t -> string list
+(** All roles seen so far, sorted. *)
+
+val total : t -> string -> int
+(** Total weighted cost recorded for a role (0 if unseen). *)
+
+val grand_total : t -> int
+
+val reset : t -> unit
+
+val throughput : commands:int -> node_costs:int array -> float
+(** λ = commands / (mean per-node cost), the paper's Section-2.2 metric. *)
+
+val per_node_costs : t -> n:int -> int array
+(** Costs of roles [node-0 .. node-(n-1)]. *)
+
+val pp : Format.formatter -> t -> unit

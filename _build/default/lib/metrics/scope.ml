@@ -1,0 +1,20 @@
+(* Cost-attribution scopes.
+
+   Protocol engines are written against a plain field; measurement
+   harnesses instantiate them with a counted field and pass a scope that
+   routes operation counts to the right ledger role while a given
+   node/worker/auditor is "computing".  The default scope is free. *)
+
+type t = { run : 'a. role:string -> (unit -> 'a) -> 'a }
+
+let null = { run = (fun ~role:_ f -> f ()) }
+
+(* The shape of [Csm_field.Counted.Make(_)]'s counter plumbing. *)
+module type COUNTED_RUNNER = sig
+  val with_counter : Counter.t -> (unit -> 'a) -> 'a
+end
+
+let of_ledger (module R : COUNTED_RUNNER) ledger =
+  { run = (fun ~role f -> R.with_counter (Ledger.counter ledger role) f) }
+
+let node t i f = t.run ~role:(Ledger.node_role i) f

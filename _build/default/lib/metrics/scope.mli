@@ -1,0 +1,17 @@
+(** Cost-attribution scopes: route field-operation counts to ledger
+    roles while protocol engines execute on behalf of a node. *)
+
+type t = { run : 'a. role:string -> (unit -> 'a) -> 'a }
+
+val null : t
+(** No-op scope (no measurement). *)
+
+module type COUNTED_RUNNER = sig
+  val with_counter : Counter.t -> (unit -> 'a) -> 'a
+end
+
+val of_ledger : (module COUNTED_RUNNER) -> Ledger.t -> t
+(** Scope that counts into [ledger], per role. *)
+
+val node : t -> int -> (unit -> 'a) -> 'a
+(** [node t i f] runs [f] attributed to compute node [i]. *)

@@ -1,0 +1,1 @@
+lib/mvpoly/boolean.ml: Array Csm_field List Mvpoly

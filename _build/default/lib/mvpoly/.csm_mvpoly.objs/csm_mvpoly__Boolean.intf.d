@@ -1,0 +1,1 @@
+lib/mvpoly/boolean.mli: Csm_field Mvpoly

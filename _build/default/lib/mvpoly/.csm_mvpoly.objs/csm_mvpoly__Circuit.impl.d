@@ -1,0 +1,1 @@
+lib/mvpoly/circuit.ml: Array Csm_field Hashtbl Mvpoly

@@ -1,0 +1,1 @@
+lib/mvpoly/circuit.mli: Csm_field Mvpoly

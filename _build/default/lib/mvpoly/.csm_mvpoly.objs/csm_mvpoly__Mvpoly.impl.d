@@ -1,0 +1,1 @@
+lib/mvpoly/mvpoly.ml: Array Csm_field Csm_rng Format Hashtbl List Stdlib

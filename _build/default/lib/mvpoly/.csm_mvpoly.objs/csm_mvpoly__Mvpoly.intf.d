@@ -1,0 +1,1 @@
+lib/mvpoly/mvpoly.mli: Csm_field Csm_rng Format

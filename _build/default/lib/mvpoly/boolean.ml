@@ -1,0 +1,85 @@
+(* Appendix A: representing Boolean functions as multivariate polynomials.
+
+   Zou's construction ([52], Theorem 2): for f : {0,1}^n → {0,1}, with
+   S₁ = { a : f(a) = 1 }, the polynomial
+
+     p(x₁..xₙ) = Σ_{a ∈ S₁} ∏ᵢ zᵢ,   zᵢ = xᵢ if aᵢ = 1, else (xᵢ + 1)
+
+   over GF(2) satisfies p = f on {0,1}ⁿ.  Because p is a sum of monomials
+   over GF(2), its value is invariant under the embedding of bits into
+   any extension field GF(2^m) (0 ↦ 0, 1 ↦ 1), which is what lets CSM run
+   Boolean machines over a field large enough for N evaluation points. *)
+
+module Field_intf = Csm_field.Field_intf
+
+module Make (G : Field_intf.S) = struct
+  module Mv = Mvpoly.Make (G)
+
+  let () =
+    if G.characteristic <> 2 then
+      invalid_arg "Boolean.Make: field must have characteristic 2"
+
+  let embed_bit b : G.t = if b then G.one else G.zero
+
+  (* ∏ᵢ zᵢ for a given selector vector a. *)
+  let indicator_monomial ~n (a : bool array) =
+    let acc = ref (Mv.one n) in
+    for i = 0 to n - 1 do
+      let xi = Mv.var n i in
+      let zi = if a.(i) then xi else Mv.add xi (Mv.one n) in
+      acc := Mv.mul !acc zi
+    done;
+    !acc
+
+  let all_inputs n =
+    List.init (1 lsl n) (fun v ->
+        Array.init n (fun i -> (v lsr i) land 1 = 1))
+
+  (* Build p from a Boolean function; exponential in n by construction
+     (the paper's construction enumerates {0,1}ⁿ too). *)
+  let of_function ~n f =
+    if n < 1 || n > 16 then invalid_arg "Boolean.of_function: n in [1,16]";
+    List.fold_left
+      (fun acc a -> if f a then Mv.add acc (indicator_monomial ~n a) else acc)
+      (Mv.zero n) (all_inputs n)
+
+  (* Truth table indexed by Σ aᵢ 2ⁱ. *)
+  let of_truth_table table =
+    let size = Array.length table in
+    let n =
+      let rec log2 k acc = if k = 1 then acc else log2 (k / 2) (acc + 1) in
+      if size < 2 then invalid_arg "Boolean.of_truth_table: need >= 2 entries"
+      else log2 size 0
+    in
+    if 1 lsl n <> size then
+      invalid_arg "Boolean.of_truth_table: size must be a power of two";
+    of_function ~n (fun a ->
+        let idx = ref 0 in
+        Array.iteri (fun i b -> if b then idx := !idx lor (1 lsl i)) a;
+        table.(!idx))
+
+  (* Evaluate the polynomial on embedded bits, returning a bit. *)
+  let eval_bits p (bits : bool array) =
+    let v = Mv.eval p (Array.map embed_bit bits) in
+    if G.is_zero v then false
+    else if G.equal v G.one then true
+    else
+      (* impossible by the invariance argument of Appendix A *)
+      failwith "Boolean.eval_bits: non-bit output (embedding violated)"
+
+  (* Common gates as polynomials, useful for composing machines. *)
+  let xor_poly n i j = Mv.add (Mv.var n i) (Mv.var n j)
+  let and_poly n i j = Mv.mul (Mv.var n i) (Mv.var n j)
+
+  let or_poly n i j =
+    (* x + y + xy over GF(2) *)
+    Mv.add (xor_poly n i j) (and_poly n i j)
+
+  let not_poly n i = Mv.add (Mv.var n i) (Mv.one n)
+
+  let majority3 =
+    lazy
+      (of_function ~n:3 (fun a ->
+           let count = Array.fold_left (fun c b -> if b then c + 1 else c) 0 a in
+           count >= 2))
+end

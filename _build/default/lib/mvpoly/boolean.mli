@@ -1,0 +1,32 @@
+(** Appendix A: Boolean functions as GF(2^m) polynomials (Zou's
+    construction) with the bit-embedding invariance CSM relies on. *)
+
+module Field_intf = Csm_field.Field_intf
+
+module Make (G : Field_intf.S) : sig
+  module Mv : module type of Mvpoly.Make (G)
+
+  val embed_bit : bool -> G.t
+
+  val all_inputs : int -> bool array list
+  (** All 2ⁿ Boolean input vectors (index i of the vector is bit i). *)
+
+  val of_function : n:int -> (bool array -> bool) -> Mv.t
+  (** The Appendix-A polynomial of an n-ary Boolean function
+      (1 ≤ n ≤ 16; the construction is exponential in n by nature). *)
+
+  val of_truth_table : bool array -> Mv.t
+  (** Table indexed by Σ aᵢ·2ⁱ; length must be a power of two ≥ 2. *)
+
+  val eval_bits : Mv.t -> bool array -> bool
+  (** Evaluate on embedded bits; total on polynomials built by
+      [of_function]/[of_truth_table]. *)
+
+  val xor_poly : int -> int -> int -> Mv.t
+  val and_poly : int -> int -> int -> Mv.t
+  val or_poly : int -> int -> int -> Mv.t
+  val not_poly : int -> int -> Mv.t
+
+  val majority3 : Mv.t lazy_t
+  (** Majority of three bits — the running Boolean example machine. *)
+end

@@ -1,0 +1,120 @@
+(* A small Boolean-circuit DSL compiled to multivariate polynomials.
+
+   The Appendix-A construction materializes a polynomial from a truth
+   table, which is exponential in the number of inputs.  Real machines
+   are described as circuits; over GF(2) every gate is itself a small
+   polynomial (XOR = +, AND = ·, NOT = 1 +, OR = x + y + xy), and
+   composing gate polynomials yields the machine polynomial directly —
+   with degree bounded by the product of AND-depths instead of the
+   variable count.  This compiler turns a gate-level description into
+   an [Mvpoly] over any characteristic-2 field, giving CSM users a
+   practical front end for Boolean machines.
+
+   The compiler memoizes shared subcircuits (it compiles the DAG, not
+   the tree), so diamond-shaped circuits stay polynomial-sized as long
+   as the final collected polynomial does. *)
+
+module Field_intf = Csm_field.Field_intf
+
+type gate =
+  | Input of int  (* circuit input wire *)
+  | Const of bool
+  | Not of gate
+  | And of gate * gate
+  | Or of gate * gate
+  | Xor of gate * gate
+
+(* Convenience constructors. *)
+let input i = Input i
+let tt = Const true
+let ff = Const false
+let ( &&& ) a b = And (a, b)
+let ( ||| ) a b = Or (a, b)
+let ( ^^^ ) a b = Xor (a, b)
+let not_ a = Not a
+
+let rec eval_gate (g : gate) (inputs : bool array) =
+  match g with
+  | Input i -> inputs.(i)
+  | Const b -> b
+  | Not a -> not (eval_gate a inputs)
+  | And (a, b) -> eval_gate a inputs && eval_gate b inputs
+  | Or (a, b) -> eval_gate a inputs || eval_gate b inputs
+  | Xor (a, b) -> eval_gate a inputs <> eval_gate b inputs
+
+(* Structural size and multiplicative depth (the degree driver). *)
+let rec size = function
+  | Input _ | Const _ -> 1
+  | Not a -> 1 + size a
+  | And (a, b) | Or (a, b) | Xor (a, b) -> 1 + size a + size b
+
+let rec and_degree = function
+  | Input _ -> 1
+  | Const _ -> 0
+  | Not a -> and_degree a
+  | Xor (a, b) -> max (and_degree a) (and_degree b)
+  | And (a, b) | Or (a, b) -> and_degree a + and_degree b
+
+module Make (G : Field_intf.S) = struct
+  module Mv = Mvpoly.Make (G)
+
+  let () =
+    if G.characteristic <> 2 then
+      invalid_arg "Circuit.Make: field must have characteristic 2"
+
+  (* Compile a gate DAG to a polynomial in [vars] variables, memoizing
+     on physical gate identity so shared subcircuits compile once. *)
+  let compile ~vars (g : gate) : Mv.t =
+    let memo : (gate, Mv.t) Hashtbl.t = Hashtbl.create 64 in
+    let rec go g =
+      match Hashtbl.find_opt memo g with
+      | Some p -> p
+      | None ->
+        let p =
+          match g with
+          | Input i ->
+            if i < 0 || i >= vars then
+              invalid_arg "Circuit.compile: input index out of range";
+            Mv.var vars i
+          | Const true -> Mv.one vars
+          | Const false -> Mv.zero vars
+          | Not a -> Mv.add (go a) (Mv.one vars)
+          | Xor (a, b) -> Mv.add (go a) (go b)
+          | And (a, b) -> Mv.mul (go a) (go b)
+          | Or (a, b) ->
+            let pa = go a and pb = go b in
+            Mv.add (Mv.add pa pb) (Mv.mul pa pb)
+        in
+        Hashtbl.add memo g p;
+        p
+    in
+    go g
+
+  (* Compile a family of output gates sharing one memo table (a machine
+     description compiles all its next-state and output bits at once). *)
+  let compile_all ~vars (gs : gate array) : Mv.t array =
+    let memo : (gate, Mv.t) Hashtbl.t = Hashtbl.create 64 in
+    let rec go g =
+      match Hashtbl.find_opt memo g with
+      | Some p -> p
+      | None ->
+        let p =
+          match g with
+          | Input i ->
+            if i < 0 || i >= vars then
+              invalid_arg "Circuit.compile: input index out of range";
+            Mv.var vars i
+          | Const true -> Mv.one vars
+          | Const false -> Mv.zero vars
+          | Not a -> Mv.add (go a) (Mv.one vars)
+          | Xor (a, b) -> Mv.add (go a) (go b)
+          | And (a, b) -> Mv.mul (go a) (go b)
+          | Or (a, b) ->
+            let pa = go a and pb = go b in
+            Mv.add (Mv.add pa pb) (Mv.mul pa pb)
+        in
+        Hashtbl.add memo g p;
+        p
+    in
+    Array.map go gs
+end

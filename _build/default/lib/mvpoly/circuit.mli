@@ -1,0 +1,42 @@
+(** Boolean-circuit DSL compiled to GF(2^m) polynomials: a practical
+    front end for Appendix-A machines that avoids the exponential
+    truth-table construction when the circuit is shallow. *)
+
+module Field_intf = Csm_field.Field_intf
+
+type gate =
+  | Input of int
+  | Const of bool
+  | Not of gate
+  | And of gate * gate
+  | Or of gate * gate
+  | Xor of gate * gate
+
+val input : int -> gate
+val tt : gate
+val ff : gate
+
+val ( &&& ) : gate -> gate -> gate
+val ( ||| ) : gate -> gate -> gate
+val ( ^^^ ) : gate -> gate -> gate
+val not_ : gate -> gate
+
+val eval_gate : gate -> bool array -> bool
+(** Reference bit-level evaluation. *)
+
+val size : gate -> int
+
+val and_degree : gate -> int
+(** Upper bound on the compiled polynomial's total degree
+    (multiplicative depth). *)
+
+module Make (G : Field_intf.S) : sig
+  module Mv : module type of Mvpoly.Make (G)
+
+  val compile : vars:int -> gate -> Mv.t
+  (** Compile one gate DAG (memoized on shared subterms).
+      @raise Invalid_argument on out-of-range inputs. *)
+
+  val compile_all : vars:int -> gate array -> Mv.t array
+  (** Compile a family sharing one memo table. *)
+end

@@ -1,0 +1,198 @@
+(* Sparse multivariate polynomials over a finite field.
+
+   CSM state transition functions are multivariate polynomials of
+   constant total degree d (Section 4).  The representation is a sorted
+   association list from exponent vectors to nonzero coefficients; the
+   number of variables is fixed per polynomial.
+
+   The crucial property exploited by coded execution (Section 5.2): for
+   univariate polynomials u(z), v(z), the composition
+   f(u(z), v(z)) is a univariate polynomial of degree ≤ d·max(deg u,
+   deg v); evaluating f on coded inputs therefore evaluates that
+   composite polynomial at the node's point α. *)
+
+module Field_intf = Csm_field.Field_intf
+
+module Make (F : Field_intf.S) = struct
+  (* A monomial maps variable index to exponent; kept in a plain int
+     array of length [vars]. *)
+  type t = {
+    vars : int;
+    terms : (int array * F.t) list;
+        (* sorted by exponent vector (lex), coefficients nonzero *)
+  }
+
+  let compare_expts (a : int array) b = Stdlib.compare a b
+
+  let normalize vars terms =
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun (e, c) ->
+        if Array.length e <> vars then
+          invalid_arg "Mvpoly: exponent vector arity mismatch";
+        let cur =
+          match Hashtbl.find_opt tbl e with Some x -> x | None -> F.zero
+        in
+        Hashtbl.replace tbl e (F.add cur c))
+      terms;
+    let out =
+      Hashtbl.fold
+        (fun e c acc -> if F.is_zero c then acc else (e, c) :: acc)
+        tbl []
+    in
+    {
+      vars;
+      terms = List.sort (fun (a, _) (b, _) -> compare_expts a b) out;
+    }
+
+  let zero vars = { vars; terms = [] }
+
+  let is_zero p = p.terms = []
+
+  let vars p = p.vars
+
+  let constant vars c =
+    if F.is_zero c then zero vars
+    else { vars; terms = [ (Array.make vars 0, c) ] }
+
+  let one vars = constant vars F.one
+
+  (* The monomial c · x_i. *)
+  let var vars i =
+    if i < 0 || i >= vars then invalid_arg "Mvpoly.var: index out of range";
+    let e = Array.make vars 0 in
+    e.(i) <- 1;
+    { vars; terms = [ (e, F.one) ] }
+
+  let of_terms vars terms = normalize vars terms
+
+  let terms p = p.terms
+
+  let check_same_arity p q =
+    if p.vars <> q.vars then invalid_arg "Mvpoly: arity mismatch"
+
+  let add p q =
+    check_same_arity p q;
+    normalize p.vars (p.terms @ q.terms)
+
+  let neg p = { p with terms = List.map (fun (e, c) -> (e, F.neg c)) p.terms }
+
+  let sub p q = add p (neg q)
+
+  let scale c p =
+    if F.is_zero c then zero p.vars
+    else { p with terms = List.map (fun (e, k) -> (e, F.mul c k)) p.terms }
+
+  let mul p q =
+    check_same_arity p q;
+    let products =
+      List.concat_map
+        (fun (e1, c1) ->
+          List.map
+            (fun (e2, c2) ->
+              (Array.init p.vars (fun i -> e1.(i) + e2.(i)), F.mul c1 c2))
+            q.terms)
+        p.terms
+    in
+    normalize p.vars products
+
+  let pow p n =
+    if n < 0 then invalid_arg "Mvpoly.pow: negative exponent";
+    let rec go acc base n =
+      if n = 0 then acc
+      else if n land 1 = 1 then go (mul acc base) (mul base base) (n lsr 1)
+      else go acc (mul base base) (n lsr 1)
+    in
+    go (one p.vars) p n
+
+  let total_degree p =
+    List.fold_left
+      (fun acc (e, _) -> max acc (Array.fold_left ( + ) 0 e))
+      (if is_zero p then -1 else 0)
+      p.terms
+
+  let eval p (point : F.t array) =
+    if Array.length point <> p.vars then
+      invalid_arg "Mvpoly.eval: point arity mismatch";
+    List.fold_left
+      (fun acc (e, c) ->
+        let m = ref c in
+        Array.iteri
+          (fun i k -> if k > 0 then m := F.mul !m (F.pow point.(i) k))
+          e;
+        F.add acc !m)
+      F.zero p.terms
+
+  let equal p q =
+    p.vars = q.vars
+    && List.length p.terms = List.length q.terms
+    && List.for_all2
+         (fun (e1, c1) (e2, c2) -> compare_expts e1 e2 = 0 && F.equal c1 c2)
+         p.terms q.terms
+
+  (* Substitute univariate polynomials (as coefficient arrays over F) for
+     each variable and return the resulting univariate polynomial's
+     coefficients.  This is the h(z) = f(u(z), v(z)) composition of
+     Section 5.2, used by tests to check degree bounds.  [uni_mul] and
+     [uni_add] are passed in to avoid a dependency on csm_poly. *)
+  let compose_univariate p (substs : F.t array array)
+      ~(uni_add : F.t array -> F.t array -> F.t array)
+      ~(uni_mul : F.t array -> F.t array -> F.t array) =
+    if Array.length substs <> p.vars then
+      invalid_arg "Mvpoly.compose_univariate: arity mismatch";
+    let uni_const c = if F.is_zero c then [||] else [| c |] in
+    let uni_pow b n =
+      let rec go acc b n =
+        if n = 0 then acc
+        else if n land 1 = 1 then go (uni_mul acc b) (uni_mul b b) (n lsr 1)
+        else go acc (uni_mul b b) (n lsr 1)
+      in
+      go (uni_const F.one) b n
+    in
+    List.fold_left
+      (fun acc (e, c) ->
+        let m = ref (uni_const c) in
+        Array.iteri
+          (fun i k -> if k > 0 then m := uni_mul !m (uni_pow substs.(i) k))
+          e;
+        uni_add acc !m)
+      [||] p.terms
+
+  (* Random polynomial with [terms] monomials of total degree ≤ [degree],
+     at least one monomial achieving the degree exactly. *)
+  let random rng ~vars ~degree ~terms:nterms =
+    if degree < 0 || nterms < 1 then invalid_arg "Mvpoly.random";
+    let random_expt target =
+      (* distribute [target] among vars *)
+      let e = Array.make vars 0 in
+      for _ = 1 to target do
+        let i = Csm_rng.int rng vars in
+        e.(i) <- e.(i) + 1
+      done;
+      e
+    in
+    let terms =
+      (random_expt degree, F.random_nonzero rng)
+      :: List.init (nterms - 1) (fun _ ->
+             (random_expt (Csm_rng.int rng (degree + 1)), F.random_nonzero rng))
+    in
+    normalize vars terms
+
+  let pp ppf p =
+    if is_zero p then Format.pp_print_string ppf "0"
+    else begin
+      let pp_term ppf (e, c) =
+        F.pp ppf c;
+        Array.iteri
+          (fun i k ->
+            if k = 1 then Format.fprintf ppf "*x%d" i
+            else if k > 1 then Format.fprintf ppf "*x%d^%d" i k)
+          e
+      in
+      Format.pp_print_list
+        ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " + ")
+        pp_term ppf p.terms
+    end
+
+  let to_string p = Format.asprintf "%a" pp p
+end

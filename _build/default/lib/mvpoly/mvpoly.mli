@@ -1,0 +1,62 @@
+(** Sparse multivariate polynomials: the class of state transition
+    functions CSM supports (Section 4). *)
+
+module Field_intf = Csm_field.Field_intf
+
+module Make (F : Field_intf.S) : sig
+  type t
+
+  val zero : int -> t
+  (** [zero vars]: the zero polynomial in [vars] variables. *)
+
+  val one : int -> t
+  val constant : int -> F.t -> t
+
+  val var : int -> int -> t
+  (** [var vars i] is the monomial xᵢ.
+      @raise Invalid_argument if [i] is out of range. *)
+
+  val of_terms : int -> (int array * F.t) list -> t
+  (** Build from (exponent vector, coefficient) pairs; like terms are
+      merged and zero coefficients dropped. *)
+
+  val terms : t -> (int array * F.t) list
+  (** Normalized term list, sorted by exponent vector. *)
+
+  val vars : t -> int
+  val is_zero : t -> bool
+
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val neg : t -> t
+  val scale : F.t -> t -> t
+  val mul : t -> t -> t
+
+  val pow : t -> int -> t
+  (** @raise Invalid_argument on negative exponent. *)
+
+  val total_degree : t -> int
+  (** Maximum over monomials of the sum of exponents; -1 for zero. *)
+
+  val eval : t -> F.t array -> F.t
+  (** @raise Invalid_argument on arity mismatch. *)
+
+  val equal : t -> t -> bool
+
+  val compose_univariate :
+    t ->
+    F.t array array ->
+    uni_add:(F.t array -> F.t array -> F.t array) ->
+    uni_mul:(F.t array -> F.t array -> F.t array) ->
+    F.t array
+  (** Substitute a univariate polynomial (little-endian coefficients) for
+      each variable: the h(z) = f(u(z), v(z)) composition of Section 5.2.
+      Univariate add/mul are injected by the caller (e.g. from
+      [Csm_poly.Poly]). *)
+
+  val random : Csm_rng.t -> vars:int -> degree:int -> terms:int -> t
+  (** Random polynomial with total degree exactly [degree]. *)
+
+  val pp : Format.formatter -> t -> unit
+  val to_string : t -> string
+end

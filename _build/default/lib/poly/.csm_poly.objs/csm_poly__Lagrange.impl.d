@@ -1,0 +1,1 @@
+lib/poly/lagrange.ml: Array Csm_field Poly

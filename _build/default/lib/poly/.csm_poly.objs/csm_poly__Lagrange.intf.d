@@ -1,0 +1,1 @@
+lib/poly/lagrange.mli: Csm_field Poly

@@ -1,0 +1,1 @@
+lib/poly/poly.mli: Csm_field Csm_rng Format

@@ -1,0 +1,1 @@
+lib/poly/subproduct.ml: Array Csm_field List Poly

@@ -1,0 +1,42 @@
+(** Lagrange interpolation and the CSM coding coefficient matrix
+    (Section 5.1 of the paper). *)
+
+module Field_intf = Csm_field.Field_intf
+
+module Make (F : Field_intf.S) : sig
+  module P : module type of Poly.Make (F)
+
+  val check_distinct : F.t array -> unit
+  (** @raise Invalid_argument on duplicate points. *)
+
+  val interpolate : (F.t * F.t) array -> P.t
+  (** Newton interpolation through the given (point, value) pairs; O(n²).
+      @raise Invalid_argument on duplicate points. *)
+
+  val barycentric_weights : F.t array -> F.t array
+  (** wₖ = 1 / ∏_{ℓ≠k} (xₖ − x_ℓ); O(n²) once per point set. *)
+
+  val coeff_row : points:F.t array -> weights:F.t array -> F.t -> F.t array
+  (** Lagrange basis values ℓₖ(x) for all k, in O(n).  When x equals one
+      of the points the row is that point's indicator vector. *)
+
+  val coeff_matrix : omegas:F.t array -> alphas:F.t array -> F.t array array
+  (** The N×K matrix C = [c_{ik}] with c_{ik} = ℓₖ(αᵢ): the universal
+      state/command encoding matrix of CSM. *)
+
+  val encode_with_matrix : F.t array array -> F.t array -> F.t array
+  (** [encode_with_matrix c values] computes C·values (one coded scalar
+      per node). *)
+
+  val eval_barycentric :
+    points:F.t array ->
+    weights:F.t array ->
+    values:F.t array ->
+    F.t ->
+    F.t
+  (** Evaluate the interpolant at a point in O(n). *)
+
+  val standard_points : ?offset:int -> int -> F.t array
+  (** The points [offset, offset+1, …, offset+n-1] injected into F.
+      @raise Invalid_argument when the field is too small. *)
+end

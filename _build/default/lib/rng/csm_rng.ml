@@ -1,0 +1,70 @@
+(* Deterministic pseudo-random number generation for the whole repro.
+
+   Every randomized component of the system (committee election, adversary
+   strategies, property-test workload generation, random polynomial
+   coefficients) draws from this splitmix64 generator so that runs are
+   reproducible from a single seed.  splitmix64 passes BigCrush and has a
+   trivially splittable state, which we use to derive independent
+   per-node/per-round streams. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let of_int64 seed = { state = seed }
+
+(* Core splitmix64 output function (Steele, Lea, Flood 2014). *)
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* A non-negative int uniform in [0, 2^62). *)
+let bits t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Csm_rng.int: bound must be positive";
+  (* Rejection sampling on 61-bit draws to avoid modulo bias; 2^61 fits
+     comfortably in OCaml's 63-bit native int. *)
+  let range = 1 lsl 61 in
+  let limit = range - (range mod bound) in
+  let rec draw () =
+    let v = bits t land (range - 1) in
+    if v < limit then v mod bound else draw ()
+  in
+  draw ()
+
+let float t =
+  (* 53 random bits mapped to [0,1). *)
+  let v = bits t land ((1 lsl 53) - 1) in
+  float_of_int v /. float_of_int (1 lsl 53)
+
+let bool t = bits t land 1 = 1
+
+(* Derive an independent child generator; mixing with a distinct odd
+   constant decorrelates the child stream from the parent's. *)
+let split t =
+  let s = next_int64 t in
+  of_int64 (Int64.mul s 0xDA942042E4DD58B5L)
+
+let shuffle t a =
+  let n = Array.length a in
+  for i = n - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+(* Choose [k] distinct indices from [0, n). *)
+let sample t ~n ~k =
+  if k > n then invalid_arg "Csm_rng.sample: k > n";
+  let a = Array.init n (fun i -> i) in
+  shuffle t a;
+  Array.sub a 0 k
+
+let copy t = { state = t.state }

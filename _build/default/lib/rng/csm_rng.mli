@@ -1,0 +1,42 @@
+(** Deterministic splitmix64 pseudo-random number generator.
+
+    All randomness in the reproduction flows through this module so that
+    every protocol run, test, and benchmark is reproducible from a seed. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] builds a generator from an integer seed. *)
+
+val of_int64 : int64 -> t
+(** [of_int64 seed] builds a generator from a 64-bit seed. *)
+
+val next_int64 : t -> int64
+(** Raw 64-bit splitmix64 output. *)
+
+val bits : t -> int
+(** Uniform non-negative int in [\[0, 2^62)]. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)], bias-free.
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val float : t -> float
+(** Uniform float in [\[0, 1)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val split : t -> t
+(** [split t] derives an independent child generator, advancing [t]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val sample : t -> n:int -> k:int -> int array
+(** [sample t ~n ~k] draws [k] distinct indices from [\[0, n)].
+    @raise Invalid_argument if [k > n]. *)
+
+val copy : t -> t
+(** Snapshot of the generator state. *)

@@ -1,0 +1,1 @@
+lib/rs/bm.ml: Array Csm_field Csm_linalg Csm_poly List Printf

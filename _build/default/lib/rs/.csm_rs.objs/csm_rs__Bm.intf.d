@@ -1,0 +1,1 @@
+lib/rs/bm.mli: Csm_field Csm_poly

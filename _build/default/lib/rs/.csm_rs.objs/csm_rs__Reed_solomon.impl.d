@@ -1,0 +1,1 @@
+lib/rs/reed_solomon.ml: Array Csm_field Csm_linalg Csm_poly Csm_rng List

@@ -1,0 +1,1 @@
+lib/rs/reed_solomon.mli: Csm_field Csm_poly Csm_rng

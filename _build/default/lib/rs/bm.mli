@@ -1,0 +1,36 @@
+(** Syndrome-based Reed–Solomon decoding (Berlekamp–Massey + Chien
+    search) for the classical point set xᵢ = αⁱ.  Lighter than the
+    general-points decoders; cross-checked against them. *)
+
+module Field_intf = Csm_field.Field_intf
+
+module Make (F : Field_intf.S) : sig
+  module P : module type of Csm_poly.Poly.Make (F)
+
+  type instance
+
+  val instance : n:int -> instance
+  (** Code of length n over points 1, α, …, αⁿ⁻¹.
+      @raise Invalid_argument when the field has no primitive n-th root
+      of unity. *)
+
+  val encode : instance -> message:P.t -> F.t array
+
+  val syndromes : instance -> k:int -> F.t array -> F.t array
+  (** S₁..S_{n−k}; all zero iff the word is a codeword. *)
+
+  val berlekamp_massey : F.t array -> P.t * int
+  (** Shortest LFSR (connection polynomial, length) generating the
+      sequence. *)
+
+  val chien : instance -> P.t -> int list
+  (** Positions i with σ(α^{−i}) = 0. *)
+
+  type decoded = {
+    message : P.t;
+    error_positions : int list;
+  }
+
+  val decode : instance -> k:int -> F.t array -> decoded option
+  (** Corrects up to ⌊(n−k)/2⌋ errors; [None] beyond. *)
+end

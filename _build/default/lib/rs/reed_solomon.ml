@@ -1,0 +1,162 @@
+(* Reed–Solomon codes over arbitrary evaluation points.
+
+   CSM's execution phase is exactly noisy polynomial interpolation: the N
+   coded results g_i = h(α_i) form an RS codeword of dimension
+   d(K−1)+1 and length N, with up to b arbitrary errors (Section 5.2).
+   Erasures (withheld messages in the partially synchronous setting) are
+   handled by decoding the shortened code over the received points only.
+
+   Two decoders are provided and cross-checked in the tests:
+   - Berlekamp–Welch (the paper's named choice): one linear system,
+     O(n³) by Gaussian elimination;
+   - Gao: partial extended Euclid on (∏(z−xᵢ), interpolant), O(n²)
+     with fast interpolation. *)
+
+module Field_intf = Csm_field.Field_intf
+
+module Make (F : Field_intf.S) = struct
+  module P = Csm_poly.Poly.Make (F)
+  module Lag = Csm_poly.Lagrange.Make (F)
+  module Sub = Csm_poly.Subproduct.Make (F)
+  module M = Csm_linalg.Linalg.Make (F)
+
+  let max_errors ~n ~k =
+    if n < k then invalid_arg "Reed_solomon.max_errors: n < k";
+    (n - k) / 2
+
+  let encode ~message ~points =
+    if P.degree message >= Array.length points then
+      invalid_arg "Reed_solomon.encode: message degree too high for length";
+    Array.map (P.eval message) points
+
+  let encode_fast ~message ~points = Sub.eval_all message points
+
+  type decoded = {
+    poly : P.t;  (* the recovered message polynomial, degree < k *)
+    agreement : int list;  (* indices i with poly(xᵢ) = yᵢ (the set τ) *)
+    errors : int list;  (* complement: positions corrected *)
+  }
+
+  let classify ~poly pairs =
+    let agreement = ref [] and errors = ref [] in
+    Array.iteri
+      (fun i (x, y) ->
+        if F.equal (P.eval poly x) y then agreement := i :: !agreement
+        else errors := i :: !errors)
+      pairs;
+    (List.rev !agreement, List.rev !errors)
+
+  (* Accept a candidate only if it satisfies the unique-decoding
+     certificate: agreement on at least n - e positions. *)
+  let validate ~k pairs poly =
+    if P.degree poly > k - 1 then None
+    else begin
+      let n = Array.length pairs in
+      let e = max_errors ~n ~k in
+      let agreement, errors = classify ~poly pairs in
+      if List.length agreement >= n - e then Some { poly; agreement; errors }
+      else None
+    end
+
+  (* Berlekamp–Welch.  Unknowns: Q of degree <= k-1+e and monic E of
+     degree e, satisfying Q(xᵢ) = yᵢ·E(xᵢ) for every i.  With E monic
+     the linear system has k+2e unknowns and n >= k+2e equations:
+       Σ_j Q_j xᵢʲ − yᵢ Σ_{j<e} E_j xᵢʲ = yᵢ xᵢᵉ. *)
+  let decode_bw ~k pairs =
+    let n = Array.length pairs in
+    if n < k then None
+    else begin
+      let e = max_errors ~n ~k in
+      if e = 0 then
+        (* No error capacity: direct interpolation on the first k points,
+           then validation against all of them. *)
+        let sub = Array.sub pairs 0 k in
+        let poly = Lag.interpolate sub in
+        validate ~k pairs poly
+      else begin
+        let unknowns = k + (2 * e) in
+        let a =
+          M.init_mat n unknowns (fun i j ->
+              let x, y = pairs.(i) in
+              if j < k + e then F.pow x j
+              else
+                (* coefficient of E_{j-(k+e)} *)
+                F.neg (F.mul y (F.pow x (j - (k + e)))))
+        in
+        let b =
+          Array.map (fun (x, y) -> F.mul y (F.pow x e)) pairs
+        in
+        match M.solve a b with
+        | None -> None
+        | Some sol ->
+          let q = P.normalize (Array.sub sol 0 (k + e)) in
+          let e_coeffs = Array.make (e + 1) F.one in
+          Array.blit sol (k + e) e_coeffs 0 e;
+          let e_poly = P.normalize e_coeffs in
+          let f, r = P.divmod q e_poly in
+          if not (P.is_zero r) then None else validate ~k pairs f
+      end
+    end
+
+  (* Gao decoder: partial extended Euclid on g₀ = ∏(z−xᵢ) and the full
+     interpolant g₁, stopping when the remainder degree drops below
+     ⌈(n+k)/2⌉; then f = g/v if the division is exact. *)
+  let decode_gao ~k pairs =
+    let n = Array.length pairs in
+    if n < k then None
+    else begin
+      let points = Array.map fst pairs in
+      let values = Array.map snd pairs in
+      let tree = Sub.build points in
+      let g0 = Sub.root_poly tree in
+      let g1 = Sub.interpolate_tree tree values in
+      if P.degree g1 <= k - 1 then validate ~k pairs g1
+      else begin
+        let stop = (n + k + 1) / 2 in
+        let g, _u, v = P.xgcd_until ~stop g0 g1 in
+        if P.is_zero v then None
+        else
+          let f, r = P.divmod g v in
+          if not (P.is_zero r) then None else validate ~k pairs f
+      end
+    end
+
+  type algorithm = Berlekamp_welch | Gao
+
+  let decode ?(algorithm = Gao) ~k pairs =
+    match algorithm with
+    | Berlekamp_welch -> decode_bw ~k pairs
+    | Gao -> decode_gao ~k pairs
+
+  (* Erasure-only decoding (crash faults): every received symbol is
+     trusted, so interpolating through any k of them must explain all of
+     them.  O(n·k) after interpolation — much cheaper than error
+     decoding, and it needs only k symbols instead of k + 2e. *)
+  let decode_erasures ~k pairs =
+    let n = Array.length pairs in
+    if n < k then None
+    else begin
+      let poly = Lag.interpolate (Array.sub pairs 0 k) in
+      let agreement, errors = classify ~poly pairs in
+      if errors = [] then Some { poly; agreement; errors }
+      else None
+    end
+
+  (* Corrupt a codeword in [count] distinct positions chosen by [rng],
+     guaranteeing each corrupted symbol actually changes.  Test/adversary
+     utility. *)
+  let corrupt rng ~count codeword =
+    let n = Array.length codeword in
+    if count > n then invalid_arg "Reed_solomon.corrupt: count > n";
+    let word = Array.copy codeword in
+    let idx = Csm_rng.sample rng ~n ~k:count in
+    Array.iter
+      (fun i ->
+        let rec fresh () =
+          let v = F.random rng in
+          if F.equal v codeword.(i) then fresh () else v
+        in
+        word.(i) <- fresh ())
+      idx;
+    (word, Array.to_list idx |> List.sort compare)
+end

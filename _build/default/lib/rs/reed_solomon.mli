@@ -1,0 +1,50 @@
+(** Reed–Solomon encoding and noisy-interpolation decoding over arbitrary
+    evaluation points — the error-correction engine of CSM's execution
+    phase (Section 5.2) and of the verified decoding of Section 6.2. *)
+
+module Field_intf = Csm_field.Field_intf
+
+module Make (F : Field_intf.S) : sig
+  module P : module type of Csm_poly.Poly.Make (F)
+
+  val max_errors : n:int -> k:int -> int
+  (** Unique-decoding radius e = ⌊(n−k)/2⌋ for length n, dimension k.
+      @raise Invalid_argument when n < k. *)
+
+  val encode : message:P.t -> points:F.t array -> F.t array
+  (** Evaluate the message polynomial (degree < k) at each point.
+      @raise Invalid_argument when the degree is ≥ the code length. *)
+
+  val encode_fast : message:P.t -> points:F.t array -> F.t array
+  (** Same, via subproduct-tree multipoint evaluation (quasi-linear). *)
+
+  type decoded = {
+    poly : P.t;  (** recovered message polynomial, degree < k *)
+    agreement : int list;
+        (** positions where the codeword matches — the certificate set τ
+            of equation (9) in the paper *)
+    errors : int list;  (** corrected positions *)
+  }
+
+  val decode_bw : k:int -> (F.t * F.t) array -> decoded option
+  (** Berlekamp–Welch: [None] when more than ⌊(n−k)/2⌋ errors. *)
+
+  val decode_gao : k:int -> (F.t * F.t) array -> decoded option
+  (** Gao's extended-Euclid decoder; same guarantee as [decode_bw]. *)
+
+  type algorithm = Berlekamp_welch | Gao
+
+  val decode :
+    ?algorithm:algorithm -> k:int -> (F.t * F.t) array -> decoded option
+  (** Default algorithm is [Gao]. *)
+
+  val decode_erasures : k:int -> (F.t * F.t) array -> decoded option
+  (** Erasure-only (crash-fault) decoding: all received symbols trusted;
+      needs only k symbols; [None] if the received symbols are not
+      consistent with one degree-(k−1) polynomial. *)
+
+  val corrupt : Csm_rng.t -> count:int -> F.t array -> F.t array * int list
+  (** [corrupt rng ~count w] flips [count] distinct positions of [w] to
+      fresh wrong values; returns the corrupted word and the sorted list
+      of corrupted positions. *)
+end

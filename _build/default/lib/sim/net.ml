@@ -1,0 +1,159 @@
+(* Discrete-event message-passing network simulator.
+
+   Nodes are behavior records (closures over their own mutable state);
+   the simulator owns time, the event queue and delivery.  Guarantees
+   provided to protocols:
+
+   - authenticated channels: the [sender] argument of [on_message] is
+     stamped by the simulator and cannot be forged (the paper's
+     authenticated-faults model at the channel level; transferable
+     signatures for relaying live in [Csm_crypto]);
+   - deterministic execution: same behaviors + same latency model =>
+     identical runs;
+   - Byzantine power: a Byzantine behavior may send arbitrary messages
+     to arbitrary subsets (equivocation), stay silent, or delay its own
+     sends — everything except forging another node's channel.
+
+   Latency models:
+   - [sync delta]: every message takes exactly [delta] (the known bound);
+   - [partial_sync ~gst ~delta ~pre]: before the global stabilization
+     time messages take an adversary-chosen delay [pre] (unbounded);
+     any message is delivered no later than max(send, gst) + delta,
+     the standard partial-synchrony guarantee. *)
+
+type latency = src:int -> dst:int -> now:int -> int
+
+let sync ~delta : latency =
+ fun ~src:_ ~dst:_ ~now:_ -> delta
+
+let partial_sync ~gst ~delta ~(pre : latency) : latency =
+ fun ~src ~dst ~now ->
+  let chosen = pre ~src ~dst ~now in
+  let delivery = now + max 1 chosen in
+  let bound = max now gst + delta in
+  max 1 (min delivery bound - now)
+
+type 'm api = {
+  me : int;
+  n : int;
+  now : unit -> int;
+  send : int -> 'm -> unit;
+  broadcast : 'm -> unit;  (* to every other node *)
+  set_timer : delay:int -> tag:int -> unit;
+  halt : unit -> unit;
+}
+
+type 'm behavior = {
+  init : 'm api -> unit;
+  on_message : 'm api -> sender:int -> 'm -> unit;
+  on_timer : 'm api -> int -> unit;
+}
+
+(* A node that does nothing: the simplest Byzantine strategy (crash /
+   withholding) and a building block for others. *)
+let silent : 'm behavior =
+  {
+    init = (fun _ -> ());
+    on_message = (fun _ ~sender:_ _ -> ());
+    on_timer = (fun _ _ -> ());
+  }
+
+type stats = {
+  mutable messages_sent : int;
+  mutable messages_delivered : int;
+  mutable timers_fired : int;
+  mutable end_time : int;
+}
+
+type 'm event =
+  | Deliver of { dst : int; src : int; msg : 'm }
+  | Timer of { node : int; tag : int }
+
+(* Trace events, for debugging and for the invariant checker in
+   [Trace]. *)
+type 'm trace_event =
+  | T_send of { at : int; src : int; dst : int; deliver_at : int; msg : 'm }
+  | T_deliver of { at : int; src : int; dst : int; msg : 'm }
+  | T_drop_halted of { at : int; dst : int }
+  | T_timer_set of { at : int; node : int; tag : int; fire_at : int }
+  | T_timer_fired of { at : int; node : int; tag : int }
+  | T_halt of { at : int; node : int }
+
+exception Simulation_limit of string
+
+let run ?(max_time = 1_000_000) ?(max_events = 10_000_000)
+    ?(tracer : ('m trace_event -> unit) option) ~latency
+    (behaviors : 'm behavior array) : stats =
+  let n = Array.length behaviors in
+  if n = 0 then invalid_arg "Net.run: no nodes";
+  let queue = Event_queue.create ~dummy:(Timer { node = -1; tag = -1 }) in
+  let halted = Array.make n false in
+  let stats =
+    { messages_sent = 0; messages_delivered = 0; timers_fired = 0; end_time = 0 }
+  in
+  let clock = ref 0 in
+  let trace ev = match tracer with Some f -> f ev | None -> () in
+  let api_of i =
+    let send dst msg =
+      if dst < 0 || dst >= n then invalid_arg "Net.send: bad destination";
+      stats.messages_sent <- stats.messages_sent + 1;
+      let delay = max 1 (latency ~src:i ~dst ~now:!clock) in
+      trace
+        (T_send { at = !clock; src = i; dst; deliver_at = !clock + delay; msg });
+      Event_queue.push queue ~time:(!clock + delay)
+        (Deliver { dst; src = i; msg })
+    in
+    {
+      me = i;
+      n;
+      now = (fun () -> !clock);
+      send;
+      broadcast =
+        (fun msg ->
+          for dst = 0 to n - 1 do
+            if dst <> i then send dst msg
+          done);
+      set_timer =
+        (fun ~delay ~tag ->
+          let fire_at = !clock + max 1 delay in
+          trace (T_timer_set { at = !clock; node = i; tag; fire_at });
+          Event_queue.push queue ~time:fire_at (Timer { node = i; tag }));
+      halt =
+        (fun () ->
+          trace (T_halt { at = !clock; node = i });
+          halted.(i) <- true);
+    }
+  in
+  let apis = Array.init n api_of in
+  Array.iteri (fun i b -> if not halted.(i) then b.init apis.(i)) behaviors;
+  let events = ref 0 in
+  let rec loop () =
+    match Event_queue.pop queue with
+    | None -> ()
+    | Some (time, ev) ->
+      if time > max_time then ()
+      else begin
+        incr events;
+        if !events > max_events then
+          raise (Simulation_limit "event budget exhausted");
+        clock := time;
+        stats.end_time <- time;
+        (match ev with
+        | Deliver { dst; src; msg } ->
+          if not halted.(dst) then begin
+            stats.messages_delivered <- stats.messages_delivered + 1;
+            trace (T_deliver { at = time; src; dst; msg });
+            behaviors.(dst).on_message apis.(dst) ~sender:src msg
+          end
+          else trace (T_drop_halted { at = time; dst })
+        | Timer { node; tag } ->
+          if not halted.(node) then begin
+            stats.timers_fired <- stats.timers_fired + 1;
+            trace (T_timer_fired { at = time; node; tag });
+            behaviors.(node).on_timer apis.(node) tag
+          end);
+        loop ()
+      end
+  in
+  loop ();
+  stats

@@ -1,0 +1,61 @@
+(** Discrete-event message-passing network simulator with synchronous and
+    partially synchronous latency models and full-power (but
+    non-forging) Byzantine node slots. *)
+
+type latency = src:int -> dst:int -> now:int -> int
+(** Delay (≥ 1 enforced) applied to a message sent now. *)
+
+val sync : delta:int -> latency
+(** Fixed known bound Δ: the synchronous model. *)
+
+val partial_sync : gst:int -> delta:int -> pre:latency -> latency
+(** Adversary-chosen delays via [pre] before the global stabilization
+    time; every message is delivered by max(send, gst) + delta. *)
+
+type 'm api = {
+  me : int;
+  n : int;
+  now : unit -> int;
+  send : int -> 'm -> unit;
+  broadcast : 'm -> unit;  (** to every node except self *)
+  set_timer : delay:int -> tag:int -> unit;
+  halt : unit -> unit;  (** stop receiving events *)
+}
+
+type 'm behavior = {
+  init : 'm api -> unit;
+  on_message : 'm api -> sender:int -> 'm -> unit;
+  on_timer : 'm api -> int -> unit;
+}
+
+val silent : 'm behavior
+(** Crash-style Byzantine strategy: never sends anything. *)
+
+type stats = {
+  mutable messages_sent : int;
+  mutable messages_delivered : int;
+  mutable timers_fired : int;
+  mutable end_time : int;
+}
+
+type 'm trace_event =
+  | T_send of { at : int; src : int; dst : int; deliver_at : int; msg : 'm }
+  | T_deliver of { at : int; src : int; dst : int; msg : 'm }
+  | T_drop_halted of { at : int; dst : int }
+  | T_timer_set of { at : int; node : int; tag : int; fire_at : int }
+  | T_timer_fired of { at : int; node : int; tag : int }
+  | T_halt of { at : int; node : int }
+
+exception Simulation_limit of string
+
+val run :
+  ?max_time:int ->
+  ?max_events:int ->
+  ?tracer:('m trace_event -> unit) ->
+  latency:latency ->
+  'm behavior array ->
+  stats
+(** Execute until the event queue drains (or a limit hits).  The
+    [sender] passed to [on_message] is stamped by the simulator and
+    cannot be forged.
+    @raise Simulation_limit when [max_events] is exceeded. *)

@@ -1,0 +1,98 @@
+(* Trace collection and invariant checking for simulation runs.
+
+   A collector accumulates [Net.trace_event]s; [check] validates the
+   physical invariants every run must satisfy regardless of protocol:
+
+   - causality: every delivery corresponds to an earlier send with the
+     same (src, dst) and the send's predicted delivery time;
+   - monotonicity: event timestamps never decrease;
+   - halted silence: no delivery is processed by a node after its halt
+     (drops are recorded instead);
+   - timer integrity: every fired timer was set, and fires at its set
+     time.
+
+   The checker is protocol-agnostic, so any test can wrap its run with
+   [collector] and assert [check] for free. *)
+
+type 'm t = { mutable events : 'm Net.trace_event list (* newest first *) }
+
+let create () = { events = [] }
+
+let tracer t ev = t.events <- ev :: t.events
+
+let events t = List.rev t.events
+
+type violation = string
+
+let time_of (ev : 'm Net.trace_event) =
+  match ev with
+  | Net.T_send { at; _ }
+  | Net.T_deliver { at; _ }
+  | Net.T_drop_halted { at; _ }
+  | Net.T_timer_set { at; _ }
+  | Net.T_timer_fired { at; _ }
+  | Net.T_halt { at; _ } ->
+    at
+
+let check ?(msg_equal = ( = )) (t : 'm t) : violation list =
+  let evs = events t in
+  let violations = ref [] in
+  let bad fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
+  (* monotone timestamps *)
+  let rec mono last = function
+    | [] -> ()
+    | ev :: rest ->
+      let now = time_of ev in
+      if now < last then bad "timestamp regression at t=%d" now;
+      mono now rest
+  in
+  mono 0 evs;
+  (* causality of deliveries: match each deliver against pending sends *)
+  let pending : (int * int * int * 'm) list ref = ref [] in
+  (* (src, dst, deliver_at, msg) *)
+  let halts = Hashtbl.create 8 in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Net.T_send { src; dst; deliver_at; msg; at } ->
+        if deliver_at <= at then bad "zero/negative latency at t=%d" at;
+        pending := (src, dst, deliver_at, msg) :: !pending
+      | Net.T_deliver { at; src; dst; msg } ->
+        (match Hashtbl.find_opt halts dst with
+        | Some h when at > h -> bad "delivery to halted node %d at t=%d" dst at
+        | _ -> ());
+        let rec take acc = function
+          | [] ->
+            bad "delivery without matching send (src=%d dst=%d t=%d)" src dst
+              at;
+            List.rev acc
+          | (s, d, da, m) :: rest
+            when s = src && d = dst && da = at && msg_equal m msg ->
+            List.rev_append acc rest
+          | x :: rest -> take (x :: acc) rest
+        in
+        pending := take [] !pending
+      | Net.T_drop_halted _ -> ()
+      | Net.T_timer_set _ -> ()
+      | Net.T_timer_fired _ -> ()
+      | Net.T_halt { node; at } ->
+        if not (Hashtbl.mem halts node) then Hashtbl.add halts node at)
+    evs;
+  (* timers: every fired (node, tag, at) has a matching set *)
+  let sets = Hashtbl.create 32 in
+  List.iter
+    (function
+      | Net.T_timer_set { node; tag; fire_at; _ } ->
+        Hashtbl.add sets (node, tag, fire_at) ()
+      | Net.T_timer_fired { node; tag; at } ->
+        if not (Hashtbl.mem sets (node, tag, at)) then
+          bad "timer fired without set (node=%d tag=%d t=%d)" node tag at
+        else Hashtbl.remove sets (node, tag, at)
+      | Net.T_send _ | Net.T_deliver _ | Net.T_drop_halted _ | Net.T_halt _ ->
+        ())
+    evs;
+  List.rev !violations
+
+let message_count t =
+  List.length
+    (List.filter (function Net.T_send _ -> true | _ -> false) (events t))

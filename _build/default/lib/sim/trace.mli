@@ -1,0 +1,20 @@
+(** Trace collection and protocol-agnostic invariant checking for
+    simulation runs (causality, monotonicity, halted silence, timer
+    integrity). *)
+
+type 'm t
+
+val create : unit -> 'm t
+
+val tracer : 'm t -> 'm Net.trace_event -> unit
+(** Pass as [Net.run ~tracer:(Trace.tracer t)]. *)
+
+val events : 'm t -> 'm Net.trace_event list
+(** In chronological order. *)
+
+type violation = string
+
+val check : ?msg_equal:('m -> 'm -> bool) -> 'm t -> violation list
+(** Empty list = all physical invariants hold. *)
+
+val message_count : 'm t -> int

@@ -1,0 +1,1 @@
+lib/smr/random_allocation.ml: Array Csm_core Csm_rng Format List Printf Queue

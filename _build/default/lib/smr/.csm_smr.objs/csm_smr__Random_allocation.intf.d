@@ -1,0 +1,1 @@
+lib/smr/random_allocation.mli: Csm_rng Format

@@ -1,0 +1,1 @@
+lib/smr/replication.ml: Array Csm_field Csm_machine Csm_metrics List

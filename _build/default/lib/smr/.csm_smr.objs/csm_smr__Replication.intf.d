@@ -1,0 +1,1 @@
+lib/smr/replication.mli: Csm_field Csm_machine Csm_metrics

@@ -1,0 +1,188 @@
+(* Random allocation with rotation — the Section-7 alternative to CSM.
+
+   Nodes are randomly assigned to K groups of q = N/K; each group runs
+   one machine by replication.  Against a *static* adversary the fraction
+   of corrupted nodes per group concentrates around the global fraction,
+   so security looks like μN.  A *dynamic* adversary, however, observes
+   the assignment and then corrupts nodes post-facto: owning any single
+   group costs only ⌈q/2⌉+1 corruptions, so effective security collapses
+   to the group size.  The defense is to rotate the allocation every
+   epoch, which forces every reassigned node to re-download its new
+   group's state — the bandwidth cost the paper contrasts with CSM (whose
+   security is μN against dynamic adversaries with zero migration).
+
+   This module provides the allocation mechanics, both adversaries, the
+   compromise test, and the migration-cost accounting used by the
+   Section-7 experiment. *)
+
+type t = {
+  n : int;
+  k : int;
+  q : int;
+  mutable assignment : int array;  (* node -> group *)
+  mutable epoch : int;
+}
+
+let create ~n ~k =
+  if k < 1 || n mod k <> 0 then
+    invalid_arg "Random_allocation.create: K must divide N";
+  {
+    n;
+    k;
+    q = n / k;
+    assignment = Array.init n (fun i -> i / (n / k));
+    epoch = 0;
+  }
+
+let group_of t node = t.assignment.(node)
+
+let members t g =
+  let out = ref [] in
+  for i = t.n - 1 downto 0 do
+    if t.assignment.(i) = g then out := i :: !out
+  done;
+  !out
+
+(* Re-draw a uniformly random balanced assignment; returns the number of
+   nodes that changed group (each must re-download one machine state). *)
+let rotate rng t =
+  let old = Array.copy t.assignment in
+  let nodes = Array.init t.n (fun i -> i) in
+  Csm_rng.shuffle rng nodes;
+  Array.iteri (fun pos node -> t.assignment.(node) <- pos / t.q) nodes;
+  t.epoch <- t.epoch + 1;
+  let migrations = ref 0 in
+  for i = 0 to t.n - 1 do
+    if t.assignment.(i) <> old.(i) then incr migrations
+  done;
+  !migrations
+
+(* Majority threshold to own a group. *)
+let ownership_threshold t = (t.q / 2) + 1
+
+(* Static adversary: corrupts [budget] nodes uniformly at random,
+   blind to the allocation. *)
+let static_corruption rng t ~budget =
+  Array.to_list (Csm_rng.sample rng ~n:t.n ~k:(min budget t.n))
+
+(* Dynamic adversary: observes the current allocation and corrupts the
+   cheapest set that owns some group (greedy: any group will do since
+   all cost the same here), spending the rest of its budget arbitrarily. *)
+let adaptive_corruption t ~budget =
+  let need = ownership_threshold t in
+  if budget < need then
+    (* cannot own any group: corrupt the first [budget] nodes *)
+    List.init (min budget t.n) (fun i -> i)
+  else begin
+    let target_group = 0 in
+    let core = List.filteri (fun i _ -> i < need) (members t target_group) in
+    let rest =
+      List.filter (fun i -> not (List.mem i core)) (List.init t.n (fun i -> i))
+    in
+    core @ List.filteri (fun i _ -> i < budget - need) rest
+  end
+
+let group_compromised t ~byzantine g =
+  let bad = List.length (List.filter byzantine (members t g)) in
+  bad >= ownership_threshold t
+
+let any_group_compromised t ~byzantine =
+  let rec go g =
+    if g >= t.k then false
+    else group_compromised t ~byzantine g || go (g + 1)
+  in
+  go 0
+
+(* ----- The Section-7 experiment ----- *)
+
+type experiment_result = {
+  scheme : string;
+  budget : int;  (* adversary corruption budget *)
+  epochs : int;
+  compromised_epochs : int;  (* epochs with some group owned *)
+  compromise_rate : float;
+  migrations_per_epoch : float;  (* state re-downloads per epoch *)
+}
+
+(* Static adversary vs rotating random allocation: corruption set fixed
+   once (before epoch 0), allocation rotates every epoch. *)
+let run_static ~seed ~n ~k ~budget ~epochs =
+  let rng = Csm_rng.create seed in
+  let t = create ~n ~k in
+  let corrupted = static_corruption rng t ~budget in
+  let byzantine i = List.mem i corrupted in
+  let compromised = ref 0 in
+  let migrations = ref 0 in
+  for _ = 1 to epochs do
+    migrations := !migrations + rotate rng t;
+    if any_group_compromised t ~byzantine then incr compromised
+  done;
+  {
+    scheme = "random-allocation/static-adversary";
+    budget;
+    epochs;
+    compromised_epochs = !compromised;
+    compromise_rate = float_of_int !compromised /. float_of_int epochs;
+    migrations_per_epoch = float_of_int !migrations /. float_of_int epochs;
+  }
+
+(* Dynamic adversary with reaction delay [delay] epochs: it corrupts the
+   owning set of the allocation it observed [delay] epochs ago (releasing
+   its previous corruptions — the strongest mobile-adversary model).
+   With delay = 0 it always owns a group; with delay ≥ 1, rotation makes
+   its information stale and security reverts toward the static case. *)
+let run_adaptive ~seed ~n ~k ~budget ~epochs ~delay =
+  let rng = Csm_rng.create seed in
+  let t = create ~n ~k in
+  let history = Queue.create () in
+  let compromised = ref 0 in
+  let migrations = ref 0 in
+  for _ = 1 to epochs do
+    Queue.push (Array.copy t.assignment) history;
+    (* the adversary acts on the observation from [delay] epochs ago *)
+    let observed =
+      if Queue.length history > delay then begin
+        while Queue.length history > delay + 1 do
+          ignore (Queue.pop history)
+        done;
+        Queue.peek history
+      end
+      else Queue.peek history
+    in
+    let stale = { t with assignment = observed } in
+    let corrupted = adaptive_corruption stale ~budget in
+    let byzantine i = List.mem i corrupted in
+    if any_group_compromised t ~byzantine then incr compromised;
+    migrations := !migrations + rotate rng t
+  done;
+  {
+    scheme = Printf.sprintf "random-allocation/adaptive(delay=%d)" delay;
+    budget;
+    epochs;
+    compromised_epochs = !compromised;
+    compromise_rate = float_of_int !compromised /. float_of_int epochs;
+    migrations_per_epoch = float_of_int !migrations /. float_of_int epochs;
+  }
+
+(* CSM reference row: compromise requires budget > b_max (the Table-2
+   decoding bound), independent of any allocation; zero migration. *)
+let csm_reference ~n ~k ~d ~budget ~epochs =
+  let b_max =
+    Csm_core.Params.max_faults ~network:Csm_core.Params.Sync ~n ~k ~d
+  in
+  let compromised = budget > b_max in
+  {
+    scheme = "csm";
+    budget;
+    epochs;
+    compromised_epochs = (if compromised then epochs else 0);
+    compromise_rate = (if compromised then 1.0 else 0.0);
+    migrations_per_epoch = 0.0;
+  }
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "%-40s budget=%-4d compromise=%5.1f%%  migrations/epoch=%.1f" r.scheme
+    r.budget
+    (100.0 *. r.compromise_rate)
+    r.migrations_per_epoch

@@ -1,0 +1,58 @@
+(** Random allocation with rotation (Section 7): the alternative scaling
+    architecture CSM is contrasted with, including static and dynamic
+    (post-facto, mobile) adversaries and migration-cost accounting. *)
+
+type t
+
+val create : n:int -> k:int -> t
+(** Balanced assignment of N nodes to K groups.
+    @raise Invalid_argument unless K divides N. *)
+
+val group_of : t -> int -> int
+val members : t -> int -> int list
+
+val rotate : Csm_rng.t -> t -> int
+(** Re-draw a uniform balanced assignment; returns the number of nodes
+    whose group changed (each must re-download one machine state). *)
+
+val ownership_threshold : t -> int
+(** ⌈q/2⌉+1: corruptions needed to own a group. *)
+
+val static_corruption : Csm_rng.t -> t -> budget:int -> int list
+(** Allocation-blind corruption set. *)
+
+val adaptive_corruption : t -> budget:int -> int list
+(** Post-facto corruption: the cheapest group-owning set under the
+    observed allocation (when the budget allows). *)
+
+val group_compromised : t -> byzantine:(int -> bool) -> int -> bool
+val any_group_compromised : t -> byzantine:(int -> bool) -> bool
+
+type experiment_result = {
+  scheme : string;
+  budget : int;
+  epochs : int;
+  compromised_epochs : int;
+  compromise_rate : float;
+  migrations_per_epoch : float;
+}
+
+val run_static :
+  seed:int -> n:int -> k:int -> budget:int -> epochs:int -> experiment_result
+
+val run_adaptive :
+  seed:int ->
+  n:int ->
+  k:int ->
+  budget:int ->
+  epochs:int ->
+  delay:int ->
+  experiment_result
+(** Mobile adversary acting on an observation [delay] epochs old. *)
+
+val csm_reference :
+  n:int -> k:int -> d:int -> budget:int -> epochs:int -> experiment_result
+(** CSM's row: compromised iff budget exceeds the Table-2 bound; zero
+    migration. *)
+
+val pp_result : Format.formatter -> experiment_result -> unit

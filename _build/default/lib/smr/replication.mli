@@ -1,0 +1,67 @@
+(** State machine replication baselines (Section 3): full and partial
+    replication execution engines with Byzantine output corruption and
+    client-side vote aggregation. *)
+
+module Field_intf = Csm_field.Field_intf
+module Scope = Csm_metrics.Scope
+
+module Make (F : Field_intf.S) : sig
+  module M : module type of Csm_machine.Machine.Make (F)
+
+  type corruption = node:int -> machine:int -> F.t array -> F.t array
+
+  val default_corruption : corruption
+  (** Adds one to every coordinate of the true output. *)
+
+  val vote : threshold:int -> F.t array list -> F.t array option
+  (** First response value with at least [threshold] matching votes. *)
+
+  module Full : sig
+    type t
+
+    val create : machine:M.t -> n:int -> k:int -> init:F.t array array -> t
+    val storage_per_node : t -> int
+    (** Field elements stored per node (K × state_dim). *)
+
+    val round :
+      ?scope:Scope.t ->
+      t ->
+      commands:F.t array array ->
+      byzantine:(int -> bool) ->
+      ?corruption:corruption ->
+      b:int ->
+      unit ->
+      F.t array option array
+    (** Execute one round; clients accept with b+1 matching votes.
+        [None] entries mean no output reached the threshold. *)
+
+    val states : t -> F.t array array
+    (** States as held by node 0. *)
+  end
+
+  module Partial : sig
+    type t
+
+    val create : machine:M.t -> n:int -> k:int -> init:F.t array array -> t
+    (** @raise Invalid_argument unless K divides N. *)
+
+    val group_of : t -> int -> int
+    val group_members : t -> int -> int array
+    val storage_per_node : t -> int
+
+    val round :
+      ?scope:Scope.t ->
+      t ->
+      commands:F.t array array ->
+      byzantine:(int -> bool) ->
+      ?corruption:corruption ->
+      b:int ->
+      unit ->
+      F.t array option array
+
+    val states : t -> F.t array array
+  end
+
+  val security_full : n:int -> [ `Sync | `Partial_sync ] -> int
+  val security_partial : n:int -> k:int -> [ `Sync | `Partial_sync ] -> int
+end

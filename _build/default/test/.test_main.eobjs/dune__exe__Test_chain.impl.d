@@ -1,0 +1,1 @@
+test/test_chain.ml: Alcotest Array Csm_consensus Csm_core Csm_crypto Csm_field Csm_rng Csm_sim List Printf String

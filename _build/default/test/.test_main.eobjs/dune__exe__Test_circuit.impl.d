@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest Array Csm_core Csm_field Csm_machine Csm_mvpoly Csm_rng List

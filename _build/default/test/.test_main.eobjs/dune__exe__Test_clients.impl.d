@@ -1,0 +1,1 @@
+test/test_clients.ml: Alcotest Array Csm_core Csm_field Fp List Params Protocol

@@ -1,0 +1,1 @@
+test/test_consensus.ml: Alcotest Array Csm_consensus Csm_crypto Csm_rng Csm_sim List Printf

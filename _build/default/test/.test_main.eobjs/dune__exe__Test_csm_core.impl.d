@@ -1,0 +1,1 @@
+test/test_csm_core.ml: Alcotest Array Coding Csm_core Csm_field Csm_machine Csm_rng Engine Fp Gf2m List Params QCheck QCheck_alcotest

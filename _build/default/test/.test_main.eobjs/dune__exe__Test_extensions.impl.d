@@ -1,0 +1,1 @@
+test/test_extensions.ml: Adversary Alcotest Array Csm_core Csm_field Csm_harness Csm_rng Csm_rs Csm_smr Engine Fp List Params Printf Protocol

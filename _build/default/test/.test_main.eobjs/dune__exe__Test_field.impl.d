@@ -1,0 +1,1 @@
+test/test_field.ml: Alcotest Csm_field Csm_rng Field_intf Fp Gf2m List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_intermix.ml: Alcotest Array Counted Csm_core Csm_crypto Csm_field Csm_intermix Csm_metrics Csm_rng Fp List Params Printf

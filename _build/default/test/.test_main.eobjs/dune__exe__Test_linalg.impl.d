@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Csm_field Csm_linalg Csm_rng Fp Linalg Printf

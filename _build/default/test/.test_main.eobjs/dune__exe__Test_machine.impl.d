@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Array Csm_field Csm_machine Csm_rng Fp Gf2m List Printf

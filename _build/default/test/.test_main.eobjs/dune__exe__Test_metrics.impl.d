@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Counted Counter Csm_field Csm_metrics Csm_rng Fp Ledger

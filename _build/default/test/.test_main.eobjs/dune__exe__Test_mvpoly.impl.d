@@ -1,0 +1,1 @@
+test/test_mvpoly.ml: Alcotest Array Boolean Csm_field Csm_mvpoly Csm_poly Csm_rng Fp Gf2m Lazy List Mvpoly

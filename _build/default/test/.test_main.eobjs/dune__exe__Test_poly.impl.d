@@ -1,0 +1,1 @@
+test/test_poly.ml: Alcotest Array Csm_field Csm_poly Csm_rng Fp Gf2m Lagrange List Poly QCheck QCheck_alcotest Subproduct

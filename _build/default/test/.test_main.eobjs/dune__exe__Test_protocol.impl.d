@@ -1,0 +1,1 @@
+test/test_protocol.ml: Alcotest Array Csm_core Csm_field Csm_rng Fp List Params Printf Protocol QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_rs.ml: Alcotest Array Bm Csm_field Csm_rng Csm_rs Fp Gf2m List Option QCheck Reed_solomon

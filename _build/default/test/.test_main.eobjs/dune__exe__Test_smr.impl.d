@@ -1,0 +1,1 @@
+test/test_smr.ml: Alcotest Array Csm_field Csm_rng Csm_smr Fp

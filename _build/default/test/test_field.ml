@@ -1,0 +1,290 @@
+(* Field axioms and arithmetic correctness, over every instantiated field:
+   prime fields (default NTT prime, Mersenne, tiny) and binary extension
+   fields.  Property tests draw random elements; small fields also get
+   exhaustive checks. *)
+
+open Csm_field
+
+let seed = 0xF1E7D
+
+(* Build the alcotest + qcheck suite for one field. *)
+module MakeSuite (F : Field_intf.S) (N : sig
+  val name : string
+end) =
+struct
+  let rng = Csm_rng.create seed
+
+  let arb =
+    QCheck.make
+      ~print:(fun x -> F.to_string x)
+      (QCheck.Gen.map (fun _ -> F.random rng) QCheck.Gen.unit)
+
+  let qtest name count law = QCheck.Test.make ~name ~count law
+
+  let props =
+    [
+      qtest "add commutative" 200
+        (QCheck.pair arb arb)
+        (fun (a, b) -> F.equal (F.add a b) (F.add b a));
+      qtest "add associative" 200
+        (QCheck.triple arb arb arb)
+        (fun (a, b, c) -> F.equal (F.add (F.add a b) c) (F.add a (F.add b c)));
+      qtest "mul commutative" 200
+        (QCheck.pair arb arb)
+        (fun (a, b) -> F.equal (F.mul a b) (F.mul b a));
+      qtest "mul associative" 200
+        (QCheck.triple arb arb arb)
+        (fun (a, b, c) -> F.equal (F.mul (F.mul a b) c) (F.mul a (F.mul b c)));
+      qtest "distributivity" 200
+        (QCheck.triple arb arb arb)
+        (fun (a, b, c) ->
+          F.equal (F.mul a (F.add b c)) (F.add (F.mul a b) (F.mul a c)));
+      qtest "additive inverse" 200 arb (fun a ->
+          F.is_zero (F.add a (F.neg a)));
+      qtest "sub = add neg" 200
+        (QCheck.pair arb arb)
+        (fun (a, b) -> F.equal (F.sub a b) (F.add a (F.neg b)));
+      qtest "multiplicative inverse" 200 arb (fun a ->
+          F.is_zero a || F.equal (F.mul a (F.inv a)) F.one);
+      qtest "div inverse of mul" 200
+        (QCheck.pair arb arb)
+        (fun (a, b) -> F.is_zero b || F.equal (F.div (F.mul a b) b) a);
+      qtest "pow matches repeated mul" 200 arb (fun a ->
+          let rec naive acc i = if i = 0 then acc else naive (F.mul acc a) (i - 1) in
+          F.equal (F.pow a 7) (naive F.one 7));
+      qtest "pow negative exponent" 200 arb (fun a ->
+          F.is_zero a || F.equal (F.pow a (-3)) (F.inv (F.pow a 3)));
+      qtest "fermat / lagrange order" 200 arb (fun a ->
+          F.is_zero a || F.equal (F.pow a (F.order - 1)) F.one);
+      qtest "of_int/to_int roundtrip" 200 arb (fun a ->
+          F.equal (F.of_int (F.to_int a)) a);
+    ]
+
+  let unit_tests =
+    [
+      Alcotest.test_case "constants" `Quick (fun () ->
+          Alcotest.(check bool) "zero is zero" true (F.is_zero F.zero);
+          Alcotest.(check bool) "one not zero" (F.order > 1) (not (F.is_zero F.one));
+          Alcotest.(check bool) "one*one" true (F.equal (F.mul F.one F.one) F.one));
+      Alcotest.test_case "inv zero raises" `Quick (fun () ->
+          Alcotest.check_raises "inv 0" Division_by_zero (fun () ->
+              ignore (F.inv F.zero)));
+      Alcotest.test_case "div by zero raises" `Quick (fun () ->
+          Alcotest.check_raises "div 0" Division_by_zero (fun () ->
+              ignore (F.div F.one F.zero)));
+      Alcotest.test_case "of_int negative" `Quick (fun () ->
+          (* of_int is the ring hom only for prime fields; for GF(2^m)
+             it is a bit-pattern constructor. *)
+          if F.characteristic = F.order then
+            Alcotest.(check bool)
+              "-1 = neg one" true
+              (F.equal (F.of_int (-1)) (F.neg F.one)));
+      Alcotest.test_case "random_nonzero" `Quick (fun () ->
+          let r = Csm_rng.create 42 in
+          for _ = 1 to 100 do
+            if F.is_zero (F.random_nonzero r) then
+              Alcotest.fail "random_nonzero returned zero"
+          done);
+      Alcotest.test_case "root_of_unity orders" `Quick (fun () ->
+          List.iter
+            (fun n ->
+              match F.root_of_unity n with
+              | None -> ()
+              | Some w ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "w^%d = 1" n)
+                  true
+                  (F.equal (F.pow w n) F.one);
+                if n > 1 then
+                  Alcotest.(check bool)
+                    (Printf.sprintf "w^%d <> 1 (primitive)" (n / 2))
+                    true
+                    (not (F.equal (F.pow w (n / 2)) F.one)))
+            [ 1; 2; 4; 8; 16; 64; 256 ]);
+    ]
+
+  let suite =
+    ( "field:" ^ N.name,
+      unit_tests @ List.map (QCheck_alcotest.to_alcotest ~long:false) props )
+end
+
+module Default_suite =
+  MakeSuite
+    (Fp.Default)
+    (struct
+      let name = "fp-default(2013265921)"
+    end)
+
+module Mersenne_suite =
+  MakeSuite
+    (Fp.Mersenne31)
+    (struct
+      let name = "fp-mersenne31"
+    end)
+
+module F97_suite =
+  MakeSuite
+    (Fp.F97)
+    (struct
+      let name = "fp-97"
+    end)
+
+module Gf256_suite =
+  MakeSuite
+    (Gf2m.Gf256)
+    (struct
+      let name = "gf(2^8)"
+    end)
+
+module Gf1024_suite =
+  MakeSuite
+    (Gf2m.Gf1024)
+    (struct
+      let name = "gf(2^10)"
+    end)
+
+module Gf65536_suite =
+  MakeSuite
+    (Gf2m.Gf65536)
+    (struct
+      let name = "gf(2^16)"
+    end)
+
+(* Exhaustive checks for a tiny field: every pair. *)
+let exhaustive_f97 () =
+  let module F = Fp.F97 in
+  for a = 0 to 96 do
+    for b = 0 to 96 do
+      let fa = F.of_int a and fb = F.of_int b in
+      assert (F.to_int (F.add fa fb) = (a + b) mod 97);
+      assert (F.to_int (F.mul fa fb) = a * b mod 97)
+    done;
+    if a > 0 then begin
+      let fa = F.of_int a in
+      assert (F.equal (F.mul fa (F.inv fa)) F.one)
+    end
+  done
+
+(* GF(2^m): table-based mul must agree with a reference carry-less mul
+   for every pair in GF(256). *)
+let gf256_reference () =
+  let module G = Gf2m.Gf256 in
+  let modulus = 0x11D in
+  let slow a b =
+    let r = ref 0 and a = ref a and b = ref b in
+    while !b <> 0 do
+      if !b land 1 = 1 then r := !r lxor !a;
+      b := !b lsr 1;
+      a := !a lsl 1;
+      if !a land 0x100 <> 0 then a := !a lxor modulus
+    done;
+    !r
+  in
+  for a = 0 to 255 do
+    for b = 0 to 255 do
+      let got = G.to_int (G.mul (G.of_int a) (G.of_int b)) in
+      if got <> slow a b then
+        Alcotest.failf "gf256 mul %d*%d: got %d want %d" a b got (slow a b)
+    done
+  done
+
+(* Characteristic-2 specifics and the Appendix-A embedding. *)
+let gf_char2 () =
+  let module G = Gf2m.Gf1024 in
+  let rng = Csm_rng.create 7 in
+  for _ = 1 to 200 do
+    let a = G.random rng in
+    (* x + x = 0 and neg is identity *)
+    Alcotest.(check bool) "a+a=0" true (G.is_zero (G.add a a));
+    Alcotest.(check bool) "neg a = a" true (G.equal (G.neg a) a);
+    (* Frobenius: (a+b)^2 = a^2 + b^2 *)
+    let b = G.random rng in
+    Alcotest.(check bool)
+      "frobenius" true
+      (G.equal (G.pow (G.add a b) 2) (G.add (G.pow a 2) (G.pow b 2)))
+  done;
+  Alcotest.(check bool) "embed 0" true (G.is_zero (G.embed_bit 0));
+  Alcotest.(check bool) "embed 1" true (G.equal (G.embed_bit 1) G.one)
+
+let fp_rejects_composite () =
+  let exn = ref false in
+  (try
+     let module Bad = Fp.Make (struct
+       let p = 91 (* 7 * 13 *)
+     end) in
+     ignore Bad.one
+   with Invalid_argument _ -> exn := true);
+  Alcotest.(check bool) "composite rejected" true !exn
+
+let default_modulus_in_range () =
+  for m = 1 to 31 do
+    let p = Gf2m.default_modulus m in
+    Alcotest.(check bool)
+      (Printf.sprintf "degree of modulus %d" m)
+      true
+      (p land (1 lsl m) <> 0 && p < 1 lsl (m + 1));
+    Alcotest.(check bool)
+      (Printf.sprintf "irreducibility of modulus %d" m)
+      true
+      (Gf2m.irreducible_over_gf2 p)
+  done;
+  (* the Rabin test itself rejects known reducibles *)
+  Alcotest.(check bool) "x^2+1 = (x+1)^2 reducible" false
+    (Gf2m.irreducible_over_gf2 0b101);
+  Alcotest.(check bool) "x^4+x^2+1 reducible" false
+    (Gf2m.irreducible_over_gf2 0b10101);
+  Alcotest.(check bool) "x^2+x+1 irreducible" true
+    (Gf2m.irreducible_over_gf2 0b111)
+
+(* every default field up to m = 31 instantiates (the functor runs the
+   Rabin check) and satisfies spot-checked axioms *)
+let all_extension_fields_instantiate () =
+  for m = 17 to 31 do
+    let module G = Gf2m.Make (struct
+      let m = m
+      let modulus = 0
+    end) in
+    let r = Csm_rng.create m in
+    for _ = 1 to 20 do
+      let a = G.random_nonzero r and b = G.random_nonzero r in
+      if not (G.equal (G.mul a (G.inv a)) G.one) then
+        Alcotest.failf "m=%d: inverse broken" m;
+      if not (G.equal (G.mul a b) (G.mul b a)) then
+        Alcotest.failf "m=%d: commutativity broken" m
+    done
+  done;
+  (* a reducible custom modulus is rejected *)
+  let exn = ref false in
+  (try
+     let module Bad = Gf2m.Make (struct
+       let m = 4
+       let modulus = 0b10101 lor (1 lsl 4)  (* degree-4 bits of a reducible *)
+     end) in
+     ignore Bad.one
+   with Invalid_argument _ -> exn := true);
+  Alcotest.(check bool) "reducible modulus rejected" true !exn
+
+let extra_suite =
+  ( "field:extra",
+    [
+      Alcotest.test_case "exhaustive F97" `Quick exhaustive_f97;
+      Alcotest.test_case "gf256 vs reference mul" `Quick gf256_reference;
+      Alcotest.test_case "char-2 identities + embedding" `Quick gf_char2;
+      Alcotest.test_case "Fp rejects composite modulus" `Quick
+        fp_rejects_composite;
+      Alcotest.test_case "gf2m default moduli degrees + irreducibility"
+        `Quick default_modulus_in_range;
+      Alcotest.test_case "gf2m instantiates for all m <= 31" `Quick
+        all_extension_fields_instantiate;
+    ] )
+
+let suites =
+  [
+    Default_suite.suite;
+    Mersenne_suite.suite;
+    F97_suite.suite;
+    Gf256_suite.suite;
+    Gf1024_suite.suite;
+    Gf65536_suite.suite;
+    extra_suite;
+  ]

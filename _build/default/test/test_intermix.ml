@@ -1,0 +1,506 @@
+(* INTERMIX: Algorithm 1 correctness and soundness, constant-time
+   commoner checks, interaction bounds, committee election, the
+   complexity formula, and the verified delegation pipeline of §6.2. *)
+
+open Csm_field
+open Csm_core
+module F = Fp.Default
+module IX = Csm_intermix.Intermix.Make (F)
+module D = Csm_intermix.Delegation.Make (F)
+module E = D.E
+module M = IX.M
+
+let rng = Csm_rng.create 0x1F1F
+let fi = F.of_int
+
+let random_instance ?(n = 12) ?(k = 16) () =
+  let a = M.random_mat rng n k in
+  let x = M.random_vec rng k in
+  (a, x)
+
+let honest_accepted () =
+  for _ = 1 to 20 do
+    let a, x = random_instance () in
+    let w = IX.honest_worker a x in
+    let report = IX.audit w a x in
+    Alcotest.(check bool) "accept" true (report.IX.result = IX.Accept);
+    Alcotest.(check int) "no interaction" 0 report.IX.interactions
+  done
+
+let blatant_liar_caught () =
+  for _ = 1 to 20 do
+    let a, x = random_instance () in
+    let bad = Csm_rng.int rng 12 in
+    let w =
+      IX.malicious_worker ~strategy:IX.Blatant ~bad_rows:[ bad ]
+        ~offset:(F.random_nonzero rng) a x
+    in
+    let report = IX.audit w a x in
+    match report.IX.result with
+    | IX.Accept -> Alcotest.fail "liar accepted"
+    | IX.Alert alert ->
+      Alcotest.(check bool) "commoner confirms" true
+        (IX.commoner_check a x alert);
+      (* blatant lies collapse at the first bisection level *)
+      Alcotest.(check int) "one interaction" 1 report.IX.interactions
+  done
+
+let adaptive_liar_caught_at_leaf () =
+  for _ = 1 to 20 do
+    let k = 16 in
+    let a, x = random_instance ~k () in
+    let w =
+      IX.malicious_worker ~strategy:IX.Adaptive ~bad_rows:[ 3 ]
+        ~offset:(F.random_nonzero rng) a x
+    in
+    let report = IX.audit w a x in
+    match report.IX.result with
+    | IX.Accept -> Alcotest.fail "adaptive liar accepted"
+    | IX.Alert alert ->
+      Alcotest.(check bool) "commoner confirms" true
+        (IX.commoner_check a x alert);
+      (* adaptive worst case: exactly log2 K levels *)
+      Alcotest.(check int) "log K interactions" 4 report.IX.interactions;
+      (match alert with
+      | IX.Leaf_mismatch _ -> ()
+      | IX.Sum_mismatch _ -> Alcotest.fail "expected leaf mismatch")
+  done
+
+let interactions_bounded_by_log () =
+  List.iter
+    (fun k ->
+      let a = M.random_mat rng 6 k in
+      let x = M.random_vec rng k in
+      let w =
+        IX.malicious_worker ~strategy:IX.Adaptive ~bad_rows:[ 0 ]
+          ~offset:F.one a x
+      in
+      let report = IX.audit w a x in
+      let log2 = int_of_float (ceil (log (float_of_int k) /. log 2.0)) in
+      Alcotest.(check bool)
+        (Printf.sprintf "k=%d: <= ceil(log2 k)" k)
+        true
+        (report.IX.interactions <= log2))
+    [ 2; 3; 5; 8; 13; 16; 33; 64; 100 ]
+
+let bogus_alert_dismissed () =
+  (* a dishonest auditor accuses an honest worker; commoners dismiss *)
+  let a, x = random_instance () in
+  let w = IX.honest_worker a x in
+  let bogus =
+    IX.Sum_mismatch
+      {
+        IX.c_query = { IX.row = 0; lo = 0; hi = 16 };
+        c_claim = w.IX.claimed.(0);
+        c_left = F.zero;
+        c_right = w.IX.claimed.(0);  (* 0 + y = y: consistent, no fraud *)
+        c_mid = 8;
+      }
+  in
+  Alcotest.(check bool) "dismissed" false (IX.commoner_check a x bogus);
+  let verdict =
+    IX.run_protocol w a x ~auditors:[ 0; 1; 2 ]
+      ~dishonest_auditor:(fun i -> if i = 1 then Some bogus else None)
+  in
+  Alcotest.(check bool) "accepted despite bogus alert" true verdict.IX.accepted;
+  Alcotest.(check int) "one dismissed" 1 (List.length verdict.IX.dismissed_alerts)
+
+let one_honest_auditor_suffices () =
+  (* all auditors but one are silent accomplices; the honest one exposes *)
+  let a, x = random_instance () in
+  let w =
+    IX.malicious_worker ~strategy:IX.Adaptive ~bad_rows:[ 5 ] ~offset:(fi 9) a x
+  in
+  let verdict =
+    IX.run_protocol w a x ~auditors:[ 0; 1; 2; 3 ]
+      ~dishonest_auditor:(fun i ->
+        if i < 3 then
+          (* accomplices raise only consistent (bogus) alerts *)
+          Some
+            (IX.Leaf_mismatch
+               {
+                 l_query = { IX.row = 0; lo = 0; hi = 1 };
+                 l_claim = F.mul a.(0).(0) x.(0);
+               })
+        else None)
+  in
+  Alcotest.(check bool) "fraud detected" false verdict.IX.accepted;
+  Alcotest.(check bool) "at least one valid alert" true
+    (verdict.IX.valid_alerts <> [])
+
+let committee_size_formula () =
+  (* mu = 1/3, eps = 1e-6: J = ceil(ln eps / ln mu) = ceil(13.8/1.09) = 13 *)
+  Alcotest.(check int) "mu=1/3" 13
+    (IX.committee_size ~epsilon:1e-6 ~mu:(1.0 /. 3.0));
+  Alcotest.(check int) "mu=1/2" 20 (IX.committee_size ~epsilon:1e-6 ~mu:0.5);
+  (* honest network still audits with one node *)
+  Alcotest.(check int) "mu=0" 1 (IX.committee_size ~epsilon:1e-6 ~mu:0.0);
+  (* probability check: mu^J <= eps *)
+  let j = IX.committee_size ~epsilon:1e-4 ~mu:0.25 in
+  Alcotest.(check bool) "mu^J <= eps" true (0.25 ** float_of_int j <= 1e-4)
+
+let election_self () =
+  let r = Csm_rng.create 9 in
+  let n = 1000 and j = 10 in
+  let elected = IX.elect_self r ~n ~j in
+  (* expectation 10; loose bounds *)
+  let c = List.length elected in
+  Alcotest.(check bool) "plausible committee size" true (c >= 1 && c <= 40);
+  List.iter (fun i -> Alcotest.(check bool) "range" true (i >= 0 && i < n)) elected
+
+let election_vrf () =
+  let keyring = Csm_crypto.Auth.create_keyring (Csm_rng.create 3) ~n:200 in
+  let elected = IX.elect_vrf keyring ~seed:"round-7" ~n:200 ~j:20 in
+  Alcotest.(check bool) "some auditors" true (List.length elected > 0);
+  (* proofs verify against the right seed, fail against another *)
+  List.iter
+    (fun (node, proof) ->
+      Alcotest.(check bool) "verifies" true
+        (IX.verify_vrf_election keyring ~seed:"round-7" ~n:200 ~j:20
+           (node, proof));
+      Alcotest.(check bool) "wrong seed fails" false
+        (IX.verify_vrf_election keyring ~seed:"round-8" ~n:200 ~j:20
+           (node, proof)))
+    elected;
+  (* deterministic: same seed, same committee *)
+  let again = IX.elect_vrf keyring ~seed:"round-7" ~n:200 ~j:20 in
+  Alcotest.(check int) "deterministic" (List.length elected) (List.length again)
+
+(* Measured complexity vs. the closed form: the audited path must stay
+   within the paper's worst-case budget. *)
+let complexity_within_formula () =
+  let module CF = Counted.Make (Fp.Default) in
+  let module IXC = Csm_intermix.Intermix.Make (CF) in
+  let module MC = IXC.M in
+  let ledger = Csm_metrics.Ledger.create () in
+  let scope = Csm_metrics.Scope.of_ledger (module CF) ledger in
+  let r = Csm_rng.create 12 in
+  let n = 24 and k = 32 and j = 3 in
+  let a = MC.random_mat r n k in
+  let x = MC.random_vec r k in
+  let w =
+    IXC.malicious_worker ~scope ~strategy:IXC.Adaptive ~bad_rows:[ 2 ]
+      ~offset:CF.one a x
+  in
+  let verdict =
+    IXC.run_protocol ~scope w a x
+      ~auditors:(List.init j (fun i -> i))
+      ~dishonest_auditor:(fun _ -> None)
+  in
+  Alcotest.(check bool) "fraud caught" false verdict.IXC.accepted;
+  let measured = Csm_metrics.Ledger.grand_total ledger in
+  let budget = IXC.worst_case_complexity ~n ~k ~j in
+  Alcotest.(check bool)
+    (Printf.sprintf "measured %d <= budget %d" measured budget)
+    true (measured <= budget)
+
+(* Commoner checks cost O(1): independent of K. *)
+let commoner_constant_time () =
+  let module CF = Counted.Make (Fp.Default) in
+  let module IXC = Csm_intermix.Intermix.Make (CF) in
+  let module MC = IXC.M in
+  let cost k =
+    let r = Csm_rng.create 5 in
+    let a = MC.random_mat r 4 k in
+    let x = MC.random_vec r k in
+    let w =
+      IXC.malicious_worker ~strategy:IXC.Adaptive ~bad_rows:[ 1 ] ~offset:CF.one
+        a x
+    in
+    let report = IXC.audit w a x in
+    match report.IXC.result with
+    | IXC.Accept -> Alcotest.fail "expected alert"
+    | IXC.Alert alert ->
+      let c = Csm_metrics.Counter.create () in
+      CF.with_counter c (fun () -> ignore (IXC.commoner_check a x alert));
+      Csm_metrics.Counter.total c
+  in
+  let c16 = cost 16 and c1024 = cost 1024 in
+  Alcotest.(check bool) "O(1) commoner" true (c16 <= 2 && c1024 <= 2)
+
+(* ----- Delegation (§6.2) ----- *)
+
+let machine = E.M.interest_market ()
+
+let delegated_setup () =
+  let d = E.M.degree machine in
+  let k = 3 in
+  let b = 2 in
+  let n = Params.composite_degree ~k ~d + (2 * b) + 1 in
+  let params = Params.make ~network:Params.Sync ~n ~k ~d ~b in
+  let init =
+    Array.init k (fun _ -> Array.init 1 (fun _ -> F.random rng))
+  in
+  (params, init)
+
+let delegated_matches_decentralized () =
+  let params, init = delegated_setup () in
+  let k = params.Params.k in
+  let commands =
+    Array.init k (fun _ -> [| F.random rng |])
+  in
+  (* reference: decentralized engine *)
+  let e1 = E.create ~machine ~params ~init in
+  let r1 = E.round e1 ~commands ~byzantine:(fun i -> i < params.Params.b) () in
+  (* delegated: worker node n-1, committee of 2 honest nodes *)
+  let e2 = E.create ~machine ~params ~init in
+  let out =
+    D.round e2 ~commands
+      ~byzantine:(fun i -> i < params.Params.b)
+      ~worker:(params.Params.n - 1)
+      ~committee:[ params.Params.n - 2; params.Params.n - 3 ]
+      ()
+  in
+  match (r1.E.decoded, out.D.decoded) with
+  | Some a, Some b ->
+    Alcotest.(check bool) "no fraud" true (out.D.fraud = None);
+    for m = 0 to k - 1 do
+      if not (F.equal a.E.next_states.(m).(0) b.E.next_states.(m).(0)) then
+        Alcotest.fail "delegated state mismatch";
+      if not (F.equal a.E.outputs.(m).(0) b.E.outputs.(m).(0)) then
+        Alcotest.fail "delegated output mismatch"
+    done;
+    (* engines end in the same coded states *)
+    Array.iteri
+      (fun i v ->
+        Array.iteri
+          (fun j x ->
+            if not (F.equal x e2.E.coded_states.(i).(j)) then
+              Alcotest.fail "coded state divergence")
+          v)
+      e1.E.coded_states
+  | _ -> Alcotest.fail "a round failed"
+
+let lying_worker_caught stage behavior =
+  let params, init = delegated_setup () in
+  let k = params.Params.k in
+  let commands = Array.init k (fun _ -> [| F.random rng |]) in
+  let engine = E.create ~machine ~params ~init in
+  let before = Array.map Array.copy engine.E.coded_states in
+  let out =
+    D.round engine ~behavior ~commands
+      ~byzantine:(fun _ -> false)
+      ~worker:0
+      ~committee:[ 1; 2 ]
+      ()
+  in
+  Alcotest.(check bool) "aborted" true (out.D.decoded = None);
+  (match out.D.fraud with
+  | Some s when s = stage -> ()
+  | Some _ -> Alcotest.fail "fraud at wrong stage"
+  | None -> Alcotest.fail "fraud not caught");
+  (* states must not have advanced *)
+  Array.iteri
+    (fun i v ->
+      Array.iteri
+        (fun j x ->
+          if not (F.equal x engine.E.coded_states.(i).(j)) then
+            Alcotest.fail "state advanced despite fraud")
+        v)
+    before
+
+let lying_encode_caught () =
+  lying_worker_caught D.Encode (D.Lying_encode { node = 2; offset = fi 7 })
+
+let lying_decode_caught () =
+  lying_worker_caught D.Decode_cert (D.Lying_decode { coeff = 1; offset = fi 3 })
+
+let lying_update_caught () =
+  lying_worker_caught D.Update (D.Lying_update { node = 4; offset = fi 11 })
+
+let delegated_with_byzantine_nodes () =
+  (* worker honest, b nodes lie in their local computation: the decode
+     certificate still verifies (tau excludes the liars) and results are
+     correct *)
+  let params, init = delegated_setup () in
+  let k = params.Params.k in
+  let b = params.Params.b in
+  let commands = Array.init k (fun _ -> [| F.random rng |]) in
+  let engine = E.create ~machine ~params ~init in
+  let out =
+    D.round engine ~commands
+      ~byzantine:(fun i -> i < b)
+      ~worker:(params.Params.n - 1)
+      ~committee:[ params.Params.n - 2 ]
+      ()
+  in
+  match out.D.decoded with
+  | None -> Alcotest.fail "round aborted"
+  | Some d ->
+    Alcotest.(check bool) "no fraud" true (out.D.fraud = None);
+    (* liars appear in the error report *)
+    List.iter
+      (fun liar ->
+        Alcotest.(check bool) "liar reported" true
+          (List.mem liar d.E.error_nodes))
+      (List.init b (fun i -> i));
+    (* and the decoded states match the uncoded reference *)
+    let next_ref, _ = E.M.run_fleet machine ~states:init ~commands in
+    for m = 0 to k - 1 do
+      if not (F.equal d.E.next_states.(m).(0) next_ref.(m).(0)) then
+        Alcotest.fail "wrong decoded state"
+    done
+
+(* INTERPOL reduction: verifiable batch polynomial evaluation. *)
+let interpol_honest_and_lying () =
+  let coeffs = Array.init 20 (fun _ -> F.random rng) in
+  let pts = Array.init 12 (fun i -> fi (i + 1)) in
+  let inst = IX.eval_instance ~coeffs ~points:pts in
+  (* honest: claimed values match direct Horner evaluation *)
+  let w = IX.eval_honest_worker inst in
+  let claimed = IX.eval_claimed_values w in
+  let horner x =
+    let acc = ref F.zero in
+    for i = Array.length coeffs - 1 downto 0 do
+      acc := F.add (F.mul !acc x) coeffs.(i)
+    done;
+    !acc
+  in
+  Array.iteri
+    (fun i x ->
+      if not (F.equal claimed.(i) (horner x)) then
+        Alcotest.fail "claimed eval mismatch")
+    pts;
+  let verdict =
+    IX.verify_eval inst w ~auditors:[ 0; 1 ] ~dishonest_auditor:(fun _ -> None)
+  in
+  Alcotest.(check bool) "honest accepted" true verdict.IX.accepted;
+  (* lying: corrupt one claimed value, keep answering honestly *)
+  let bad = { w with IX.claimed = Array.copy w.IX.claimed } in
+  bad.IX.claimed.(4) <- F.add bad.IX.claimed.(4) F.one;
+  let verdict =
+    IX.verify_eval inst bad ~auditors:[ 0 ] ~dishonest_auditor:(fun _ -> None)
+  in
+  Alcotest.(check bool) "liar caught" false verdict.IX.accepted
+
+(* Batched verification: same results, catches the same frauds, and
+   strictly cheaper committee work for multi-dimensional machines. *)
+let batched_delegation () =
+  let machine2 = E.M.pair_market () in
+  let d = E.M.degree machine2 in
+  let k = 2 and b = 1 in
+  let n = Params.composite_degree ~k ~d + (2 * b) + 1 in
+  let params = Params.make ~network:Params.Sync ~n ~k ~d ~b in
+  let init =
+    Array.init k (fun _ -> Array.init 2 (fun _ -> F.random rng))
+  in
+  let commands = Array.init k (fun _ -> Array.init 2 (fun _ -> F.random rng)) in
+  let run ~batch =
+    let engine = E.create ~machine:machine2 ~params ~init in
+    let out =
+      D.round ~batch engine ~commands
+        ~byzantine:(fun i -> i < b)
+        ~worker:(n - 1) ~committee:[ 0; 1 ] ()
+    in
+    (out, engine)
+  in
+  let out_plain, e_plain = run ~batch:false in
+  let out_batch, e_batch = run ~batch:true in
+  (match (out_plain.D.decoded, out_batch.D.decoded) with
+  | Some a, Some b' ->
+    for m = 0 to k - 1 do
+      for j = 0 to 1 do
+        if not (F.equal a.E.next_states.(m).(j) b'.E.next_states.(m).(j)) then
+          Alcotest.fail "batched decode differs"
+      done
+    done;
+    Array.iteri
+      (fun i v ->
+        Array.iteri
+          (fun j x ->
+            if not (F.equal x e_batch.E.coded_states.(i).(j)) then
+              Alcotest.fail "batched coded state differs")
+          v)
+      e_plain.E.coded_states
+  | _ -> Alcotest.fail "a batched round failed");
+  (* every cheating strategy still caught in batch mode *)
+  List.iter
+    (fun (behavior, stage) ->
+      let engine = E.create ~machine:machine2 ~params ~init in
+      let out =
+        D.round ~batch:true ~behavior engine ~commands
+          ~byzantine:(fun _ -> false)
+          ~worker:0 ~committee:[ 1; 2 ] ()
+      in
+      match out.D.fraud with
+      | Some s when s = stage -> ()
+      | Some _ | None -> Alcotest.fail "batched fraud not caught at stage")
+    [
+      (D.Lying_encode { node = 1; offset = fi 3 }, D.Encode);
+      (D.Lying_decode { coeff = 0; offset = fi 3 }, D.Decode_cert);
+      (D.Lying_update { node = 2; offset = fi 3 }, D.Update);
+    ];
+  (* cost: batched committee work strictly below per-coordinate *)
+  let module CF = Counted.Make (Fp.Default) in
+  let module DC = Csm_intermix.Delegation.Make (CF) in
+  let module EC = DC.E in
+  let cost ~batch =
+    let ledger = Csm_metrics.Ledger.create () in
+    let scope = Csm_metrics.Scope.of_ledger (module CF) ledger in
+    let machine = EC.M.pair_market () in
+    let params = Params.make ~network:Params.Sync ~n ~k ~d ~b in
+    let r = Csm_rng.create 7 in
+    let init = Array.init k (fun _ -> Array.init 2 (fun _ -> CF.random r)) in
+    let commands = Array.init k (fun _ -> Array.init 2 (fun _ -> CF.random r)) in
+    let engine = EC.create ~machine ~params ~init in
+    let out =
+      DC.round ~scope ~batch engine ~commands
+        ~byzantine:(fun _ -> false)
+        ~worker:(n - 1) ~committee:[ 0 ] ()
+    in
+    assert (out.DC.decoded <> None);
+    Csm_metrics.Ledger.total ledger (Csm_metrics.Ledger.node_role 0)
+  in
+  let plain = cost ~batch:false and batched = cost ~batch:true in
+  Alcotest.(check bool)
+    (Printf.sprintf "batched auditor cost %d < %d" batched plain)
+    true (batched < plain)
+
+let tau_threshold_formula () =
+  Alcotest.(check int) "n=11,k'=4" 8 (D.tau_threshold ~n:11 ~k':4);
+  Alcotest.(check int) "n=12,k'=4" 9 (D.tau_threshold ~n:12 ~k':4)
+
+let suites =
+  [
+    ( "intermix:algorithm1",
+      [
+        Alcotest.test_case "honest worker accepted" `Quick honest_accepted;
+        Alcotest.test_case "blatant liar caught at level 1" `Quick
+          blatant_liar_caught;
+        Alcotest.test_case "adaptive liar caught at leaf" `Quick
+          adaptive_liar_caught_at_leaf;
+        Alcotest.test_case "interactions <= ceil(log2 K)" `Quick
+          interactions_bounded_by_log;
+        Alcotest.test_case "bogus alert dismissed" `Quick bogus_alert_dismissed;
+        Alcotest.test_case "one honest auditor suffices" `Quick
+          one_honest_auditor_suffices;
+      ] );
+    ( "intermix:committee",
+      [
+        Alcotest.test_case "committee size formula" `Quick committee_size_formula;
+        Alcotest.test_case "self election" `Quick election_self;
+        Alcotest.test_case "VRF election" `Quick election_vrf;
+      ] );
+    ( "intermix:complexity",
+      [
+        Alcotest.test_case "measured <= closed form" `Quick
+          complexity_within_formula;
+        Alcotest.test_case "commoner check is O(1)" `Quick
+          commoner_constant_time;
+      ] );
+    ( "intermix:delegation",
+      [
+        Alcotest.test_case "delegated = decentralized" `Quick
+          delegated_matches_decentralized;
+        Alcotest.test_case "lying encode caught" `Quick lying_encode_caught;
+        Alcotest.test_case "lying decode caught" `Quick lying_decode_caught;
+        Alcotest.test_case "lying update caught" `Quick lying_update_caught;
+        Alcotest.test_case "delegation with byzantine nodes" `Quick
+          delegated_with_byzantine_nodes;
+        Alcotest.test_case "tau threshold" `Quick tau_threshold_formula;
+        Alcotest.test_case "INTERPOL: verifiable polynomial evaluation"
+          `Quick interpol_honest_and_lying;
+        Alcotest.test_case "batched verification (RLC)" `Quick
+          batched_delegation;
+      ] );
+  ]

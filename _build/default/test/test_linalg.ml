@@ -1,0 +1,122 @@
+(* Linear algebra: solver correctness against constructed systems,
+   rank/inverse laws, Vandermonde structure. *)
+
+open Csm_field
+open Csm_linalg
+module F = Fp.Default
+module M = Linalg.Make (F)
+
+let rng = Csm_rng.create 0x11A16
+
+let solve_constructed () =
+  (* Build A and x, solve A x = b, check A·sol = b (solution may differ
+     from x only if A is singular, but A·sol = b must always hold). *)
+  for _ = 1 to 50 do
+    let n = 1 + Csm_rng.int rng 10 in
+    let a = M.random_mat rng n n in
+    let x = M.random_vec rng n in
+    let b = M.mat_vec a x in
+    match M.solve a b with
+    | None -> Alcotest.fail "consistent system reported unsolvable"
+    | Some sol ->
+      if not (M.vec_equal (M.mat_vec a sol) b) then
+        Alcotest.fail "solver returned non-solution"
+  done
+
+let solve_inconsistent () =
+  (* Rows [1 0; 1 0], rhs [0; 1] is inconsistent. *)
+  let a = [| [| F.one; F.zero |]; [| F.one; F.zero |] |] in
+  let b = [| F.zero; F.one |] in
+  (match M.solve a b with
+  | None -> ()
+  | Some _ -> Alcotest.fail "inconsistent system reported solvable");
+  (* and 0 = 0 row should be fine *)
+  let a2 = [| [| F.one; F.zero |]; [| F.zero; F.zero |] |] in
+  let b2 = [| F.of_int 5; F.zero |] in
+  match M.solve a2 b2 with
+  | None -> Alcotest.fail "consistent underdetermined system rejected"
+  | Some sol ->
+    Alcotest.(check bool) "solves" true (M.vec_equal (M.mat_vec a2 sol) b2)
+
+let inverse_roundtrip () =
+  for _ = 1 to 30 do
+    let n = 1 + Csm_rng.int rng 8 in
+    let a = M.random_mat rng n n in
+    match M.inverse a with
+    | None ->
+      (* singular: rank must be < n *)
+      if M.rank a = n then Alcotest.fail "full-rank matrix not inverted"
+    | Some ai ->
+      let prod = M.mat_mul a ai in
+      if not (Array.for_all2 (fun r1 r2 -> M.vec_equal r1 r2) prod (M.identity n))
+      then Alcotest.fail "A * A^{-1} <> I"
+  done
+
+let vandermonde_full_rank () =
+  (* Vandermonde on distinct points is invertible. *)
+  for n = 1 to 12 do
+    let points = Array.init n (fun i -> F.of_int (i + 1)) in
+    let v = M.vandermonde points ~cols:n in
+    Alcotest.(check int) "rank" n (M.rank v)
+  done
+
+let vandermonde_entries () =
+  let points = [| F.of_int 2; F.of_int 3 |] in
+  let v = M.vandermonde points ~cols:4 in
+  let expect = [| [| 1; 2; 4; 8 |]; [| 1; 3; 9; 27 |] |] in
+  Array.iteri
+    (fun i row ->
+      Array.iteri
+        (fun j x ->
+          Alcotest.(check int)
+            (Printf.sprintf "v[%d][%d]" i j)
+            expect.(i).(j) (F.to_int x))
+        row)
+    v
+
+let matmul_assoc () =
+  for _ = 1 to 20 do
+    let a = M.random_mat rng 4 5 in
+    let b = M.random_mat rng 5 3 in
+    let x = M.random_vec rng 3 in
+    (* (A·B)·x = A·(B·x) *)
+    let lhs = M.mat_vec (M.mat_mul a b) x in
+    let rhs = M.mat_vec a (M.mat_vec b x) in
+    if not (M.vec_equal lhs rhs) then Alcotest.fail "matmul/matvec mismatch"
+  done
+
+let transpose_involutive () =
+  let a = M.random_mat rng 5 7 in
+  let tt = M.transpose (M.transpose a) in
+  Array.iteri
+    (fun i row ->
+      if not (M.vec_equal row tt.(i)) then Alcotest.fail "transpose^2 <> id")
+    a
+
+let dot_bilinear () =
+  for _ = 1 to 50 do
+    let n = 1 + Csm_rng.int rng 10 in
+    let a = M.random_vec rng n
+    and b = M.random_vec rng n
+    and c = M.random_vec rng n in
+    let lhs = M.dot a (M.vec_add b c) in
+    let rhs = F.add (M.dot a b) (M.dot a c) in
+    if not (F.equal lhs rhs) then Alcotest.fail "dot not bilinear"
+  done
+
+let suites =
+  [
+    ( "linalg",
+      [
+        Alcotest.test_case "solve constructed systems" `Quick solve_constructed;
+        Alcotest.test_case "solve inconsistent/underdetermined" `Quick
+          solve_inconsistent;
+        Alcotest.test_case "inverse roundtrip" `Quick inverse_roundtrip;
+        Alcotest.test_case "vandermonde full rank" `Quick vandermonde_full_rank;
+        Alcotest.test_case "vandermonde entries" `Quick vandermonde_entries;
+        Alcotest.test_case "matmul associativity with vectors" `Quick
+          matmul_assoc;
+        Alcotest.test_case "transpose involutive" `Quick transpose_involutive;
+        Alcotest.test_case "dot bilinear" `Quick dot_bilinear;
+      ] );
+  ]

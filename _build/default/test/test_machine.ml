@@ -1,0 +1,226 @@
+(* State machines: concrete machine semantics, degrees, fleet execution,
+   and the Boolean-lifted machines vs. bit-level reference. *)
+
+open Csm_field
+module F = Fp.Default
+module M = Csm_machine.Machine.Make (F)
+
+let fi = F.of_int
+let ti = F.to_int
+
+let bank_semantics () =
+  let m = M.bank () in
+  Alcotest.(check int) "degree" 1 (M.degree m);
+  let s, y = M.step m ~state:[| fi 100 |] ~input:[| fi 42 |] in
+  Alcotest.(check int) "state" 142 (ti s.(0));
+  Alcotest.(check int) "output" 142 (ti y.(0));
+  let s, _ = M.step m ~state:s ~input:[| F.neg (fi 12) |] in
+  Alcotest.(check int) "withdraw" 130 (ti s.(0))
+
+let interest_semantics () =
+  let m = M.interest_market () in
+  Alcotest.(check int) "degree" 2 (M.degree m);
+  let s, y = M.step m ~state:[| fi 1000 |] ~input:[| fi 5 |] in
+  (* s' = s + s*x = 1000 + 5000; y = 5000 *)
+  Alcotest.(check int) "state" 6000 (ti s.(0));
+  Alcotest.(check int) "interest" 5000 (ti y.(0))
+
+let cubic_semantics () =
+  let m = M.cubic_accumulator () in
+  Alcotest.(check int) "degree" 3 (M.degree m);
+  let s, _ = M.step m ~state:[| fi 10 |] ~input:[| fi 3 |] in
+  Alcotest.(check int) "state" 37 (ti s.(0))
+
+let pair_market_semantics () =
+  let m = M.pair_market () in
+  Alcotest.(check int) "degree" 2 (M.degree m);
+  let s, _ =
+    M.step m ~state:[| fi 100; fi 200 |] ~input:[| fi 3; fi 5 |]
+  in
+  Alcotest.(check int) "a'" 103 (ti s.(0));
+  (* b' = 200 + 5 + 15 = 220 *)
+  Alcotest.(check int) "b'" 220 (ti s.(1))
+
+let degree_machine_family () =
+  for d = 1 to 6 do
+    let m = M.degree_machine d in
+    Alcotest.(check int) (Printf.sprintf "degree %d" d) d (M.degree m)
+  done
+
+let run_accumulates () =
+  let m = M.bank () in
+  let inputs = List.map (fun v -> [| fi v |]) [ 1; 2; 3; 4; 5 ] in
+  let outs, final = M.run m ~state:[| fi 0 |] inputs in
+  Alcotest.(check int) "final" 15 (ti final.(0));
+  Alcotest.(check (list int)) "receipts" [ 1; 3; 6; 10; 15 ]
+    (List.map (fun y -> ti y.(0)) outs)
+
+let fleet_independent () =
+  let m = M.interest_market () in
+  let states = [| [| fi 10 |]; [| fi 20 |]; [| fi 30 |] |] in
+  let commands = [| [| fi 1 |]; [| fi 2 |]; [| fi 3 |] |] in
+  let next, outs = M.run_fleet m ~states ~commands in
+  Alcotest.(check int) "m0" 20 (ti next.(0).(0));
+  Alcotest.(check int) "m1" 60 (ti next.(1).(0));
+  Alcotest.(check int) "m2" 120 (ti next.(2).(0));
+  Alcotest.(check int) "y1" 40 (ti outs.(1).(0))
+
+let arity_checks () =
+  let m = M.bank () in
+  Alcotest.check_raises "bad state"
+    (Invalid_argument "Machine.step: state arity") (fun () ->
+      ignore (M.step m ~state:[| fi 0; fi 1 |] ~input:[| fi 0 |]));
+  Alcotest.check_raises "bad input"
+    (Invalid_argument "Machine.step: input arity") (fun () ->
+      ignore (M.step m ~state:[| fi 0 |] ~input:[||]))
+
+(* random machine: step = direct evaluation of its polynomials *)
+let random_machine_consistent () =
+  let rng = Csm_rng.create 77 in
+  for _ = 1 to 20 do
+    let m =
+      M.random rng ~state_dim:2 ~input_dim:2 ~output_dim:1
+        ~degree:(1 + Csm_rng.int rng 3)
+        ~terms:4
+    in
+    let st = Array.init 2 (fun _ -> F.random rng) in
+    let inp = Array.init 2 (fun _ -> F.random rng) in
+    let s', y = M.step m ~state:st ~input:inp in
+    let point = Array.append st inp in
+    Array.iteri
+      (fun i p ->
+        if not (F.equal s'.(i) (M.Mv.eval p point)) then
+          Alcotest.fail "next_state mismatch")
+      m.M.next_state;
+    Array.iteri
+      (fun i p ->
+        if not (F.equal y.(i) (M.Mv.eval p point)) then
+          Alcotest.fail "output mismatch")
+      m.M.output
+  done
+
+(* ----- Boolean machines over GF(2^10) ----- *)
+
+module G = Gf2m.Gf1024
+module BM = Csm_machine.Boolean_machine.Make (G)
+
+let majority_register_matches_bits () =
+  let m = BM.majority_register () in
+  (* majority(a,b,c) = ab + bc + ca over GF(2): the cubic terms of the
+     Zou construction cancel, leaving degree 2 *)
+  Alcotest.(check int) "degree 2" 2 (BM.M.degree m);
+  let maj (a : bool array) =
+    Array.fold_left (fun c b -> if b then c + 1 else c) 0 a >= 2
+  in
+  List.iter
+    (fun (input : bool array) ->
+      let s = [| input.(0) |] and x = [| input.(1); input.(2) |] in
+      let bits_next, bits_out =
+        BM.step_bits ~next_bits:[| maj |] ~out_bits:[| maj |] s x
+      in
+      let fs, fy =
+        BM.M.step m ~state:(BM.embed_bits s) ~input:(BM.embed_bits x)
+      in
+      Alcotest.(check (array bool)) "next" bits_next (BM.to_bits fs);
+      Alcotest.(check (array bool)) "out" bits_out (BM.to_bits fy))
+    (BM.B.all_inputs 3)
+
+let toggle_latch_matches_bits () =
+  let m = BM.toggle_latch () in
+  Alcotest.(check int) "degree 2" 2 (BM.M.degree m);
+  List.iter
+    (fun (input : bool array) ->
+      let s = [| input.(0) |] and x = [| input.(1); input.(2) |] in
+      let expect = input.(0) <> (input.(1) && input.(2)) in
+      let fs, _ = BM.M.step m ~state:(BM.embed_bits s) ~input:(BM.embed_bits x) in
+      Alcotest.(check bool) "next" expect (BM.to_bits fs).(0))
+    (BM.B.all_inputs 3)
+
+let register_bank_semantics () =
+  let slots = 3 in
+  let m = M.register_bank ~slots in
+  Alcotest.(check int) "degree" 2 (M.degree m);
+  let state = [| fi 10; fi 20; fi 30 |] in
+  (* write 99 to slot 1: output echoes old value 20 *)
+  let s, y = M.step m ~state ~input:(M.register_write ~slots ~slot:1 (fi 99)) in
+  Alcotest.(check int) "old value echoed" 20 (ti y.(0));
+  Alcotest.(check int) "slot 0 untouched" 10 (ti s.(0));
+  Alcotest.(check int) "slot 1 written" 99 (ti s.(1));
+  Alcotest.(check int) "slot 2 untouched" 30 (ti s.(2))
+
+let register_bank_random_writes () =
+  let slots = 4 in
+  let m = M.register_bank ~slots in
+  let r = Csm_rng.create 21 in
+  let reference = Array.init slots (fun i -> 10 * i) in
+  let state = ref (Array.map fi reference) in
+  for _ = 1 to 50 do
+    let slot = Csm_rng.int r slots in
+    let v = Csm_rng.int r 1000 in
+    let s, y = M.step m ~state:!state ~input:(M.register_write ~slots ~slot (fi v)) in
+    Alcotest.(check int) "echo" reference.(slot) (ti y.(0));
+    reference.(slot) <- v;
+    state := s;
+    Array.iteri
+      (fun i expect -> Alcotest.(check int) "register" expect (ti s.(i)))
+      reference
+  done
+
+let ripple_counter_counts () =
+  let module G = Gf2m.Gf1024 in
+  let module BM2 = Csm_machine.Boolean_machine.Make (G) in
+  List.iter
+    (fun bits ->
+      let m = BM2.ripple_counter ~bits in
+      let state = ref (BM2.embed_bits (BM2.bits_of_int ~bits 0)) in
+      let size = 1 lsl bits in
+      for tick = 1 to (2 * size) + 1 do
+        let s, y =
+          BM2.M.step m ~state:!state ~input:(BM2.embed_bits [| true |])
+        in
+        state := s;
+        let count = BM2.int_of_bits (BM2.to_bits s) in
+        Alcotest.(check int)
+          (Printf.sprintf "%d-bit count at tick %d" bits tick)
+          (tick mod size) count;
+        (* overflow carry fires exactly when wrapping to 0 *)
+        let expect_carry = tick mod size = 0 in
+        Alcotest.(check bool) "carry" expect_carry ((BM2.to_bits y).(0))
+      done;
+      (* disabled ticks do nothing *)
+      let s, y =
+        BM2.M.step m ~state:!state ~input:(BM2.embed_bits [| false |])
+      in
+      Alcotest.(check int) "hold" (BM2.int_of_bits (BM2.to_bits !state))
+        (BM2.int_of_bits (BM2.to_bits s));
+      Alcotest.(check bool) "no carry" false ((BM2.to_bits y).(0)))
+    [ 1; 2; 3 ]
+
+let suites =
+  [
+    ( "machine",
+      [
+        Alcotest.test_case "bank" `Quick bank_semantics;
+        Alcotest.test_case "interest market" `Quick interest_semantics;
+        Alcotest.test_case "cubic accumulator" `Quick cubic_semantics;
+        Alcotest.test_case "pair market" `Quick pair_market_semantics;
+        Alcotest.test_case "degree_machine family" `Quick degree_machine_family;
+        Alcotest.test_case "multi-round run" `Quick run_accumulates;
+        Alcotest.test_case "fleet independence" `Quick fleet_independent;
+        Alcotest.test_case "arity checks" `Quick arity_checks;
+        Alcotest.test_case "random machine consistency" `Quick
+          random_machine_consistent;
+        Alcotest.test_case "register bank semantics" `Quick
+          register_bank_semantics;
+        Alcotest.test_case "register bank random writes" `Quick
+          register_bank_random_writes;
+      ] );
+    ( "boolean machine",
+      [
+        Alcotest.test_case "majority register vs bits" `Quick
+          majority_register_matches_bits;
+        Alcotest.test_case "toggle latch vs bits" `Quick
+          toggle_latch_matches_bits;
+        Alcotest.test_case "ripple counters count" `Quick ripple_counter_counts;
+      ] );
+  ]

@@ -1,0 +1,104 @@
+(* Metrics: counters, counted-field wrapper, ledger, throughput formula. *)
+
+open Csm_metrics
+open Csm_field
+
+let counter_basics () =
+  let c = Counter.create () in
+  Counter.add c;
+  Counter.add c;
+  Counter.mul c;
+  Counter.inv c;
+  Alcotest.(check int) "adds" 2 (Counter.adds c);
+  Alcotest.(check int) "muls" 1 (Counter.muls c);
+  Alcotest.(check int) "invs" 1 (Counter.invs c);
+  Alcotest.(check int) "total" (2 + 1 + Counter.inv_weight) (Counter.total c);
+  Counter.reset c;
+  Alcotest.(check int) "reset" 0 (Counter.total c)
+
+let counter_diff () =
+  let c = Counter.create () in
+  Counter.add c;
+  let before = Counter.snapshot c in
+  Counter.mul c;
+  Counter.mul c;
+  let d = Counter.diff ~before ~after:(Counter.snapshot c) in
+  Alcotest.(check int) "diff adds" 0 (Counter.adds d);
+  Alcotest.(check int) "diff muls" 2 (Counter.muls d)
+
+module CF = Counted.Make (Fp.F97)
+
+let counted_field_counts () =
+  let c = Csm_metrics.Counter.create () in
+  CF.with_counter c (fun () ->
+      let a = CF.of_int 5 and b = CF.of_int 9 in
+      ignore (CF.add a b);
+      ignore (CF.mul a b);
+      ignore (CF.inv a);
+      ignore (CF.sub a b));
+  Alcotest.(check int) "adds" 2 (Counter.adds c);
+  Alcotest.(check int) "muls" 1 (Counter.muls c);
+  Alcotest.(check int) "invs" 1 (Counter.invs c)
+
+let counted_field_correct () =
+  (* the wrapper must not change arithmetic *)
+  let rng = Csm_rng.create 4 in
+  for _ = 1 to 200 do
+    let a = Csm_rng.int rng 97 and b = 1 + Csm_rng.int rng 96 in
+    let x = CF.of_int a and y = CF.of_int b in
+    Alcotest.(check int) "add" ((a + b) mod 97) (CF.to_int (CF.add x y));
+    Alcotest.(check int) "mul" (a * b mod 97) (CF.to_int (CF.mul x y));
+    Alcotest.(check int) "div-mul" a (CF.to_int (CF.mul (CF.div x y) y))
+  done
+
+let with_counter_restores () =
+  let outer = Counter.create () in
+  let inner = Counter.create () in
+  CF.set_counter outer;
+  CF.with_counter inner (fun () -> ignore (CF.add CF.one CF.one));
+  ignore (CF.add CF.one CF.one);
+  Alcotest.(check int) "inner got 1" 1 (Counter.adds inner);
+  Alcotest.(check int) "outer got 1" 1 (Counter.adds outer);
+  (* restores on exception too *)
+  (try
+     CF.with_counter inner (fun () -> failwith "boom")
+   with Failure _ -> ());
+  ignore (CF.add CF.one CF.one);
+  Alcotest.(check int) "outer got 2" 2 (Counter.adds outer)
+
+let ledger_roles () =
+  let l = Ledger.create () in
+  let c0 = Ledger.node l 0 in
+  Counter.mul c0;
+  Counter.mul c0;
+  let w = Ledger.counter l "worker" in
+  Counter.add w;
+  Alcotest.(check int) "node-0 total" 2 (Ledger.total l (Ledger.node_role 0));
+  Alcotest.(check int) "worker total" 1 (Ledger.total l "worker");
+  Alcotest.(check int) "grand" 3 (Ledger.grand_total l);
+  Alcotest.(check (list string)) "roles" [ "node-0"; "worker" ] (Ledger.roles l);
+  let costs = Ledger.per_node_costs l ~n:2 in
+  Alcotest.(check (array int)) "per-node" [| 2; 0 |] costs
+
+let throughput_formula () =
+  (* K commands, per-node costs all equal c: lambda = K / c *)
+  let l = Ledger.throughput ~commands:10 ~node_costs:[| 5; 5; 5; 5 |] in
+  Alcotest.(check (float 1e-9)) "uniform" 2.0 l;
+  (* unequal costs average *)
+  let l2 = Ledger.throughput ~commands:8 ~node_costs:[| 2; 6 |] in
+  Alcotest.(check (float 1e-9)) "mean" 2.0 l2
+
+let suites =
+  [
+    ( "metrics",
+      [
+        Alcotest.test_case "counter basics" `Quick counter_basics;
+        Alcotest.test_case "counter diff" `Quick counter_diff;
+        Alcotest.test_case "counted field counts" `Quick counted_field_counts;
+        Alcotest.test_case "counted field is transparent" `Quick
+          counted_field_correct;
+        Alcotest.test_case "with_counter restores" `Quick with_counter_restores;
+        Alcotest.test_case "ledger roles" `Quick ledger_roles;
+        Alcotest.test_case "throughput formula" `Quick throughput_formula;
+      ] );
+  ]

@@ -1,0 +1,265 @@
+(* Polynomial arithmetic: algebraic laws, agreement of the three
+   multiplication algorithms, Euclidean division invariants, gcd laws,
+   interpolation round-trips, and subproduct-tree fast algorithms vs.
+   their naive counterparts. *)
+
+open Csm_field
+open Csm_poly
+module F = Fp.Default
+module P = Poly.Make (F)
+module Lag = Lagrange.Make (F)
+module Sub = Subproduct.Make (F)
+
+let rng = Csm_rng.create 0xB01
+
+(* Arbitrary polynomial with degree in [-1, max_deg] (zero included). *)
+let arb_poly ?(max_deg = 40) () =
+  let gen _ =
+    let d = Csm_rng.int rng (max_deg + 2) - 1 in
+    if d < 0 then P.zero else P.random rng ~degree:d
+  in
+  QCheck.make ~print:P.to_string (QCheck.Gen.map gen QCheck.Gen.unit)
+
+let arb_elt =
+  QCheck.make ~print:F.to_string
+    (QCheck.Gen.map (fun _ -> F.random rng) QCheck.Gen.unit)
+
+let poly_eq = P.equal
+
+let qtest name count law = QCheck.Test.make ~name ~count law
+
+let props =
+  [
+    qtest "add commutative" 200
+      (QCheck.pair (arb_poly ()) (arb_poly ()))
+      (fun (p, q) -> poly_eq (P.add p q) (P.add q p));
+    qtest "mul commutative" 100
+      (QCheck.pair (arb_poly ()) (arb_poly ()))
+      (fun (p, q) -> poly_eq (P.mul p q) (P.mul q p));
+    qtest "mul distributes over add" 100
+      (QCheck.triple (arb_poly ()) (arb_poly ()) (arb_poly ()))
+      (fun (p, q, r) ->
+        poly_eq (P.mul p (P.add q r)) (P.add (P.mul p q) (P.mul p r)));
+    qtest "eval is a ring hom (add)" 200
+      (QCheck.triple (arb_poly ()) (arb_poly ()) arb_elt)
+      (fun (p, q, x) ->
+        F.equal (P.eval (P.add p q) x) (F.add (P.eval p x) (P.eval q x)));
+    qtest "eval is a ring hom (mul)" 100
+      (QCheck.triple (arb_poly ()) (arb_poly ()) arb_elt)
+      (fun (p, q, x) ->
+        F.equal (P.eval (P.mul p q) x) (F.mul (P.eval p x) (P.eval q x)));
+    qtest "karatsuba = schoolbook" 60
+      (QCheck.pair (arb_poly ~max_deg:120 ()) (arb_poly ~max_deg:120 ()))
+      (fun (p, q) -> poly_eq (P.mul_karatsuba p q) (P.mul_schoolbook p q));
+    qtest "ntt = schoolbook" 60
+      (QCheck.pair (arb_poly ~max_deg:120 ()) (arb_poly ~max_deg:120 ()))
+      (fun (p, q) ->
+        P.is_zero p || P.is_zero q
+        || poly_eq (P.mul_ntt p q) (P.mul_schoolbook p q));
+    qtest "divmod invariant" 100
+      (QCheck.pair (arb_poly ~max_deg:60 ()) (arb_poly ~max_deg:25 ()))
+      (fun (p, d) ->
+        QCheck.assume (not (P.is_zero d));
+        let q, r = P.divmod p d in
+        poly_eq p (P.add (P.mul q d) r) && P.degree r < P.degree d);
+    qtest "divmod_fast = divmod_schoolbook" 30
+      (QCheck.pair (arb_poly ~max_deg:300 ()) (arb_poly ~max_deg:130 ()))
+      (fun (p, d) ->
+        QCheck.assume (not (P.is_zero d));
+        let q1, r1 = P.divmod_fast p d in
+        let q2, r2 = P.divmod_schoolbook p d in
+        poly_eq q1 q2 && poly_eq r1 r2);
+    qtest "inv_series inverts" 50
+      (arb_poly ~max_deg:40 ())
+      (fun d ->
+        QCheck.assume (not (P.is_zero d) && not (F.is_zero (P.coeff d 0)));
+        let m = 1 + P.degree d + 7 in
+        let x = P.inv_series d m in
+        let prod = P.truncate (P.mul d x) m in
+        poly_eq prod P.one);
+    qtest "gcd divides both" 60
+      (QCheck.pair (arb_poly ~max_deg:20 ()) (arb_poly ~max_deg:20 ()))
+      (fun (p, q) ->
+        let g = P.gcd p q in
+        (P.is_zero p && P.is_zero q && P.is_zero g)
+        || (P.is_zero (P.rem p g) && P.is_zero (P.rem q g)));
+    qtest "xgcd bezout identity" 60
+      (QCheck.pair (arb_poly ~max_deg:20 ()) (arb_poly ~max_deg:20 ()))
+      (fun (p, q) ->
+        let g, u, v = P.xgcd p q in
+        poly_eq g (P.add (P.mul u p) (P.mul v q)));
+    qtest "derivative of product (Leibniz)" 60
+      (QCheck.pair (arb_poly ~max_deg:15 ()) (arb_poly ~max_deg:15 ()))
+      (fun (p, q) ->
+        poly_eq
+          (P.derivative (P.mul p q))
+          (P.add (P.mul (P.derivative p) q) (P.mul p (P.derivative q))));
+    qtest "of_roots vanishes at roots" 40
+      (QCheck.make (QCheck.Gen.return ()))
+      (fun () ->
+        let n = 1 + Csm_rng.int rng 20 in
+        let roots = Array.init n (fun _ -> F.random rng) in
+        let p = P.of_roots roots in
+        P.degree p = n
+        && Array.for_all (fun r -> F.is_zero (P.eval p r)) roots);
+  ]
+
+(* Interpolation round trip: random poly of degree < k, evaluated at k
+   distinct points, reinterpolated. *)
+let interp_roundtrip interp () =
+  for _ = 1 to 50 do
+    let k = 1 + Csm_rng.int rng 30 in
+    let p = if k = 1 then P.constant (F.random rng) else P.random rng ~degree:(k - 1) in
+    let points = Lag.standard_points k in
+    let pairs = Array.map (fun x -> (x, P.eval p x)) points in
+    let q = interp pairs in
+    if not (poly_eq p q) then
+      Alcotest.failf "interpolation mismatch (k=%d): %s vs %s" k
+        (P.to_string p) (P.to_string q)
+  done
+
+let lagrange_roundtrip () = interp_roundtrip Lag.interpolate ()
+
+let fast_interp_roundtrip () =
+  interp_roundtrip
+    (fun pairs ->
+      Sub.interpolate (Array.map fst pairs) (Array.map snd pairs))
+    ()
+
+let coeff_row_matches_basis () =
+  for _ = 1 to 50 do
+    let k = 2 + Csm_rng.int rng 10 in
+    let omegas = Lag.standard_points k in
+    let weights = Lag.barycentric_weights omegas in
+    let x = F.random rng in
+    let row = Lag.coeff_row ~points:omegas ~weights x in
+    (* each entry must equal ∏_{l≠j} (x-ω_l)/(ω_j-ω_l) *)
+    Array.iteri
+      (fun j c ->
+        let expect = ref F.one in
+        for l = 0 to k - 1 do
+          if l <> j then
+            expect :=
+              F.mul !expect
+                (F.div (F.sub x omegas.(l)) (F.sub omegas.(j) omegas.(l)))
+        done;
+        if not (F.equal c !expect) then Alcotest.fail "coeff_row mismatch")
+      row
+  done
+
+let coeff_row_indicator () =
+  let k = 7 in
+  let omegas = Lag.standard_points k in
+  let weights = Lag.barycentric_weights omegas in
+  for j = 0 to k - 1 do
+    let row = Lag.coeff_row ~points:omegas ~weights omegas.(j) in
+    Array.iteri
+      (fun l c ->
+        let want = if l = j then F.one else F.zero in
+        if not (F.equal c want) then Alcotest.fail "indicator row wrong")
+      row
+  done
+
+let coeff_matrix_encodes () =
+  (* Encoding via the matrix must equal evaluating the interpolant. *)
+  for _ = 1 to 30 do
+    let k = 1 + Csm_rng.int rng 8 in
+    let n = k + Csm_rng.int rng 10 in
+    let omegas = Lag.standard_points k in
+    let alphas = Lag.standard_points ~offset:k n in
+    let c = Lag.coeff_matrix ~omegas ~alphas in
+    let values = Array.init k (fun _ -> F.random rng) in
+    let encoded = Lag.encode_with_matrix c values in
+    let u = Lag.interpolate (Array.map2 (fun w v -> (w, v)) omegas values) in
+    Array.iteri
+      (fun i x ->
+        if not (F.equal x (P.eval u alphas.(i))) then
+          Alcotest.fail "matrix encoding <> interpolant evaluation")
+      encoded
+  done
+
+let fast_eval_matches_naive () =
+  for _ = 1 to 30 do
+    let d = Csm_rng.int rng 50 in
+    let p = if d = 0 then P.constant (F.random rng) else P.random rng ~degree:d in
+    let n = 1 + Csm_rng.int rng 60 in
+    let points = Array.init n (fun i -> F.of_int (i * 3 + 1)) in
+    let fast = Sub.eval_all p points in
+    Array.iteri
+      (fun i _ ->
+        if not (F.equal fast.(i) (P.eval p points.(i))) then
+          Alcotest.fail "fast multipoint eval mismatch")
+      points
+  done
+
+let root_poly_correct () =
+  let points = Array.init 17 (fun i -> F.of_int (i + 1)) in
+  let t = Sub.build points in
+  let m = Sub.root_poly t in
+  Alcotest.(check int) "degree" 17 (P.degree m);
+  Array.iter
+    (fun x ->
+      Alcotest.(check bool) "vanishes" true (F.is_zero (P.eval m x)))
+    points
+
+let eval_barycentric_matches () =
+  for _ = 1 to 30 do
+    let k = 2 + Csm_rng.int rng 10 in
+    let points = Lag.standard_points k in
+    let weights = Lag.barycentric_weights points in
+    let values = Array.init k (fun _ -> F.random rng) in
+    let u = Lag.interpolate (Array.map2 (fun p v -> (p, v)) points values) in
+    let x = F.random rng in
+    let got = Lag.eval_barycentric ~points ~weights ~values x in
+    if not (F.equal got (P.eval u x)) then
+      Alcotest.fail "barycentric eval mismatch"
+  done
+
+let duplicate_points_rejected () =
+  let pts = [| F.of_int 1; F.of_int 2; F.of_int 1 |] in
+  let raised = ref false in
+  (try Lag.check_distinct pts with Invalid_argument _ -> raised := true);
+  Alcotest.(check bool) "duplicate detected" true !raised
+
+(* Subproduct/interp also work over char-2 fields, where the NTT path is
+   unavailable and Karatsuba is used throughout. *)
+let char2_interp () =
+  let module G = Gf2m.Gf1024 in
+  let module PG = Poly.Make (G) in
+  let module SG = Subproduct.Make (G) in
+  let r = Csm_rng.create 99 in
+  for _ = 1 to 20 do
+    let k = 1 + Csm_rng.int r 30 in
+    let p = if k = 1 then PG.constant (G.random r) else PG.random r ~degree:(k - 1) in
+    let points = Array.init k (fun i -> G.of_int (i + 1)) in
+    let values = SG.eval_all p points in
+    let q = SG.interpolate points values in
+    if not (PG.equal p q) then Alcotest.fail "char2 fast interp mismatch"
+  done
+
+let unit_tests =
+  [
+    Alcotest.test_case "lagrange interpolation roundtrip" `Quick
+      lagrange_roundtrip;
+    Alcotest.test_case "fast interpolation roundtrip" `Quick
+      fast_interp_roundtrip;
+    Alcotest.test_case "coeff_row matches lagrange basis" `Quick
+      coeff_row_matches_basis;
+    Alcotest.test_case "coeff_row at a node point is indicator" `Quick
+      coeff_row_indicator;
+    Alcotest.test_case "coeff_matrix encodes like interpolant" `Quick
+      coeff_matrix_encodes;
+    Alcotest.test_case "fast multipoint eval = naive" `Quick
+      fast_eval_matches_naive;
+    Alcotest.test_case "subproduct root poly" `Quick root_poly_correct;
+    Alcotest.test_case "barycentric evaluation" `Quick eval_barycentric_matches;
+    Alcotest.test_case "duplicate points rejected" `Quick
+      duplicate_points_rejected;
+    Alcotest.test_case "fast interp over GF(2^10)" `Quick char2_interp;
+  ]
+
+let suites =
+  [
+    ("poly:laws", List.map (QCheck_alcotest.to_alcotest ~long:false) props);
+    ("poly:interp", unit_tests);
+  ]

@@ -1,0 +1,85 @@
+(* PRNG sanity: determinism, bounds, splitting, sampling. *)
+
+let determinism () =
+  let a = Csm_rng.create 42 and b = Csm_rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Csm_rng.bits a) (Csm_rng.bits b)
+  done
+
+let bounds () =
+  let r = Csm_rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Csm_rng.int r 10 in
+    if v < 0 || v >= 10 then Alcotest.fail "int out of bounds";
+    let f = Csm_rng.float r in
+    if f < 0.0 || f >= 1.0 then Alcotest.fail "float out of bounds"
+  done
+
+let int_rejects_bad_bound () =
+  let r = Csm_rng.create 1 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Csm_rng.int: bound must be positive")
+    (fun () -> ignore (Csm_rng.int r 0))
+
+let split_independent () =
+  let r = Csm_rng.create 11 in
+  let c1 = Csm_rng.split r in
+  let c2 = Csm_rng.split r in
+  (* children differ from each other *)
+  let same = ref 0 in
+  for _ = 1 to 50 do
+    if Csm_rng.bits c1 = Csm_rng.bits c2 then incr same
+  done;
+  Alcotest.(check int) "children disagree" 0 !same
+
+let sample_distinct () =
+  let r = Csm_rng.create 5 in
+  for _ = 1 to 50 do
+    let n = 1 + Csm_rng.int r 20 in
+    let k = 1 + Csm_rng.int r n in
+    let s = Csm_rng.sample r ~n ~k in
+    Alcotest.(check int) "size" k (Array.length s);
+    let sorted = Array.copy s in
+    Array.sort compare sorted;
+    for i = 0 to k - 2 do
+      if sorted.(i) = sorted.(i + 1) then Alcotest.fail "duplicate sample"
+    done;
+    Array.iter (fun x -> if x < 0 || x >= n then Alcotest.fail "range") s
+  done
+
+let copy_snapshots () =
+  let r = Csm_rng.create 123 in
+  ignore (Csm_rng.bits r);
+  let c = Csm_rng.copy r in
+  let a = Array.init 10 (fun _ -> Csm_rng.bits r) in
+  let b = Array.init 10 (fun _ -> Csm_rng.bits c) in
+  Alcotest.(check (array int)) "copy replays" a b
+
+let uniformity_rough () =
+  (* crude chi-square-free check: each bucket of 10 gets 5-15% of draws *)
+  let r = Csm_rng.create 2026 in
+  let counts = Array.make 10 0 in
+  let total = 20000 in
+  for _ = 1 to total do
+    let v = Csm_rng.int r 10 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iter
+    (fun c ->
+      if c < total / 20 || c > total * 3 / 20 then
+        Alcotest.failf "bucket count %d outside [%d, %d]" c (total / 20)
+          (total * 3 / 20))
+    counts
+
+let suites =
+  [
+    ( "rng",
+      [
+        Alcotest.test_case "determinism" `Quick determinism;
+        Alcotest.test_case "bounds" `Quick bounds;
+        Alcotest.test_case "int rejects bad bound" `Quick int_rejects_bad_bound;
+        Alcotest.test_case "split independence" `Quick split_independent;
+        Alcotest.test_case "sample distinct" `Quick sample_distinct;
+        Alcotest.test_case "copy snapshots" `Quick copy_snapshots;
+        Alcotest.test_case "rough uniformity" `Quick uniformity_rough;
+      ] );
+  ]

@@ -1,0 +1,285 @@
+(* Network simulator: delivery, ordering, latency models, timers,
+   determinism, halting, and Byzantine equivocation power. *)
+
+module Net = Csm_sim.Net
+
+type msg = Ping of int | Val of string
+
+let ping_pong () =
+  (* node 0 pings everyone; each replies; count receipts *)
+  let received = Array.make 4 0 in
+  let behaviors =
+    Array.init 4 (fun i ->
+        {
+          Net.init =
+            (fun api -> if i = 0 then api.Net.broadcast (Ping 0));
+          on_message =
+            (fun api ~sender m ->
+              received.(i) <- received.(i) + 1;
+              match m with
+              | Ping 0 when i <> 0 -> api.Net.send sender (Ping 1)
+              | Ping _ | Val _ -> ());
+          on_timer = (fun _ _ -> ());
+        })
+  in
+  let stats = Net.run ~latency:(Net.sync ~delta:5) behaviors in
+  Alcotest.(check int) "node 0 got 3 replies" 3 received.(0);
+  Alcotest.(check int) "sent" 6 stats.Net.messages_sent;
+  Alcotest.(check int) "delivered" 6 stats.Net.messages_delivered;
+  (* two hops of 5 *)
+  Alcotest.(check int) "end time" 10 stats.Net.end_time
+
+let sync_latency_exact () =
+  let arrival = ref (-1) in
+  let behaviors =
+    [|
+      {
+        Net.init = (fun api -> api.Net.send 1 (Ping 0));
+        on_message = (fun _ ~sender:_ _ -> ());
+        on_timer = (fun _ _ -> ());
+      };
+      {
+        Net.init = (fun _ -> ());
+        on_message = (fun api ~sender:_ _ -> arrival := api.Net.now ());
+        on_timer = (fun _ _ -> ());
+      };
+    |]
+  in
+  ignore (Net.run ~latency:(Net.sync ~delta:7) behaviors);
+  Alcotest.(check int) "arrives at delta" 7 !arrival
+
+let partial_sync_bounds () =
+  (* Before GST the adversary delays messages hugely, but delivery must
+     still happen by max(send, gst) + delta. *)
+  let gst = 100 and delta = 5 in
+  let latency =
+    Net.partial_sync ~gst ~delta ~pre:(fun ~src:_ ~dst:_ ~now:_ -> 10_000)
+  in
+  let arrivals = ref [] in
+  let behaviors =
+    [|
+      {
+        Net.init =
+          (fun api ->
+            api.Net.send 1 (Ping 0);
+            (* and one after GST *)
+            api.Net.set_timer ~delay:(gst + 10) ~tag:1);
+        on_message = (fun _ ~sender:_ _ -> ());
+        on_timer = (fun api _ -> api.Net.send 1 (Ping 1));
+      };
+      {
+        Net.init = (fun _ -> ());
+        on_message = (fun api ~sender:_ _ -> arrivals := api.Net.now () :: !arrivals);
+        on_timer = (fun _ _ -> ());
+      };
+    |]
+  in
+  ignore (Net.run ~latency behaviors);
+  match List.rev !arrivals with
+  | [ first; second ] ->
+    Alcotest.(check int) "pre-GST message by gst+delta" (gst + delta) first;
+    (* post-GST message takes <= delta *)
+    Alcotest.(check bool) "post-GST within delta" true
+      (second <= gst + 10 + delta)
+  | l -> Alcotest.failf "expected 2 arrivals, got %d" (List.length l)
+
+let timers_fire_in_order () =
+  let fired = ref [] in
+  let behaviors =
+    [|
+      {
+        Net.init =
+          (fun api ->
+            api.Net.set_timer ~delay:30 ~tag:3;
+            api.Net.set_timer ~delay:10 ~tag:1;
+            api.Net.set_timer ~delay:20 ~tag:2);
+        on_message = (fun _ ~sender:_ (_ : msg) -> ());
+        on_timer = (fun _ tag -> fired := tag :: !fired);
+      };
+    |]
+  in
+  ignore (Net.run ~latency:(Net.sync ~delta:1) behaviors);
+  Alcotest.(check (list int)) "order" [ 1; 2; 3 ] (List.rev !fired)
+
+let halt_stops_delivery () =
+  let got = ref 0 in
+  let behaviors =
+    [|
+      {
+        Net.init =
+          (fun api ->
+            api.Net.send 1 (Ping 0);
+            api.Net.set_timer ~delay:50 ~tag:0);
+        on_message = (fun _ ~sender:_ _ -> ());
+        on_timer = (fun api _ -> api.Net.send 1 (Ping 1));
+      };
+      {
+        Net.init = (fun api -> api.Net.halt ());
+        on_message = (fun _ ~sender:_ _ -> incr got);
+        on_timer = (fun _ _ -> ());
+      };
+    |]
+  in
+  ignore (Net.run ~latency:(Net.sync ~delta:5) behaviors);
+  Alcotest.(check int) "halted node receives nothing" 0 !got
+
+let equivocation_possible () =
+  (* a Byzantine node can send different values to different peers, but
+     the sender identity is stamped truthfully *)
+  let seen = Array.make 3 "" in
+  let senders = ref [] in
+  let behaviors =
+    [|
+      {
+        Net.init =
+          (fun api ->
+            api.Net.send 1 (Val "to-1");
+            api.Net.send 2 (Val "to-2"));
+        on_message = (fun _ ~sender:_ _ -> ());
+        on_timer = (fun _ _ -> ());
+      };
+      {
+        Net.init = (fun _ -> ());
+        on_message =
+          (fun _ ~sender m ->
+            senders := sender :: !senders;
+            match m with Val s -> seen.(1) <- s | Ping _ -> ());
+        on_timer = (fun _ _ -> ());
+      };
+      {
+        Net.init = (fun _ -> ());
+        on_message =
+          (fun _ ~sender m ->
+            senders := sender :: !senders;
+            match m with Val s -> seen.(2) <- s | Ping _ -> ());
+        on_timer = (fun _ _ -> ());
+      };
+    |]
+  in
+  ignore (Net.run ~latency:(Net.sync ~delta:2) behaviors);
+  Alcotest.(check string) "node1 view" "to-1" seen.(1);
+  Alcotest.(check string) "node2 view" "to-2" seen.(2);
+  Alcotest.(check (list int)) "senders stamped" [ 0; 0 ] !senders
+
+let determinism () =
+  let run () =
+    let log = ref [] in
+    let behaviors =
+      Array.init 5 (fun i ->
+          {
+            Net.init = (fun api -> if i = 0 then api.Net.broadcast (Ping i));
+            on_message =
+              (fun api ~sender m ->
+                log := (api.Net.now (), sender, i) :: !log;
+                match m with
+                | Ping p when p < 2 -> api.Net.broadcast (Ping (p + 1))
+                | Ping _ | Val _ -> ());
+            on_timer = (fun _ _ -> ());
+          })
+    in
+    ignore (Net.run ~latency:(Net.sync ~delta:3) behaviors);
+    !log
+  in
+  Alcotest.(check bool) "identical runs" true (run () = run ())
+
+let event_budget_respected () =
+  (* an infinite ping loop must hit the event budget *)
+  let behaviors =
+    [|
+      {
+        Net.init = (fun api -> api.Net.send 1 (Ping 0));
+        on_message = (fun api ~sender _ -> api.Net.send sender (Ping 0));
+        on_timer = (fun _ _ -> ());
+      };
+      {
+        Net.init = (fun _ -> ());
+        on_message = (fun api ~sender _ -> api.Net.send sender (Ping 0));
+        on_timer = (fun _ _ -> ());
+      };
+    |]
+  in
+  match Net.run ~max_events:1000 ~latency:(Net.sync ~delta:1) behaviors with
+  | exception Net.Simulation_limit _ -> ()
+  | _stats -> Alcotest.fail "expected Simulation_limit"
+
+(* ----- trace recorder + invariant checker ----- *)
+
+module Trace = Csm_sim.Trace
+
+let trace_invariants_hold () =
+  (* a busy run: broadcast storm with timers and a halt *)
+  let t = Trace.create () in
+  let behaviors =
+    Array.init 5 (fun i ->
+        {
+          Net.init =
+            (fun api ->
+              if i = 0 then api.Net.broadcast (Ping 0);
+              api.Net.set_timer ~delay:20 ~tag:i;
+              if i = 4 then api.Net.halt ());
+          on_message =
+            (fun api ~sender:_ m ->
+              match m with
+              | Ping p when p < 2 -> api.Net.broadcast (Ping (p + 1))
+              | Ping _ | Val _ -> ());
+          on_timer = (fun _ _ -> ());
+        })
+  in
+  ignore (Net.run ~tracer:(Trace.tracer t) ~latency:(Net.sync ~delta:3) behaviors);
+  Alcotest.(check (list string)) "no violations" [] (Trace.check t);
+  Alcotest.(check bool) "messages recorded" true (Trace.message_count t > 0)
+
+let trace_deterministic_replay () =
+  let capture () =
+    let t = Trace.create () in
+    let behaviors =
+      Array.init 4 (fun i ->
+          {
+            Net.init = (fun api -> if i = 0 then api.Net.broadcast (Ping 0));
+            on_message =
+              (fun api ~sender m ->
+                match m with
+                | Ping 0 -> api.Net.send sender (Ping 1)
+                | Ping _ | Val _ -> ());
+            on_timer = (fun _ _ -> ());
+          })
+    in
+    ignore (Net.run ~tracer:(Trace.tracer t) ~latency:(Net.sync ~delta:2) behaviors);
+    Trace.events t
+  in
+  Alcotest.(check bool) "identical traces" true (capture () = capture ())
+
+(* the checker actually catches violations: feed it a forged trace *)
+let trace_checker_catches () =
+  let t = Trace.create () in
+  Trace.tracer t (Net.T_deliver { at = 5; src = 0; dst = 1; msg = Ping 0 });
+  Alcotest.(check bool) "orphan delivery flagged" true (Trace.check t <> []);
+  let t2 = Trace.create () in
+  Trace.tracer t2
+    (Net.T_timer_fired { at = 3; node = 0; tag = 9 });
+  Alcotest.(check bool) "orphan timer flagged" true (Trace.check t2 <> [])
+
+let suites =
+  [
+    ( "sim",
+      [
+        Alcotest.test_case "ping pong" `Quick ping_pong;
+        Alcotest.test_case "sync latency exact" `Quick sync_latency_exact;
+        Alcotest.test_case "partial-sync GST bound" `Quick partial_sync_bounds;
+        Alcotest.test_case "timer ordering" `Quick timers_fire_in_order;
+        Alcotest.test_case "halt stops delivery" `Quick halt_stops_delivery;
+        Alcotest.test_case "equivocation + stamped senders" `Quick
+          equivocation_possible;
+        Alcotest.test_case "determinism" `Quick determinism;
+        Alcotest.test_case "event budget" `Quick event_budget_respected;
+      ] );
+    ( "sim:trace",
+      [
+        Alcotest.test_case "invariants hold on busy run" `Quick
+          trace_invariants_hold;
+        Alcotest.test_case "deterministic replay" `Quick
+          trace_deterministic_replay;
+        Alcotest.test_case "checker catches forged traces" `Quick
+          trace_checker_catches;
+      ] );
+  ]

@@ -1,0 +1,198 @@
+(* SMR baselines: correctness of full/partial replication, the vote
+   rule, fault-tolerance boundaries (the Table-1 security column), and
+   storage accounting. *)
+
+open Csm_field
+module F = Fp.Default
+module R = Csm_smr.Replication.Make (F)
+module M = R.M
+
+let rng = Csm_rng.create 0x55E
+let fi = F.of_int
+
+let machine = M.bank ()
+
+let init k = Array.init k (fun i -> [| fi (100 * (i + 1)) |])
+let commands k = Array.init k (fun i -> [| fi (i + 1) |])
+
+let vote_rule () =
+  let v1 = [| fi 1 |] and v2 = [| fi 2 |] in
+  Alcotest.(check bool) "majority wins" true
+    (match R.vote ~threshold:2 [ v1; v2; v1 ] with
+    | Some v -> F.equal v.(0) (fi 1)
+    | None -> false);
+  Alcotest.(check bool) "threshold unmet" true
+    (R.vote ~threshold:3 [ v1; v2; v1; v2 ] = None);
+  Alcotest.(check bool) "empty" true (R.vote ~threshold:1 [] = None)
+
+let full_replication_correct () =
+  let n = 7 and k = 3 in
+  let b = R.security_full ~n `Sync in
+  let t = R.Full.create ~machine ~n ~k ~init:(init k) in
+  (* b Byzantine nodes lying, decided outputs still correct *)
+  let outs =
+    R.Full.round t ~commands:(commands k) ~byzantine:(fun i -> i < b) ~b ()
+  in
+  Array.iteri
+    (fun m o ->
+      match o with
+      | None -> Alcotest.fail "vote failed"
+      | Some y ->
+        Alcotest.(check int) "balance" ((100 * (m + 1)) + m + 1) (F.to_int y.(0)))
+    outs;
+  (* states advanced consistently *)
+  let states = R.Full.states t in
+  Alcotest.(check int) "state 0" 101 (F.to_int states.(0).(0))
+
+let full_replication_breaks_beyond_bound () =
+  let n = 7 and k = 2 in
+  let b = R.security_full ~n `Sync in
+  let t = R.Full.create ~machine ~n ~k ~init:(init k) in
+  (* b+1 colluding liars reporting the same wrong value can win the vote
+     or prevent it; the honest value can no longer be guaranteed *)
+  let outs =
+    R.Full.round t ~commands:(commands k)
+      ~byzantine:(fun i -> i <= b)
+      ~b ()
+  in
+  (* with 4 identical liars vs 3 honest and threshold b+1 = 4, the lie
+     reaches the threshold: the client is fooled *)
+  match outs.(0) with
+  | Some y ->
+    Alcotest.(check bool) "client fooled beyond bound" false
+      (F.equal y.(0) (fi 101))
+  | None -> () (* or no quorum: also a failure to deliver correctly *)
+
+let partial_replication_correct () =
+  let n = 12 and k = 3 in
+  let b = R.security_partial ~n ~k `Sync in
+  Alcotest.(check int) "group security" 1 b;
+  let t = R.Partial.create ~machine ~n ~k ~init:(init k) in
+  (* one liar per group is tolerated *)
+  let byz i = i mod (n / k) = 0 in
+  let outs = R.Partial.round t ~commands:(commands k) ~byzantine:byz ~b () in
+  Array.iteri
+    (fun m o ->
+      match o with
+      | None -> Alcotest.fail "vote failed"
+      | Some y ->
+        Alcotest.(check int) "balance" ((100 * (m + 1)) + m + 1) (F.to_int y.(0)))
+    outs
+
+let partial_replication_targeted_attack () =
+  (* the adversary corrupts one whole group: that machine's clients can
+     be fooled even though the global fault count is far below N/2 —
+     the security cliff the paper's Table 1 captures *)
+  let n = 12 and k = 3 in
+  let q = n / k in
+  let b = R.security_partial ~n ~k `Sync in
+  let t = R.Partial.create ~machine ~n ~k ~init:(init k) in
+  (* corrupt a majority of group 0 only: q/2+1 = 3 of 4 nodes; total
+     faults 3 < N/2 = 6 *)
+  let byz i = i < (q / 2) + 1 in
+  let outs = R.Partial.round t ~commands:(commands k) ~byzantine:byz ~b () in
+  (match outs.(0) with
+  | Some y ->
+    Alcotest.(check bool) "machine 0 compromised" false
+      (F.equal y.(0) (fi 101))
+  | None -> ());
+  (* other groups unaffected *)
+  match outs.(1) with
+  | Some y -> Alcotest.(check int) "machine 1 fine" 202 (F.to_int y.(0))
+  | None -> Alcotest.fail "machine 1 should decide"
+
+let storage_accounting () =
+  let n = 12 and k = 3 in
+  let full = R.Full.create ~machine ~n ~k ~init:(init k) in
+  let partial = R.Partial.create ~machine ~n ~k ~init:(init k) in
+  Alcotest.(check int) "full: k states" k (R.Full.storage_per_node full);
+  Alcotest.(check int) "partial: 1 state" 1 (R.Partial.storage_per_node partial);
+  (* gamma = total / per-node *)
+  Alcotest.(check int) "gamma full" 1 (k / R.Full.storage_per_node full);
+  Alcotest.(check int) "gamma partial" k (k / R.Partial.storage_per_node partial)
+
+let multi_round_consistency () =
+  let n = 6 and k = 2 in
+  let b = R.security_full ~n `Sync in
+  let t = R.Full.create ~machine ~n ~k ~init:(init k) in
+  let expect = [| 100; 200 |] in
+  for r = 1 to 10 do
+    let cmds = Array.init k (fun m -> [| fi (r * (m + 1)) |]) in
+    expect.(0) <- expect.(0) + r;
+    expect.(1) <- expect.(1) + (2 * r);
+    let outs = R.Full.round t ~commands:cmds ~byzantine:(fun _ -> false) ~b () in
+    Array.iteri
+      (fun m o ->
+        match o with
+        | Some y -> Alcotest.(check int) "running balance" expect.(m) (F.to_int y.(0))
+        | None -> Alcotest.fail "no quorum")
+      outs
+  done
+
+let security_bounds_table () =
+  (* Section 3 closed forms *)
+  Alcotest.(check int) "full sync" 7 (R.security_full ~n:15 `Sync);
+  Alcotest.(check int) "full partial-sync" 4 (R.security_full ~n:15 `Partial_sync);
+  Alcotest.(check int) "partial sync" 2 (R.security_partial ~n:15 ~k:3 `Sync);
+  Alcotest.(check int) "partial partial-sync" 1
+    (R.security_partial ~n:15 ~k:3 `Partial_sync)
+
+let group_layout () =
+  let n = 12 and k = 3 in
+  let t = R.Partial.create ~machine ~n ~k ~init:(init k) in
+  Alcotest.(check int) "group of node 5" 1 (R.Partial.group_of t 5);
+  Alcotest.(check (array int)) "members of group 2" [| 8; 9; 10; 11 |]
+    (R.Partial.group_members t 2);
+  Alcotest.check_raises "k must divide n"
+    (Invalid_argument "Partial.create: K must divide N (disjoint groups)")
+    (fun () ->
+      ignore (R.Partial.create ~machine ~n:10 ~k:3 ~init:(init 3)))
+
+let random_corruptions_never_fool_full () =
+  (* random (non-colluding) corruptions never reach the threshold as long
+     as liars < b+1 *)
+  let n = 9 and k = 2 in
+  let b = R.security_full ~n `Sync in
+  for trial = 1 to 20 do
+    let t = R.Full.create ~machine ~n ~k ~init:(init k) in
+    let nbyz = Csm_rng.int rng (b + 1) in
+    let byz = Array.init n (fun i -> i < nbyz) in
+    Csm_rng.shuffle rng byz;
+    let corruption ~node ~machine:_ (y : F.t array) =
+      Array.map (fun v -> F.add v (fi (node + trial))) y
+    in
+    let outs =
+      R.Full.round t ~commands:(commands k)
+        ~byzantine:(fun i -> byz.(i))
+        ~corruption ~b ()
+    in
+    Array.iter
+      (fun o ->
+        match o with
+        | Some _ -> ()
+        | None -> Alcotest.fail "quorum must exist")
+      outs
+  done
+
+let suites =
+  [
+    ( "smr",
+      [
+        Alcotest.test_case "vote rule" `Quick vote_rule;
+        Alcotest.test_case "full replication correct under b faults" `Quick
+          full_replication_correct;
+        Alcotest.test_case "full replication breaks beyond bound" `Quick
+          full_replication_breaks_beyond_bound;
+        Alcotest.test_case "partial replication correct" `Quick
+          partial_replication_correct;
+        Alcotest.test_case "partial replication targeted attack" `Quick
+          partial_replication_targeted_attack;
+        Alcotest.test_case "storage accounting" `Quick storage_accounting;
+        Alcotest.test_case "multi-round consistency" `Quick
+          multi_round_consistency;
+        Alcotest.test_case "security bound formulas" `Quick security_bounds_table;
+        Alcotest.test_case "group layout" `Quick group_layout;
+        Alcotest.test_case "random corruption never blocks quorum" `Quick
+          random_corruptions_never_fool_full;
+      ] );
+  ]
