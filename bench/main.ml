@@ -10,8 +10,14 @@
    - intermix/*          Algorithm 1: honest audit, adaptive fraud
                          localization, O(1) commoner check (Figure 5)
    - consensus/*         Dolev-Strong and PBFT instances (consensus phase)
+   - parallel/*          one decentralized engine round at N=64 under
+                         1/2/4/8 domains (the multicore execution layer)
 
-   Everything is deterministic (fixed seeds). *)
+   Everything is deterministic (fixed seeds).
+
+   `main.exe --smoke [--out FILE]` skips bechamel and runs only the
+   parallel smoke benchmark, writing a JSON report (BENCH_parallel.json
+   via the `bench-smoke` alias). *)
 
 open Bechamel
 open Toolkit
@@ -280,6 +286,158 @@ let intermix_group =
   Test.make_grouped ~name:"intermix"
     [ bench_ix_honest; bench_ix_adaptive; bench_ix_commoner ]
 
+(* ----- Parallel execution layer: one engine round vs domain count ----- *)
+
+module Pool = Csm_parallel.Pool
+module CF = Csm_field.Counted.Make (F)
+module EC = Csm_core.Engine.Make (CF)
+module Ledger = Csm_metrics.Ledger
+module Scope = Csm_metrics.Scope
+
+(* N=64 register bank: state_dim 8, result_dim 9 — enough independent
+   coordinates for the per-coordinate decode fan-out to matter. *)
+let par_n = 64
+let par_d = 2
+let par_slots = 8
+let par_machine = M.register_bank ~slots:par_slots
+let par_k = Params.max_machines ~network:Params.Sync ~n:par_n ~b:16 ~d:par_d
+let par_b = Params.max_faults ~network:Params.Sync ~n:par_n ~k:par_k ~d:par_d
+
+let par_engine seed =
+  let params = Params.make ~network:Params.Sync ~n:par_n ~k:par_k ~d:par_d ~b:par_b in
+  let rng = Csm_rng.create seed in
+  let init =
+    Array.init par_k (fun _ ->
+        Array.init par_machine.M.state_dim (fun _ -> F.random rng))
+  in
+  let commands =
+    Array.init par_k (fun _ ->
+        Array.init par_machine.M.input_dim (fun _ -> F.random rng))
+  in
+  (E.create ~machine:par_machine ~params ~init, commands)
+
+let par_round engine commands =
+  let r = E.round engine ~commands ~byzantine:(fun i -> i < par_b) () in
+  assert (r.E.decoded <> None);
+  r
+
+let parallel_group =
+  let engine, commands = par_engine 0x64BE
+  and host = Pool.domains () in
+  Test.make_grouped ~name:"parallel"
+    [
+      Test.make_indexed ~name:"engine-round-n64" ~args:[ 1; 2; 4; 8 ]
+        (fun dm ->
+          Staged.stage (fun () ->
+              Pool.set_domains dm;
+              Fun.protect
+                ~finally:(fun () -> Pool.set_domains host)
+                (fun () -> ignore (par_round engine commands))));
+    ]
+
+(* ----- smoke mode: honest JSON report for the parallel layer ----- *)
+
+let smoke_widths = [ 1; 2; 4; 8 ]
+
+(* wall-clock per round (ns) at a given width, median of [reps] *)
+let smoke_time ~width ~reps =
+  Pool.with_domain_limit width (fun () ->
+      let engine, commands = par_engine 0x64BE in
+      ignore (par_round engine commands);
+      (* warmup *)
+      let samples =
+        List.init reps (fun _ ->
+            let t0 = Unix.gettimeofday () in
+            ignore (par_round engine commands);
+            Unix.gettimeofday () -. t0)
+      in
+      let sorted = List.sort compare samples in
+      List.nth sorted (reps / 2) *. 1e9)
+
+(* decoded output of two rounds at a given width (fresh engine, same seed) *)
+let smoke_observe ~width =
+  Pool.with_domain_limit width (fun () ->
+      let engine, commands = par_engine 0x64BE in
+      let r1 = par_round engine commands in
+      let r2 = par_round engine commands in
+      (r1.E.decoded, r2.E.decoded))
+
+(* ledger grand total of one counted round at a given width *)
+let smoke_ledger ~width =
+  Pool.with_domain_limit width (fun () ->
+      let params =
+        Params.make ~network:Params.Sync ~n:par_n ~k:par_k ~d:par_d ~b:par_b
+      in
+      let machine = EC.M.register_bank ~slots:par_slots in
+      let rng = Csm_rng.create 0x64BE in
+      let init =
+        Array.init par_k (fun _ ->
+            Array.init machine.EC.M.state_dim (fun _ -> CF.random rng))
+      in
+      let commands =
+        Array.init par_k (fun _ ->
+            Array.init machine.EC.M.input_dim (fun _ -> CF.random rng))
+      in
+      let ledger = Ledger.create () in
+      let scope = Scope.of_ledger (module CF) ledger in
+      let engine = EC.create ~machine ~params ~init in
+      let r =
+        EC.round ~scope engine ~commands ~byzantine:(fun i -> i < par_b) ()
+      in
+      assert (r.EC.decoded <> None);
+      Ledger.grand_total ledger)
+
+let run_smoke ~out =
+  Pool.set_domains (List.fold_left max 1 smoke_widths);
+  let host_cores = Domain.recommended_domain_count () in
+  let reps = 5 in
+  let timings =
+    List.map (fun w -> (w, smoke_time ~width:w ~reps)) smoke_widths
+  in
+  let seq_ns = List.assoc 1 timings in
+  let base = smoke_observe ~width:1 in
+  let deterministic =
+    List.for_all (fun w -> smoke_observe ~width:w = base) smoke_widths
+  in
+  let base_ops = smoke_ledger ~width:1 in
+  let ledger_identical =
+    List.for_all (fun w -> smoke_ledger ~width:w = base_ops) smoke_widths
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Printf.bprintf buf "  \"bench\": \"parallel/engine-round-n64\",\n";
+  Printf.bprintf buf "  \"machine\": %S,\n" par_machine.M.name;
+  Printf.bprintf buf "  \"n\": %d, \"k\": %d, \"d\": %d, \"b\": %d,\n" par_n
+    par_k par_d par_b;
+  Printf.bprintf buf "  \"state_dim\": %d, \"result_dim\": %d,\n"
+    par_machine.M.state_dim
+    (par_machine.M.state_dim + par_machine.M.output_dim);
+  Printf.bprintf buf "  \"host_cores\": %d,\n" host_cores;
+  Printf.bprintf buf "  \"rounds_timed\": %d,\n" reps;
+  Printf.bprintf buf "  \"timings_ns\": {%s},\n"
+    (String.concat ", "
+       (List.map
+          (fun (w, ns) -> Printf.sprintf "\"domains_%d\": %.0f" w ns)
+          timings));
+  Printf.bprintf buf "  \"speedup_vs_seq\": {%s},\n"
+    (String.concat ", "
+       (List.map
+          (fun (w, ns) -> Printf.sprintf "\"domains_%d\": %.2f" w (seq_ns /. ns))
+          timings));
+  Printf.bprintf buf "  \"deterministic\": %b,\n" deterministic;
+  Printf.bprintf buf "  \"ledger_identical\": %b,\n" ledger_identical;
+  Printf.bprintf buf
+    "  \"note\": \"wall-clock measured on host_cores CPU core(s); \
+     speedups reflect that hardware, while determinism and operation \
+     counts are hardware-independent\"\n";
+  Buffer.add_string buf "}\n";
+  let oc = open_out out in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Format.printf "wrote %s (host_cores=%d, deterministic=%b, ledger=%b)@." out
+    host_cores deterministic ledger_identical;
+  if not (deterministic && ledger_identical) then exit 1
+
 (* ----- Consensus phase ----- *)
 
 module DS = Csm_consensus.Dolev_strong
@@ -320,6 +478,7 @@ let all_tests =
       rs_group;
       intermix_group;
       consensus_group;
+      parallel_group;
     ]
 
 let run_benchmarks () =
@@ -349,7 +508,12 @@ let run_benchmarks () =
   List.iter (fun (name, ns) -> Format.printf "%-44s %14.0f ns@," name ns) rows;
   Format.printf "@]@."
 
-let () =
+let rec out_arg = function
+  | "--out" :: path :: _ -> path
+  | _ :: rest -> out_arg rest
+  | [] -> "BENCH_parallel.json"
+
+let run_all () =
   run_benchmarks ();
   (* operation-counted table regeneration (the paper's own metric) *)
   Format.printf "@.";
@@ -370,3 +534,8 @@ let () =
     (Format.pp_print_list ~pp_sep:Format.pp_print_cut
        Csm_harness.Scaling.pp_coding)
     (Csm_harness.Scaling.coding_sweep [ 16; 64; 256; 1024; 4096 ])
+
+let () =
+  let argv = Array.to_list Sys.argv in
+  if List.mem "--smoke" argv then run_smoke ~out:(out_arg argv)
+  else run_all ()

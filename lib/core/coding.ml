@@ -10,6 +10,7 @@
    the same size — as a single machine's state, giving γ = K. *)
 
 module Field_intf = Csm_field.Field_intf
+module Pool = Csm_parallel.Pool
 
 module Make (F : Field_intf.S) = struct
   module P = Csm_poly.Poly.Make (F)
@@ -60,7 +61,9 @@ module Make (F : Field_intf.S) = struct
     !acc
 
   (* Encode K vectors (one per machine, common dimension) into N coded
-     vectors, coordinate-wise. *)
+     vectors, coordinate-wise.  The N output rows are independent, so
+     they fan out across the domain pool (each row written by index:
+     bit-identical output for any domain count). *)
   let encode_vectors t (vectors : F.t array array) =
     if Array.length vectors <> t.k then invalid_arg "Coding.encode_vectors";
     let dim = if t.k = 0 then 0 else Array.length vectors.(0) in
@@ -69,7 +72,7 @@ module Make (F : Field_intf.S) = struct
         if Array.length v <> dim then
           invalid_arg "Coding.encode_vectors: ragged input")
       vectors;
-    Array.init t.n (fun i ->
+    Pool.parallel_init t.n (fun i ->
         let row = t.cmatrix.(i) in
         Array.init dim (fun j ->
             let acc = ref F.zero in
@@ -101,7 +104,9 @@ module Make (F : Field_intf.S) = struct
       let poly = Sub.interpolate_prepared om values in
       Sub.eval_prepared al poly
     in
-    let coords = Array.init dim per_coord in
+    (* one interpolate+multievaluate per coordinate: the natural
+       parallel unit of the centralized worker (§6.2) *)
+    let coords = Pool.parallel_init ~chunk:1 dim per_coord in
     Array.init t.n (fun i -> Array.init dim (fun j -> coords.(j).(i)))
 
   (* Evaluate the interpolant of the K machine values at an arbitrary

@@ -20,6 +20,7 @@
 
 module Field_intf = Csm_field.Field_intf
 module Scope = Csm_metrics.Scope
+module Pool = Csm_parallel.Pool
 
 module Make (F : Field_intf.S) = struct
   module Coding = Coding.Make (F)
@@ -74,7 +75,15 @@ module Make (F : Field_intf.S) = struct
   }
 
   (* Step 4: decode from the received results ((node, vector) pairs;
-     missing nodes model withholding).  Attributed to [role]. *)
+     missing nodes model withholding).  Attributed to [role].
+
+     The [dim] coordinates are independent Reed–Solomon instances, so
+     they decode across the domain pool (chunk 1: one decode is the
+     grain).  Every coordinate writes disjoint slots of [next_states] /
+     [outputs] and its own error list, merged sequentially afterwards —
+     the decoded record is bit-identical for any domain count.  All
+     coordinates are decoded even after one fails, keeping the work (and
+     the operation counts) independent of scheduling. *)
   let decode_results ?(scope = Scope.null) ?(role = "decoder")
       ?(algorithm = RS.Gao) t (received : (int * F.t array) list) :
       decoded option =
@@ -89,10 +98,9 @@ module Make (F : Field_intf.S) = struct
           Array.init t.params.Params.k (fun _ ->
               Array.make t.machine.M.output_dim F.zero)
         in
-        let errors = ref [] in
-        let ok = ref true in
-        for j = 0 to dim - 1 do
-          if !ok then begin
+        let coord_ok = Array.make dim true in
+        let coord_errors = Array.make dim [] in
+        Pool.parallel_for ~chunk:1 dim (fun j ->
             let pairs =
               Array.of_list
                 (List.map
@@ -100,25 +108,29 @@ module Make (F : Field_intf.S) = struct
                    received)
             in
             match RS.decode ~algorithm ~k:kdim pairs with
-            | None -> ok := false
+            | None -> coord_ok.(j) <- false
             | Some d ->
-              (* record error positions (indices into [received]) *)
-              List.iter
-                (fun idx ->
-                  let node, _ = List.nth received idx in
-                  if not (List.mem node !errors) then errors := node :: !errors)
-                d.RS.errors;
+              (* error positions (indices into [received]) *)
+              coord_errors.(j) <- d.RS.errors;
               (* evaluate h_j at each ω *)
               Array.iteri
                 (fun k w ->
                   let v = RS.P.eval d.RS.poly w in
                   if j < sd then next_states.(k).(j) <- v
                   else outputs.(k).(j - sd) <- v)
-                t.coding.Coding.omegas
-          end
-        done;
-        if !ok then
+                t.coding.Coding.omegas);
+        if Array.for_all (fun x -> x) coord_ok then begin
+          let errors = ref [] in
+          Array.iter
+            (fun idxs ->
+              List.iter
+                (fun idx ->
+                  let node, _ = List.nth received idx in
+                  if not (List.mem node !errors) then errors := node :: !errors)
+                idxs)
+            coord_errors;
           Some { next_states; outputs; error_nodes = List.sort compare !errors }
+        end
         else None)
 
   (* Step 5 (per node): re-encode the coded state. *)
@@ -150,13 +162,19 @@ module Make (F : Field_intf.S) = struct
     let n = t.params.Params.n in
     if Array.length commands <> t.params.Params.k then
       invalid_arg "Engine.round: need K commands";
-    (* steps 1–2 at every node *)
+    (* steps 1–2 at every node: the N per-node encode+compute pairs are
+       independent, so they fan out across the domain pool.  The
+       [corruption] callback is user code (it may be stateful, e.g. an
+       RNG), so it is applied sequentially afterwards in node order —
+       exactly the schedule the sequential engine used. *)
     let computed =
-      Array.init n (fun i ->
+      Pool.parallel_init n (fun i ->
           let coded_command = node_encode_command ~scope t ~node:i ~commands in
-          let g = node_compute ~scope t ~node:i ~coded_command in
-          if byzantine i then corruption ~node:i g else g)
+          node_compute ~scope t ~node:i ~coded_command)
     in
+    Array.iteri
+      (fun i g -> if byzantine i then computed.(i) <- corruption ~node:i g)
+      computed;
     (* step 3–4: collect non-withheld results, decode *)
     let received =
       List.filter_map
@@ -164,12 +182,12 @@ module Make (F : Field_intf.S) = struct
         (List.init n (fun i -> i))
     in
     let decoded = decode_results ~scope ~role:decode_role ~algorithm t received in
-    (* step 5 *)
+    (* step 5: per-node re-encodes are independent (each writes its own
+       coded-state slot) *)
     (match decoded with
     | Some d ->
-      for i = 0 to n - 1 do
-        node_update_state ~scope t ~node:i ~next_states:d.next_states
-      done;
+      Pool.parallel_for n (fun i ->
+          node_update_state ~scope t ~node:i ~next_states:d.next_states);
       t.round_index <- t.round_index + 1
     | None -> ());
     { decoded; computed }
@@ -211,9 +229,10 @@ module Make (F : Field_intf.S) = struct
     let sd = t.machine.M.state_dim in
     let kdim = t.params.Params.k in
     let out = Array.make sd F.zero in
-    let ok = ref true in
-    for j = 0 to sd - 1 do
-      if !ok then begin
+    let coord_ok = Array.make sd true in
+    (* per-coordinate decodes are independent RS instances, same shape
+       as [decode_results] *)
+    Pool.parallel_for ~chunk:1 sd (fun j ->
         let pairs =
           Array.of_list
             (List.map
@@ -221,12 +240,10 @@ module Make (F : Field_intf.S) = struct
                reports)
         in
         match RS.decode ~k:kdim pairs with
-        | None -> ok := false
+        | None -> coord_ok.(j) <- false
         | Some d ->
-          out.(j) <- RS.P.eval d.RS.poly t.coding.Coding.alphas.(node)
-      end
-    done;
-    if !ok then Some out else None
+          out.(j) <- RS.P.eval d.RS.poly t.coding.Coding.alphas.(node));
+    if Array.for_all (fun x -> x) coord_ok then Some out else None
 
   let recover_node t ~node ~reports =
     match recover_coded_state t ~node ~reports with

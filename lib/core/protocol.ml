@@ -22,6 +22,7 @@ module Net = Csm_sim.Net
 module Auth = Csm_crypto.Auth
 module DS = Csm_consensus.Dolev_strong
 module Pbft = Csm_consensus.Pbft
+module Pool = Csm_parallel.Pool
 
 module Make (F : Field_intf.S) = struct
   module E = Engine.Make (F)
@@ -236,6 +237,17 @@ module Make (F : Field_intf.S) = struct
       else if cfg.early_decode then E.min_results engine
       else n
     in
+    (* Steps 1–2 of every node (encode the agreed commands, run the step
+       function on the coded state) are independent of the network
+       schedule, so compute them up front across the domain pool; the
+       simulated init hooks then just read their slot.  Honest and
+       Byzantine nodes compute the same gᵢ — the adversary corrupts
+       per-destination messages, not the computation. *)
+    let computed =
+      Pool.parallel_init n (fun i ->
+          let coded_command = E.node_encode_command engine ~node:i ~commands in
+          E.node_compute engine ~node:i ~coded_command)
+    in
     let behaviors =
       Array.init n (fun i ->
           let received : (int * F.t array) list ref = ref [] in
@@ -253,10 +265,7 @@ module Make (F : Field_intf.S) = struct
             {
               Net.init =
                 (fun api ->
-                  let coded_command =
-                    E.node_encode_command engine ~node:i ~commands
-                  in
-                  let g = E.node_compute engine ~node:i ~coded_command in
+                  let g = computed.(i) in
                   for dst = 0 to n - 1 do
                     if dst <> i then
                       match adv.exec_message ~node:i ~dst g with
@@ -270,10 +279,7 @@ module Make (F : Field_intf.S) = struct
             {
               Net.init =
                 (fun api ->
-                  let coded_command =
-                    E.node_encode_command engine ~node:i ~commands
-                  in
-                  let g = E.node_compute engine ~node:i ~coded_command in
+                  let g = computed.(i) in
                   my_g := g;
                   received := [ (i, g) ];
                   api.Net.broadcast (Result g);

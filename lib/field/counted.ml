@@ -3,32 +3,50 @@
    The wrapper writes into a swappable current counter so that a protocol
    simulation can attribute costs per role ("now node 3 is computing",
    "now the worker is computing") without changing the field type flowing
-   through the algebraic code. *)
+   through the algebraic code.
+
+   The current counter is domain-local: each domain routes its own
+   operations, so parallel per-node fan-out attributes every node's work
+   to that node's counter without cross-domain interference.  A pool
+   propagator carries the submitting domain's current counter into the
+   workers, so a parallel region *inside* one attribution scope (e.g.
+   the per-coordinate decodes of a single decoder role) still lands on
+   the right counter; combined with atomic counters this keeps measured
+   totals exact — identical for any domain count. *)
 
 module Make (F : Field_intf.S) : sig
   include Field_intf.S with type t = F.t
 
   val set_counter : Csm_metrics.Counter.t -> unit
-  (** Route subsequent operation counts into the given counter. *)
+  (** Route this domain's subsequent operation counts into the given
+      counter. *)
 
   val counter : unit -> Csm_metrics.Counter.t
-  (** The counter currently receiving counts. *)
+  (** The counter currently receiving this domain's counts. *)
 
   val with_counter : Csm_metrics.Counter.t -> (unit -> 'a) -> 'a
   (** Run a thunk with counts routed to the given counter, restoring the
-      previous counter afterwards (exception-safe). *)
+      previous counter afterwards (exception-safe).  Scopes nest and are
+      per-domain. *)
 end = struct
   type t = F.t
 
-  let current = ref (Csm_metrics.Counter.create ())
+  let key = Domain.DLS.new_key (fun () -> Csm_metrics.Counter.create ())
 
-  let set_counter c = current := c
-  let counter () = !current
+  let set_counter c = Domain.DLS.set key c
+  let counter () = Domain.DLS.get key
+
+  (* Carry the submitter's current counter into pool workers for the
+     duration of each parallel job. *)
+  let () =
+    Csm_parallel.Pool.register_propagator (fun () ->
+        let c = Domain.DLS.get key in
+        fun () -> Domain.DLS.set key c)
 
   let with_counter c f =
-    let saved = !current in
-    current := c;
-    Fun.protect ~finally:(fun () -> current := saved) f
+    let saved = Domain.DLS.get key in
+    Domain.DLS.set key c;
+    Fun.protect ~finally:(fun () -> Domain.DLS.set key saved) f
 
   let zero = F.zero
   let one = F.one
@@ -36,39 +54,40 @@ end = struct
   let to_int = F.to_int
 
   let add a b =
-    Csm_metrics.Counter.add !current;
+    Csm_metrics.Counter.add (Domain.DLS.get key);
     F.add a b
 
   let sub a b =
-    Csm_metrics.Counter.add !current;
+    Csm_metrics.Counter.add (Domain.DLS.get key);
     F.sub a b
 
   let neg a =
-    Csm_metrics.Counter.add !current;
+    Csm_metrics.Counter.add (Domain.DLS.get key);
     F.neg a
 
   let mul a b =
-    Csm_metrics.Counter.mul !current;
+    Csm_metrics.Counter.mul (Domain.DLS.get key);
     F.mul a b
 
   let inv a =
-    Csm_metrics.Counter.inv !current;
+    Csm_metrics.Counter.inv (Domain.DLS.get key);
     F.inv a
 
   let div a b =
-    Csm_metrics.Counter.inv !current;
+    Csm_metrics.Counter.inv (Domain.DLS.get key);
     F.div a b
 
   let pow x n =
     (* Charge the square-and-multiply cost explicitly so that pow-heavy
        code (e.g. Vandermonde construction) is accounted for: two
        multiplications per exponent bit. *)
+    let c = Domain.DLS.get key in
     let rec count e acc = if e = 0 then acc else count (e lsr 1) (acc + 2) in
-    let c = count (abs n) 0 in
-    for _ = 1 to c do
-      Csm_metrics.Counter.mul !current
+    let muls = count (abs n) 0 in
+    for _ = 1 to muls do
+      Csm_metrics.Counter.mul c
     done;
-    if n < 0 then Csm_metrics.Counter.inv !current;
+    if n < 0 then Csm_metrics.Counter.inv c;
     F.pow x n
 
   let equal = F.equal

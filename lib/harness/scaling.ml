@@ -12,6 +12,7 @@
 module CF = Csm_field.Counted.Make (Csm_field.Fp.Default)
 module Counter = Csm_metrics.Counter
 module Params = Csm_core.Params
+module Pool = Csm_parallel.Pool
 
 type scaling_point = {
   n : int;
@@ -24,9 +25,11 @@ type scaling_point = {
   lambda_csm_intermix : float;
 }
 
-(* One Table-1 measurement per N. *)
+(* One Table-1 measurement per N.  Each configuration is a self-contained
+   simulation (own engines, ledgers, rngs), so the sweep points run
+   across the domain pool. *)
 let throughput_sweep ?(mu = 0.25) ?(d = 2) ?(rounds = 2) ns =
-  List.map
+  Pool.parallel_list_map
     (fun n ->
       let setup, rows = Table1.run ~rounds ~n ~mu ~d () in
       let find name =
@@ -66,9 +69,11 @@ module Lag = Csm_poly.Lagrange.Make (CF)
 type coding_cost = { cn : int; naive_ops : int; fast_ops : int }
 
 let coding_sweep ?(ratio = 2) ns =
-  let rng = Csm_rng.create 0x5CA1 in
-  List.map
+  Pool.parallel_list_map
     (fun n ->
+      (* per-point rng so each sweep point is self-contained (and the
+         sweep is deterministic whatever the domain count) *)
+      let rng = Csm_rng.create (0x5CA1 + n) in
       let k = max 1 (n / ratio) in
       let omegas = Array.init k (fun i -> CF.of_int i) in
       let alphas = Array.init n (fun i -> CF.of_int (k + i)) in

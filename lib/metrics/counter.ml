@@ -2,28 +2,34 @@
 
    The paper measures throughput in "number of additions and multiplications
    in F" (Section 2.2); a counter records exactly those, split by kind so
-   that analyses can weight them differently if desired. *)
+   that analyses can weight them differently if desired.
+
+   Counts are atomic ints: the parallel engine attributes work from
+   several domains to one role (e.g. all per-coordinate decodes of a
+   round land on the decoder's counter), and exact totals — identical
+   for any domain count — are an acceptance criterion for every
+   operation-counted table. *)
 
 type t = {
-  mutable adds : int;  (* additions, subtractions, negations *)
-  mutable muls : int;  (* multiplications *)
-  mutable invs : int;  (* inversions / divisions *)
+  adds : int Atomic.t;  (* additions, subtractions, negations *)
+  muls : int Atomic.t;  (* multiplications *)
+  invs : int Atomic.t;  (* inversions / divisions *)
 }
 
-let create () = { adds = 0; muls = 0; invs = 0 }
+let create () = { adds = Atomic.make 0; muls = Atomic.make 0; invs = Atomic.make 0 }
 
 let reset t =
-  t.adds <- 0;
-  t.muls <- 0;
-  t.invs <- 0
+  Atomic.set t.adds 0;
+  Atomic.set t.muls 0;
+  Atomic.set t.invs 0
 
-let add t = t.adds <- t.adds + 1
-let mul t = t.muls <- t.muls + 1
-let inv t = t.invs <- t.invs + 1
+let add t = Atomic.incr t.adds
+let mul t = Atomic.incr t.muls
+let inv t = Atomic.incr t.invs
 
-let adds t = t.adds
-let muls t = t.muls
-let invs t = t.invs
+let adds t = Atomic.get t.adds
+let muls t = Atomic.get t.muls
+let invs t = Atomic.get t.invs
 
 (* Total cost in field operations.  An inversion by extended Euclid or
    Fermat costs O(log p) multiplications; we charge a flat weight so that
@@ -32,20 +38,27 @@ let invs t = t.invs
    interpolation where their count is dominated by multiplications. *)
 let inv_weight = 32
 
-let total t = t.adds + t.muls + (inv_weight * t.invs)
+let total t = adds t + muls t + (inv_weight * invs t)
 
-let snapshot t = { adds = t.adds; muls = t.muls; invs = t.invs }
+let snapshot t =
+  {
+    adds = Atomic.make (adds t);
+    muls = Atomic.make (muls t);
+    invs = Atomic.make (invs t);
+  }
 
 let diff ~before ~after =
-  { adds = after.adds - before.adds;
-    muls = after.muls - before.muls;
-    invs = after.invs - before.invs }
+  {
+    adds = Atomic.make (adds after - adds before);
+    muls = Atomic.make (muls after - muls before);
+    invs = Atomic.make (invs after - invs before);
+  }
 
 let accumulate ~into t =
-  into.adds <- into.adds + t.adds;
-  into.muls <- into.muls + t.muls;
-  into.invs <- into.invs + t.invs
+  ignore (Atomic.fetch_and_add into.adds (adds t));
+  ignore (Atomic.fetch_and_add into.muls (muls t));
+  ignore (Atomic.fetch_and_add into.invs (invs t))
 
 let pp ppf t =
-  Format.fprintf ppf "{adds=%d; muls=%d; invs=%d; total=%d}" t.adds t.muls
-    t.invs (total t)
+  Format.fprintf ppf "{adds=%d; muls=%d; invs=%d; total=%d}" (adds t) (muls t)
+    (invs t) (total t)

@@ -1,11 +1,11 @@
 (** Field-operation counters used to measure the paper's throughput metric
-    λ = K / (Σᵢ per-node operation count / N), Section 2.2. *)
+    λ = K / (Σᵢ per-node operation count / N), Section 2.2.
 
-type t = {
-  mutable adds : int;
-  mutable muls : int;
-  mutable invs : int;
-}
+    Counters are domain-safe: increments are atomic, so work attributed
+    to one role from several domains (the parallel engine's fan-out)
+    still yields exact totals, identical for any domain count. *)
+
+type t
 
 val create : unit -> t
 

@@ -3,15 +3,31 @@
    A protocol run attributes field-operation counts to named roles
    ("node 3", "worker", "auditor 1", "commoner", ...).  The throughput
    metric of the paper averages the per-node execution-phase cost over the
-   network, so the ledger keeps one counter per role and can aggregate. *)
+   network, so the ledger keeps one counter per role and can aggregate.
+
+   Role lookup is mutex-protected: the parallel engine resolves roles
+   from worker domains concurrently (counter increments themselves are
+   atomic, see [Counter]). *)
 
 type t = {
   table : (string, Counter.t) Hashtbl.t;
+  lock : Mutex.t;
 }
 
-let create () = { table = Hashtbl.create 16 }
+let create () = { table = Hashtbl.create 16; lock = Mutex.create () }
 
-let counter t role =
+let locked t f =
+  Mutex.lock t.lock;
+  match f () with
+  | v ->
+    Mutex.unlock t.lock;
+    v
+  | exception e ->
+    Mutex.unlock t.lock;
+    raise e
+
+(* Unlocked lookup-or-create, for use inside [locked] sections. *)
+let counter_unlocked t role =
   match Hashtbl.find_opt t.table role with
   | Some c -> c
   | None ->
@@ -19,22 +35,26 @@ let counter t role =
     Hashtbl.add t.table role c;
     c
 
+let counter t role = locked t (fun () -> counter_unlocked t role)
+
 let node_role i = Printf.sprintf "node-%d" i
 
 let node t i = counter t (node_role i)
 
 let roles t =
-  Hashtbl.fold (fun k _ acc -> k :: acc) t.table [] |> List.sort compare
+  locked t (fun () -> Hashtbl.fold (fun k _ acc -> k :: acc) t.table [])
+  |> List.sort compare
 
 let total t role =
-  match Hashtbl.find_opt t.table role with
+  match locked t (fun () -> Hashtbl.find_opt t.table role) with
   | Some c -> Counter.total c
   | None -> 0
 
 let grand_total t =
-  Hashtbl.fold (fun _ c acc -> acc + Counter.total c) t.table 0
+  locked t (fun () ->
+      Hashtbl.fold (fun _ c acc -> acc + Counter.total c) t.table 0)
 
-let reset t = Hashtbl.iter (fun _ c -> Counter.reset c) t.table
+let reset t = locked t (fun () -> Hashtbl.iter (fun _ c -> Counter.reset c) t.table)
 
 (* Throughput per the paper's definition (Section 2.2):
    λ = K / ((Σ_{i=1..N} per-node cost) / N).

@@ -13,8 +13,14 @@ module Make (F : Field_intf.S) : sig
   (** Newton interpolation through the given (point, value) pairs; O(n²).
       @raise Invalid_argument on duplicate points. *)
 
+  val batch_inv : F.t array -> F.t array
+  (** Montgomery's trick: elementwise inverses with one field inversion
+      and 3(n−1) multiplications.
+      @raise Division_by_zero when any element is zero. *)
+
   val barycentric_weights : F.t array -> F.t array
-  (** wₖ = 1 / ∏_{ℓ≠k} (xₖ − x_ℓ); O(n²) once per point set. *)
+  (** wₖ = 1 / ∏_{ℓ≠k} (xₖ − x_ℓ); O(n²) once per point set, with a
+      single inversion via [batch_inv]. *)
 
   val coeff_row : points:F.t array -> weights:F.t array -> F.t -> F.t array
   (** Lagrange basis values ℓₖ(x) for all k, in O(n).  When x equals one

@@ -9,6 +9,7 @@ module Field_intf = Csm_field.Field_intf
 
 module Make (F : Field_intf.S) = struct
   module P = Poly.Make (F)
+  module Lag = Lagrange.Make (F)
 
   type tree =
     | Leaf of F.t  (* the point x; subproduct is (z - x) *)
@@ -95,7 +96,8 @@ module Make (F : Field_intf.S) = struct
     let t = build points in
     let m' = P.derivative (tree_poly t) in
     let denoms = eval_tree m' t in
-    { p_tree = t; p_inv_denoms = Array.map F.inv denoms }
+    (* m'(xᵢ) ≠ 0 for distinct points; one inversion for the whole batch *)
+    { p_tree = t; p_inv_denoms = Lag.batch_inv denoms }
 
   let interpolate_prepared p values =
     let weights = Array.mapi (fun i y -> F.mul y p.p_inv_denoms.(i)) values in

@@ -22,4 +22,5 @@ let () =
          Test_poly.suites;
          Test_linalg.suites;
          Test_rs.suites;
+         Test_parallel.suites;
        ])
