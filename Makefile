@@ -1,0 +1,29 @@
+# Convenience wrappers around dune; `make ci` is the full local gate.
+
+.PHONY: all build test bench-smoke ci clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+bench-smoke:
+	dune build @bench-smoke
+
+# CI gate: type-check everything (tests and benches included),
+# regenerate the parallel smoke benchmark, run the test suite, then
+# exercise the tracer end-to-end — a CSM_TRACE'd demo run plus a traced
+# smoke bench — so the observability layer is driven on every commit.
+ci:
+	dune build @check @bench-smoke
+	dune runtest
+	CSM_TRACE=/tmp/csm_ci_trace.json CSM_REPORT=/tmp/csm_ci_report.json \
+	  dune exec bin/csm_run.exe -- --trace --report --rounds 2
+	CSM_TRACE=/tmp/csm_ci_bench_trace.json \
+	  dune exec bench/main.exe -- --smoke --out /tmp/csm_ci_bench.json
+
+clean:
+	dune clean

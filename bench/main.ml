@@ -388,7 +388,11 @@ let smoke_ledger ~width =
       Ledger.grand_total ledger)
 
 let run_smoke ~out =
-  Pool.set_domains (List.fold_left max 1 smoke_widths);
+  (* honor CSM_TRACE: a smoke run under `make ci` doubles as a tracer
+     exercise of the full parallel pipeline *)
+  Csm_obs.Exporter.install ();
+  let domains = List.fold_left max 1 smoke_widths in
+  Pool.set_domains domains;
   let host_cores = Domain.recommended_domain_count () in
   let reps = 5 in
   let timings =
@@ -405,7 +409,12 @@ let run_smoke ~out =
   in
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n";
+  Printf.bprintf buf "  \"schema\": \"csm-bench-parallel/1\",\n";
   Printf.bprintf buf "  \"bench\": \"parallel/engine-round-n64\",\n";
+  Printf.bprintf buf
+    "  \"host\": {\"ocaml_version\": %S, \"word_size\": %d, \
+     \"recommended_domains\": %d, \"domains\": %d},\n"
+    Sys.ocaml_version Sys.word_size host_cores domains;
   Printf.bprintf buf "  \"machine\": %S,\n" par_machine.M.name;
   Printf.bprintf buf "  \"n\": %d, \"k\": %d, \"d\": %d, \"b\": %d,\n" par_n
     par_k par_d par_b;

@@ -2,23 +2,87 @@
 
      csm_run [-n N] [-k K] [-d D] [-b B] [--rounds R]
              [--network sync|partial] [--adversary none|lie|equivocate|withhold]
+             [--trace] [--report]
 
    Runs the full protocol (consensus + coded execution + client
-   delivery) on the simulator and prints a per-round report. *)
+   delivery) on the simulator and prints a per-round report.
+
+   Observability: --trace writes a Chrome trace-event JSON (load in
+   chrome://tracing or Perfetto) of the nested protocol/engine spans;
+   --report writes a self-describing run-report JSON with the config,
+   measured λ/γ/β, per-role operation totals and per-span p50/p95/max.
+   Paths default to csm_trace.json / csm_report.json and can be
+   overridden with the CSM_TRACE / CSM_REPORT environment variables
+   (setting CSM_TRACE alone also enables tracing, flag or not). *)
 
 open Cmdliner
-module F = Csm_field.Fp.Default
-module P = Csm_core.Protocol.Make (F)
+module CF = Csm_field.Counted.Make (Csm_field.Fp.Default)
+module P = Csm_core.Protocol.Make (CF)
 module E = P.E
 module M = E.M
 module Params = Csm_core.Params
+module Counter = Csm_metrics.Counter
+module Ledger = Csm_metrics.Ledger
+module Scope = Csm_metrics.Scope
+module Span = Csm_obs.Span
+module Summary = Csm_obs.Summary
+module Exporter = Csm_obs.Exporter
+module Json = Csm_obs.Json
 
-let run n k d b rounds network adversary seed =
+let network_name = function
+  | Params.Sync -> "sync"
+  | Params.Partial_sync -> "partial-sync"
+
+let run_report ~n ~k ~d ~b ~rounds ~network ~adversary ~seed ~executed
+    ~lambda ledger stats =
+  let role_totals =
+    List.map
+      (fun role ->
+        let a, m, i = Counter.snapshot (Ledger.counter ledger role) in
+        ( role,
+          Json.Obj
+            [ ("adds", Json.Int a); ("muls", Json.Int m); ("invs", Json.Int i) ]
+        ))
+      (Ledger.roles ledger)
+  in
+  Json.Obj
+    [
+      ("schema", Json.Str "csm-run-report/1");
+      ("host", Exporter.host ());
+      ( "config",
+        Json.Obj
+          [
+            ("n", Json.Int n);
+            ("k", Json.Int k);
+            ("d", Json.Int d);
+            ("b", Json.Int b);
+            ("rounds", Json.Int rounds);
+            ("network", Json.Str (network_name network));
+            ("adversary", Json.Str adversary);
+            ("seed", Json.Int seed);
+          ] );
+      ( "results",
+        Json.Obj
+          [
+            ("executed_rounds", Json.Int executed);
+            ("lambda", Json.Float lambda);
+            ("gamma", Json.Int k);
+            ("beta", Json.Int b);
+            ("total_ops", Json.Int (Ledger.grand_total ledger));
+          ] );
+      ("roles", Json.Obj role_totals);
+      ("spans", Exporter.span_summary_json stats);
+    ]
+
+let run n k d b rounds network adversary seed trace report =
   let network =
     match network with
     | "partial" -> Params.Partial_sync
     | _ -> Params.Sync
   in
+  (* env-var-only activation (CSM_TRACE without --trace) *)
+  Exporter.install ();
+  if trace || report then Span.enable ();
   let machine = M.degree_machine d in
   let params =
     try Params.make ~network ~n ~k ~d ~b
@@ -28,7 +92,7 @@ let run n k d b rounds network adversary seed =
   in
   let rng = Csm_rng.create seed in
   let init =
-    Array.init k (fun i -> [| F.of_int (1000 * (i + 1)) |])
+    Array.init k (fun i -> [| CF.of_int (1000 * (i + 1)) |])
   in
   let engine = E.create ~machine ~params ~init in
   let cfg = P.default_config params in
@@ -41,16 +105,20 @@ let run n k d b rounds network adversary seed =
     | _ -> P.passive_adversary
   in
   Format.printf "CSM: N=%d K=%d d=%d b=%d %s adversary=%s@." n k d b
-    (match network with Params.Sync -> "sync" | Params.Partial_sync -> "partial-sync")
-    adversary;
+    (network_name network) adversary;
   Format.printf "machine: %a@." M.pp machine;
   if liars <> [] && adversary <> "none" then
     Format.printf "byzantine nodes: %s@."
       (String.concat "," (List.map string_of_int liars));
   let workload r =
-    Array.init k (fun m -> [| F.of_int ((10 * r) + m + 1 + Csm_rng.int rng 5) |])
+    Array.init k (fun m -> [| CF.of_int ((10 * r) + m + 1 + Csm_rng.int rng 5) |])
   in
-  let outcomes = P.run cfg engine ~workload ~rounds adv in
+  let ledger = Ledger.create () in
+  let scope = Scope.of_ledger (module CF) ledger in
+  let outcomes =
+    Span.with_ ~ops:scope.Scope.ops ~name:"csm_run" (fun () ->
+        P.run ~scope cfg engine ~workload ~rounds adv)
+  in
   List.iter
     (fun (o : P.round_outcome) ->
       Format.printf "round %d: consensus=%s executed=%b honest_agree=%b@."
@@ -70,14 +138,46 @@ let run n k d b rounds network adversary seed =
           match out with
           | Some y ->
             Format.printf "  machine %d output -> client: %s@." m
-              (F.to_string y.(0))
+              (CF.to_string y.(0))
           | None -> Format.printf "  machine %d: no delivery@." m)
         o.P.delivered)
     outcomes;
   let executed =
     List.length (List.filter (fun o -> o.P.executed) outcomes)
   in
-  Format.printf "summary: %d/%d rounds executed@." executed rounds
+  Format.printf "summary: %d/%d rounds executed@." executed rounds;
+  let lambda =
+    if executed = 0 then 0.0
+    else
+      Ledger.throughput ~commands:(k * executed)
+        ~node_costs:(Ledger.per_node_costs ledger ~n)
+  in
+  Format.printf "measured: λ=%.6f γ=%d β=%d (total ops %d)@." lambda k b
+    (Ledger.grand_total ledger);
+  if Span.enabled () then begin
+    let records = Span.records () in
+    let stats = Summary.by_name records in
+    Format.printf "spans:@.";
+    List.iter (fun s -> Format.printf "  %a@." Summary.pp_stat s) stats;
+    if trace then begin
+      let path =
+        match Exporter.trace_path () with Some p -> p | None -> "csm_trace.json"
+      in
+      Exporter.write_chrome_trace ~path records;
+      Format.printf "trace: wrote %s (%d spans)@." path (List.length records)
+    end;
+    if report then begin
+      let path =
+        match Exporter.report_path () with
+        | Some p -> p
+        | None -> "csm_report.json"
+      in
+      Json.write ~path
+        (run_report ~n ~k ~d ~b ~rounds ~network ~adversary ~seed ~executed
+           ~lambda ledger stats);
+      Format.printf "report: wrote %s@." path
+    end
+  end
 
 let () =
   let n = Arg.(value & opt int 11 & info [ "n" ] ~doc:"Nodes.") in
@@ -94,9 +194,27 @@ let () =
       & info [ "adversary" ] ~doc:"none|lie|equivocate|withhold.")
   in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"RNG seed.") in
+  let trace =
+    Arg.(
+      value & flag
+      & info [ "trace" ]
+          ~doc:
+            "Write a Chrome trace-event JSON of the run's spans \
+             ($(b,CSM_TRACE) overrides the csm_trace.json default path).")
+  in
+  let report =
+    Arg.(
+      value & flag
+      & info [ "report" ]
+          ~doc:
+            "Write a structured run-report JSON ($(b,CSM_REPORT) overrides \
+             the csm_report.json default path).")
+  in
   let cmd =
     Cmd.v
       (Cmd.info "csm_run" ~doc:"Run the networked Coded State Machine")
-      Term.(const run $ n $ k $ d $ b $ rounds $ network $ adversary $ seed)
+      Term.(
+        const run $ n $ k $ d $ b $ rounds $ network $ adversary $ seed $ trace
+        $ report)
   in
   exit (Cmd.eval cmd)

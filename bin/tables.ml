@@ -198,6 +198,8 @@ let all_cmd =
   Cmd.v (Cmd.info "all" ~doc:"Every table and sweep") Term.(const run $ const ())
 
 let () =
+  (* CSM_TRACE=<path> traces the sweeps into a Chrome trace-event file *)
+  Csm_obs.Exporter.install ();
   let info = Cmd.info "tables" ~doc:"Regenerate the CSM paper's tables" in
   exit
     (Cmd.eval

@@ -166,6 +166,9 @@ type outcome = {
 (* Run one broadcast instance: [behaviors.(i)] overrides the honest
    behavior for Byzantine slots. *)
 let run cfg ?proposal ?(byzantine = fun _ -> None) () : outcome =
+  Csm_obs.Span.with_ ~name:"dolev_strong.run"
+    ~attrs:[ ("instance", cfg.instance) ]
+    (fun () ->
   let decisions = Array.make cfg.n Bot in
   let on_decide i d = decisions.(i) <- d in
   let behaviors =
@@ -182,4 +185,4 @@ let run cfg ?proposal ?(byzantine = fun _ -> None) () : outcome =
       ~latency:(Net.sync ~delta:cfg.delta)
       behaviors
   in
-  { decisions; stats }
+  { decisions; stats })

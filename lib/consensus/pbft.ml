@@ -336,13 +336,16 @@ type outcome = {
 
 let run cfg ?(proposals = fun _ -> None) ?(byzantine = fun _ -> None)
     ?(latency = Net.sync ~delta:10) ?(max_time = 200_000) () : outcome =
-  let decisions = Array.make cfg.n None in
-  let on_decide i v = decisions.(i) <- Some v in
-  let behaviors =
-    Array.init cfg.n (fun i ->
-        match byzantine i with
-        | Some b -> b
-        | None -> honest cfg ~me:i ?proposal:(proposals i) ~on_decide ())
-  in
-  let stats = Net.run ~max_time ~latency behaviors in
-  { decisions; stats }
+  Csm_obs.Span.with_ ~name:"pbft.run"
+    ~attrs:[ ("instance", cfg.instance) ]
+    (fun () ->
+      let decisions = Array.make cfg.n None in
+      let on_decide i v = decisions.(i) <- Some v in
+      let behaviors =
+        Array.init cfg.n (fun i ->
+            match byzantine i with
+            | Some b -> b
+            | None -> honest cfg ~me:i ?proposal:(proposals i) ~on_decide ())
+      in
+      let stats = Net.run ~max_time ~latency behaviors in
+      { decisions; stats })

@@ -11,6 +11,7 @@
 
 module Field_intf = Csm_field.Field_intf
 module Pool = Csm_parallel.Pool
+module Span = Csm_obs.Span
 
 module Make (F : Field_intf.S) = struct
   module P = Csm_poly.Poly.Make (F)
@@ -72,14 +73,15 @@ module Make (F : Field_intf.S) = struct
         if Array.length v <> dim then
           invalid_arg "Coding.encode_vectors: ragged input")
       vectors;
-    Pool.parallel_init t.n (fun i ->
-        let row = t.cmatrix.(i) in
-        Array.init dim (fun j ->
-            let acc = ref F.zero in
-            for k = 0 to t.k - 1 do
-              acc := F.add !acc (F.mul row.(k) vectors.(k).(j))
-            done;
-            !acc))
+    Span.with_ ~name:"coding.encode_vectors" (fun () ->
+        Pool.parallel_init t.n (fun i ->
+            let row = t.cmatrix.(i) in
+            Array.init dim (fun j ->
+                let acc = ref F.zero in
+                for k = 0 to t.k - 1 do
+                  acc := F.add !acc (F.mul row.(k) vectors.(k).(j))
+                done;
+                !acc)))
 
   let encode_vector_at t ~node (vectors : F.t array array) =
     let row = t.cmatrix.(node) in
@@ -96,18 +98,19 @@ module Make (F : Field_intf.S) = struct
      at all αs, both with the round-independent prepared trees.
      Coordinate-wise over vectors. *)
   let encode_vectors_fast t (vectors : F.t array array) =
-    let dim = Array.length vectors.(0) in
-    let om = Lazy.force t.omega_prepared in
-    let al = Lazy.force t.alpha_prepared in
-    let per_coord j =
-      let values = Array.init t.k (fun k -> vectors.(k).(j)) in
-      let poly = Sub.interpolate_prepared om values in
-      Sub.eval_prepared al poly
-    in
-    (* one interpolate+multievaluate per coordinate: the natural
-       parallel unit of the centralized worker (§6.2) *)
-    let coords = Pool.parallel_init ~chunk:1 dim per_coord in
-    Array.init t.n (fun i -> Array.init dim (fun j -> coords.(j).(i)))
+    Span.with_ ~name:"coding.encode_fast" (fun () ->
+        let dim = Array.length vectors.(0) in
+        let om = Lazy.force t.omega_prepared in
+        let al = Lazy.force t.alpha_prepared in
+        let per_coord j =
+          let values = Array.init t.k (fun k -> vectors.(k).(j)) in
+          let poly = Sub.interpolate_prepared om values in
+          Sub.eval_prepared al poly
+        in
+        (* one interpolate+multievaluate per coordinate: the natural
+           parallel unit of the centralized worker (§6.2) *)
+        let coords = Pool.parallel_init ~chunk:1 dim per_coord in
+        Array.init t.n (fun i -> Array.init dim (fun j -> coords.(j).(i))))
 
   (* Evaluate the interpolant of the K machine values at an arbitrary
      point (used by tests to cross-check coded states). *)

@@ -21,6 +21,7 @@
 module Field_intf = Csm_field.Field_intf
 module Scope = Csm_metrics.Scope
 module Pool = Csm_parallel.Pool
+module Span = Csm_obs.Span
 
 module Make (F : Field_intf.S) = struct
   module Coding = Coding.Make (F)
@@ -87,6 +88,7 @@ module Make (F : Field_intf.S) = struct
   let decode_results ?(scope = Scope.null) ?(role = "decoder")
       ?(algorithm = RS.Gao) t (received : (int * F.t array) list) :
       decoded option =
+    Span.with_ ~ops:scope.Scope.ops ~name:"engine.decode" (fun () ->
     scope.Scope.run ~role (fun () ->
         let dim = result_dim t in
         let kdim = Params.code_dimension ~k:t.params.Params.k ~d:t.params.Params.d in
@@ -131,7 +133,7 @@ module Make (F : Field_intf.S) = struct
             coord_errors;
           Some { next_states; outputs; error_nodes = List.sort compare !errors }
         end
-        else None)
+        else None))
 
   (* Step 5 (per node): re-encode the coded state. *)
   let node_update_state ?(scope = Scope.null) t ~node ~next_states =
@@ -162,15 +164,23 @@ module Make (F : Field_intf.S) = struct
     let n = t.params.Params.n in
     if Array.length commands <> t.params.Params.k then
       invalid_arg "Engine.round: need K commands";
-    (* steps 1–2 at every node: the N per-node encode+compute pairs are
-       independent, so they fan out across the domain pool.  The
-       [corruption] callback is user code (it may be stateful, e.g. an
-       RNG), so it is applied sequentially afterwards in node order —
-       exactly the schedule the sequential engine used. *)
+    Span.with_ ~ops:scope.Scope.ops ~name:"engine.round" (fun () ->
+    (* steps 1–2 at every node: the N per-node encodes (and then the N
+       computes) are independent, so each phase fans out across the
+       domain pool under its own span.  The [corruption] callback is
+       user code (it may be stateful, e.g. an RNG), so it is applied
+       sequentially afterwards in node order — exactly the schedule the
+       sequential engine used. *)
+    let coded_commands =
+      Span.with_ ~ops:scope.Scope.ops ~name:"engine.encode" (fun () ->
+          Pool.parallel_init n (fun i ->
+              node_encode_command ~scope t ~node:i ~commands))
+    in
     let computed =
-      Pool.parallel_init n (fun i ->
-          let coded_command = node_encode_command ~scope t ~node:i ~commands in
-          node_compute ~scope t ~node:i ~coded_command)
+      Span.with_ ~ops:scope.Scope.ops ~name:"engine.compute" (fun () ->
+          Pool.parallel_init n (fun i ->
+              node_compute ~scope t ~node:i
+                ~coded_command:coded_commands.(i)))
     in
     Array.iteri
       (fun i g -> if byzantine i then computed.(i) <- corruption ~node:i g)
@@ -186,11 +196,12 @@ module Make (F : Field_intf.S) = struct
        coded-state slot) *)
     (match decoded with
     | Some d ->
-      Pool.parallel_for n (fun i ->
-          node_update_state ~scope t ~node:i ~next_states:d.next_states);
+      Span.with_ ~ops:scope.Scope.ops ~name:"engine.reencode" (fun () ->
+          Pool.parallel_for n (fun i ->
+              node_update_state ~scope t ~node:i ~next_states:d.next_states));
       t.round_index <- t.round_index + 1
     | None -> ());
-    { decoded; computed }
+    { decoded; computed })
 
   (* Ground-truth check used by tests: the coded states must remain the
      coordinate-wise Lagrange encoding of the reference states. *)

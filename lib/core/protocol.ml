@@ -23,6 +23,8 @@ module Auth = Csm_crypto.Auth
 module DS = Csm_consensus.Dolev_strong
 module Pbft = Csm_consensus.Pbft
 module Pool = Csm_parallel.Pool
+module Scope = Csm_metrics.Scope
+module Span = Csm_obs.Span
 
 module Make (F : Field_intf.S) = struct
   module E = Engine.Make (F)
@@ -225,8 +227,10 @@ module Make (F : Field_intf.S) = struct
      decoded results (which must agree) and the raw per-node messages the
      clients would receive.  Optionally records each honest node's decode
      completion time into [decode_times]. *)
-  let execution_phase ?(latency_override : Net.latency option)
+  let execution_phase ?(scope = Scope.null)
+      ?(latency_override : Net.latency option)
       ?(decode_times : int array option) cfg (engine : E.t) ~commands adv =
+    Span.with_ ~ops:scope.Scope.ops ~name:"exec.phase" (fun () ->
     let p = cfg.params in
     let n = p.Params.n and b = p.Params.b in
     let decoded : E.decoded option array = Array.make n None in
@@ -243,10 +247,16 @@ module Make (F : Field_intf.S) = struct
        simulated init hooks then just read their slot.  Honest and
        Byzantine nodes compute the same gᵢ — the adversary corrupts
        per-destination messages, not the computation. *)
+    let coded_commands =
+      Span.with_ ~ops:scope.Scope.ops ~name:"exec.encode" (fun () ->
+          Pool.parallel_init n (fun i ->
+              E.node_encode_command ~scope engine ~node:i ~commands))
+    in
     let computed =
-      Pool.parallel_init n (fun i ->
-          let coded_command = E.node_encode_command engine ~node:i ~commands in
-          E.node_compute engine ~node:i ~coded_command)
+      Span.with_ ~ops:scope.Scope.ops ~name:"exec.compute" (fun () ->
+          Pool.parallel_init n (fun i ->
+              E.node_compute ~scope engine ~node:i
+                ~coded_command:coded_commands.(i)))
     in
     let behaviors =
       Array.init n (fun i ->
@@ -255,7 +265,7 @@ module Make (F : Field_intf.S) = struct
           let try_decode now =
             if not decode_attempted.(i) then begin
               decode_attempted.(i) <- true;
-              decoded.(i) <- E.decode_results engine !received;
+              decoded.(i) <- E.decode_results ~scope engine !received;
               match decode_times with
               | Some times -> times.(i) <- now
               | None -> ()
@@ -307,8 +317,9 @@ module Make (F : Field_intf.S) = struct
           Net.partial_sync ~gst:cfg.gst ~delta:cfg.delta
             ~pre:(fun ~src:_ ~dst:_ ~now:_ -> cfg.pre_gst_delay)
     in
-    ignore (Net.run ~latency behaviors);
-    decoded
+    Span.with_ ~ops:scope.Scope.ops ~name:"exec.deliver" (fun () ->
+        ignore (Net.run ~latency behaviors));
+    decoded)
 
   (* Client vote: first value with ≥ threshold matches. *)
   let vote ~threshold responses =
@@ -342,16 +353,23 @@ module Make (F : Field_intf.S) = struct
     delivered : F.t array option array;  (* per-machine client decisions *)
   }
 
-  let run_round ?validate cfg (engine : E.t) ~round ~commands adv :
-      round_outcome =
+  let run_round ?(scope = Scope.null) ?validate cfg (engine : E.t) ~round
+      ~commands adv : round_outcome =
+    Span.with_ ~ops:scope.Scope.ops
+      ~attrs:[ ("round", string_of_int round) ]
+      ~name:"protocol.round"
+      (fun () ->
     let p = cfg.params in
     let n = p.Params.n and b = p.Params.b in
     let leader = round mod n in
     let consensus =
       match p.Params.network with
-      | Params.Sync -> consensus_sync ?validate cfg ~round ~leader ~commands adv
+      | Params.Sync ->
+        Span.with_ ~name:"consensus.dolev_strong" (fun () ->
+            consensus_sync ?validate cfg ~round ~leader ~commands adv)
       | Params.Partial_sync ->
-        consensus_partial_sync ?validate cfg ~round ~commands adv
+        Span.with_ ~name:"consensus.pbft" (fun () ->
+            consensus_partial_sync ?validate cfg ~round ~commands adv)
     in
     match consensus with
     | Skipped | Disagreement ->
@@ -364,7 +382,7 @@ module Make (F : Field_intf.S) = struct
         delivered = Array.make p.Params.k None;
       }
     | Agreed commands ->
-      let per_node = execution_phase cfg engine ~commands adv in
+      let per_node = execution_phase ~scope cfg engine ~commands adv in
       (* all honest nodes must decode identically *)
       let honest_results =
         List.filter_map
@@ -389,9 +407,11 @@ module Make (F : Field_intf.S) = struct
       (match decoded with
       | Some d ->
         (* every node updates its coded state from the decoded states *)
-        for i = 0 to n - 1 do
-          E.node_update_state engine ~node:i ~next_states:d.E.next_states
-        done;
+        Span.with_ ~ops:scope.Scope.ops ~name:"exec.reencode" (fun () ->
+            for i = 0 to n - 1 do
+              E.node_update_state ~scope engine ~node:i
+                ~next_states:d.E.next_states
+            done);
         engine.E.round_index <- engine.E.round_index + 1
       | None -> ());
       (* client delivery: each node sends Ŷ_k; byz nodes lie *)
@@ -417,12 +437,12 @@ module Make (F : Field_intf.S) = struct
         honest_agree;
         decoded;
         delivered;
-      }
+      })
 
-  let run cfg engine ~workload ~rounds adv =
+  let run ?(scope = Scope.null) cfg engine ~workload ~rounds adv =
     List.init rounds (fun r ->
         let commands = workload r in
-        run_round cfg engine ~round:r ~commands adv)
+        run_round ~scope cfg engine ~round:r ~commands adv)
 
   (* ----- Client layer: submission pools, validity, liveness -----
 
@@ -451,7 +471,7 @@ module Make (F : Field_intf.S) = struct
 
   let noop_command dim = Array.make dim F.zero
 
-  let run_with_clients cfg (engine : E.t)
+  let run_with_clients ?(scope = Scope.null) cfg (engine : E.t)
       ~(submissions : int -> submission list array) ~rounds adv : client_run =
     let p = cfg.params in
     let k = p.Params.k in
@@ -480,7 +500,7 @@ module Make (F : Field_intf.S) = struct
       (* validity: the agreed value must be exactly the pool heads *)
       let expected = W.encode_commands commands in
       let validate s = String.equal s expected in
-      let outcome = run_round ~validate cfg engine ~round:r ~commands adv in
+      let outcome = run_round ~scope ~validate cfg engine ~round:r ~commands adv in
       outcomes := outcome :: !outcomes;
       if outcome.executed then begin
         (* dequeue executed commands, attribute outputs to clients *)

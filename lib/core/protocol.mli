@@ -44,6 +44,7 @@ module Make (F : Field_intf.S) : sig
     | Disagreement
 
   val execution_phase :
+    ?scope:Csm_metrics.Scope.t ->
     ?latency_override:Csm_sim.Net.latency ->
     ?decode_times:int array ->
     config ->
@@ -53,7 +54,9 @@ module Make (F : Field_intf.S) : sig
     E.decoded option array
   (** Per-node decode results after the simulated execution phase
       (Byzantine slots are [None]).  [decode_times.(i)] receives the
-      simulation time at which honest node [i] decoded. *)
+      simulation time at which honest node [i] decoded.  When tracing is
+      enabled the phase emits "exec.phase" with "exec.encode",
+      "exec.compute" and "exec.deliver" sub-spans. *)
 
   val vote : threshold:int -> F.t array list -> F.t array option
 
@@ -67,6 +70,7 @@ module Make (F : Field_intf.S) : sig
   }
 
   val run_round :
+    ?scope:Csm_metrics.Scope.t ->
     ?validate:(string -> bool) ->
     config ->
     E.t ->
@@ -78,6 +82,7 @@ module Make (F : Field_intf.S) : sig
       (the Validity property); rejection skips the round consistently. *)
 
   val run :
+    ?scope:Csm_metrics.Scope.t ->
     config ->
     E.t ->
     workload:(int -> F.t array array) ->
@@ -103,6 +108,7 @@ module Make (F : Field_intf.S) : sig
   val noop_command : int -> F.t array
 
   val run_with_clients :
+    ?scope:Csm_metrics.Scope.t ->
     config ->
     E.t ->
     submissions:(int -> submission list array) ->

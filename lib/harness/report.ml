@@ -107,6 +107,30 @@ let stragglers_csv points =
            ])
        points
 
+(* Per-span-name latency/op summary of the currently buffered trace:
+   count, total, p50/p95/max wall-clock and the summed field-op deltas.
+   Only meaningful while tracing is enabled. *)
+let spans_csv () =
+  let module Summary = Csm_obs.Summary in
+  csv_row
+    [ "span"; "count"; "total_s"; "p50_s"; "p95_s"; "max_s"; "adds"; "muls";
+      "invs" ]
+  :: List.map
+       (fun (s : Summary.stat) ->
+         csv_row
+           [
+             s.Summary.s_name;
+             string_of_int s.Summary.count;
+             Printf.sprintf "%.6f" s.Summary.total_s;
+             Printf.sprintf "%.6f" s.Summary.p50_s;
+             Printf.sprintf "%.6f" s.Summary.p95_s;
+             Printf.sprintf "%.6f" s.Summary.max_s;
+             string_of_int s.Summary.adds;
+             string_of_int s.Summary.muls;
+             string_of_int s.Summary.invs;
+           ])
+       (Summary.by_name (Csm_obs.Span.records ()))
+
 let allocation_csv results =
   let module RA = Csm_smr.Random_allocation in
   csv_row [ "scheme"; "budget"; "epochs"; "compromise_rate"; "migrations_per_epoch" ]
@@ -152,4 +176,8 @@ let write_all ~dir () =
            ]);
     ]
   in
-  paths
+  (* when tracing is on, also summarize the spans the sweeps above just
+     emitted (p50/p95/max per span name) *)
+  if Csm_obs.Span.enabled () then
+    paths @ [ write_file ~dir ~name:"spans.csv" (spans_csv ()) ]
+  else paths

@@ -31,6 +31,9 @@ type scaling_point = {
 let throughput_sweep ?(mu = 0.25) ?(d = 2) ?(rounds = 2) ns =
   Pool.parallel_list_map
     (fun n ->
+      Csm_obs.Span.with_ ~name:"scaling.point"
+        ~attrs:[ ("n", string_of_int n) ]
+        (fun () ->
       let setup, rows = Table1.run ~rounds ~n ~mu ~d () in
       let find name =
         (List.find (fun r -> r.Table1.scheme = name) rows).Table1.throughput
@@ -44,7 +47,7 @@ let throughput_sweep ?(mu = 0.25) ?(d = 2) ?(rounds = 2) ns =
         lambda_partial = find "partial-replication";
         lambda_csm = find "csm-decentralized";
         lambda_csm_intermix = find "csm-intermix";
-      })
+      }))
     ns
 
 (* Storage/security scaling: closed forms from Params, checked linear. *)
@@ -71,6 +74,9 @@ type coding_cost = { cn : int; naive_ops : int; fast_ops : int }
 let coding_sweep ?(ratio = 2) ns =
   Pool.parallel_list_map
     (fun n ->
+      Csm_obs.Span.with_ ~name:"scaling.coding_point"
+        ~attrs:[ ("n", string_of_int n) ]
+        (fun () ->
       (* per-point rng so each sweep point is self-contained (and the
          sweep is deterministic whatever the domain count) *)
       let rng = Csm_rng.create (0x5CA1 + n) in
@@ -89,7 +95,7 @@ let coding_sweep ?(ratio = 2) ns =
       CF.with_counter fast (fun () ->
           let poly = Sub.interpolate_prepared om values in
           ignore (Sub.eval_prepared al poly));
-      { cn = n; naive_ops = Counter.total naive; fast_ops = Counter.total fast })
+      { cn = n; naive_ops = Counter.total naive; fast_ops = Counter.total fast }))
     ns
 
 let pp_scaling ppf p =

@@ -39,6 +39,10 @@ let mean l =
   | _ -> float_of_int (List.fold_left ( + ) 0 l) /. float_of_int (List.length l)
 
 let run_point ~seed ~n ~k ~d ~b ~stragglers ~tail =
+  Csm_obs.Span.with_ ~name:"stragglers.point"
+    ~attrs:
+      [ ("n", string_of_int n); ("stragglers", string_of_int stragglers) ]
+    (fun () ->
   let machine = M.degree_machine d in
   let params = Params.make ~network:Params.Sync ~n ~k ~d ~b in
   let rng = Csm_rng.create seed in
@@ -95,7 +99,7 @@ let run_point ~seed ~n ~k ~d ~b ~stragglers ~tail =
     t_wait_all;
     t_early;
     correct = ok1 && ok2;
-  }
+  })
 
 (* Sweep straggler counts through the slack and beyond it: within the
    slack early decoding completes at the fast-link latency; beyond it

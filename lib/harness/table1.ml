@@ -229,23 +229,27 @@ let it_limit_row setup machine =
   }
 
 let run ?(rounds = 3) ~n ~mu ~d () =
-  let setup = make_setup ~n ~mu ~d in
-  let machine = M.degree_machine d in
-  (* each scheme's measurement is fully self-contained (own rng, ledger,
-     engine), so the six rows evaluate across the domain pool *)
-  let rows =
-    Pool.parallel_list_map
-      (fun row -> row ())
-      [
-        (fun () -> full_row setup machine ~rounds);
-        (fun () -> partial_row setup machine ~rounds);
-        (fun () -> it_limit_row setup machine);
-        (fun () -> csm_decentralized_row setup machine ~rounds);
-        (fun () -> csm_intermix_row setup machine ~rounds);
-        (fun () -> csm_intermix_row ~batch:true setup machine ~rounds);
-      ]
-  in
-  (setup, rows)
+  Csm_obs.Span.with_ ~name:"table1.run"
+    ~attrs:[ ("n", string_of_int n) ]
+    (fun () ->
+      let setup = make_setup ~n ~mu ~d in
+      let machine = M.degree_machine d in
+      (* each scheme's measurement is fully self-contained (own rng,
+         ledger, engine), so the six rows evaluate across the domain
+         pool *)
+      let rows =
+        Pool.parallel_list_map
+          (fun row -> row ())
+          [
+            (fun () -> full_row setup machine ~rounds);
+            (fun () -> partial_row setup machine ~rounds);
+            (fun () -> it_limit_row setup machine);
+            (fun () -> csm_decentralized_row setup machine ~rounds);
+            (fun () -> csm_intermix_row setup machine ~rounds);
+            (fun () -> csm_intermix_row ~batch:true setup machine ~rounds);
+          ]
+      in
+      (setup, rows))
 
 let pp_row ppf r =
   Format.fprintf ppf "%-22s β=%-5d γ=%-8.1f λ=%-12.6f ops/node=%.0f" r.scheme

@@ -179,6 +179,7 @@ let consensus_partial ~n =
   }
 
 let run_all () =
+  Csm_obs.Span.with_ ~name:"table2.run" (fun () ->
   List.filter_map
     (fun x -> x)
     [
@@ -192,7 +193,7 @@ let run_all () =
       Some (consensus_sync ~n:5);
       Some (consensus_partial ~n:7);
       Some (consensus_partial ~n:10);
-    ]
+    ])
 
 let pp_check ppf c =
   Format.fprintf ppf "%-42s %-22s at-bound=%-5b beyond-fails=%b" c.label

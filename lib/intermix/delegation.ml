@@ -22,6 +22,7 @@
 
 module Field_intf = Csm_field.Field_intf
 module Scope = Csm_metrics.Scope
+module Span = Csm_obs.Span
 module Params = Csm_core.Params
 
 module Make (F : Field_intf.S) = struct
@@ -101,6 +102,7 @@ module Make (F : Field_intf.S) = struct
       ?(challenge_rng = Csm_rng.create 0xBA7C)
       ?(corruption = E.default_corruption) (engine : E.t) ~commands
       ~byzantine ~worker ~committee () : outcome =
+    Span.with_ ~ops:scope.Scope.ops ~name:"delegate.round" (fun () ->
     let p = engine.E.params in
     let n = p.Params.n and k = p.Params.k in
     let k' = Params.composite_degree ~k ~d:p.Params.d in
@@ -132,13 +134,14 @@ module Make (F : Field_intf.S) = struct
 
     (* --- Stage 1: command encoding --- *)
     let coded_commands =
+      Span.with_ ~ops:scope.Scope.ops ~name:"delegate.encode" (fun () ->
       scope.Scope.run ~role:wrole (fun () ->
           let enc = C.encode_vectors_fast coding commands in
           (match behavior with
           | Lying_encode { node; offset } ->
             enc.(node) <- Array.map (fun v -> F.add v offset) enc.(node)
           | Honest | Lying_decode _ | Lying_update _ -> ());
-          enc)
+          enc))
     in
     (* verify: column j of coded commands = C · column j *)
     verify_columns Encode cmatrix
@@ -151,12 +154,13 @@ module Make (F : Field_intf.S) = struct
     else begin
       (* --- Stage 2: local computation at every node --- *)
       let computed =
-        Array.init n (fun i ->
-            let g =
-              E.node_compute ~scope engine ~node:i
-                ~coded_command:coded_commands.(i)
-            in
-            if byzantine i then corruption ~node:i g else g)
+        Span.with_ ~ops:scope.Scope.ops ~name:"delegate.compute" (fun () ->
+            Array.init n (fun i ->
+                let g =
+                  E.node_compute ~scope engine ~node:i
+                    ~coded_command:coded_commands.(i)
+                in
+                if byzantine i then corruption ~node:i g else g))
       in
       (* --- Stage 3: worker decodes each coordinate, with certificate --- *)
       let dim = E.result_dim engine in
@@ -178,7 +182,10 @@ module Make (F : Field_intf.S) = struct
                 ());
               Some (coeffs, d.RS.agreement))
       in
-      let per_coord = Array.init dim decode_coord in
+      let per_coord =
+        Span.with_ ~ops:scope.Scope.ops ~name:"delegate.decode" (fun () ->
+            Array.init dim decode_coord)
+      in
       if Array.exists (fun o -> o = None) per_coord then
         (* undecodable: too many faulty nodes — same outcome as the
            decentralized engine *)
@@ -246,14 +253,16 @@ module Make (F : Field_intf.S) = struct
           else begin
             (* --- Stage 5: coded state update --- *)
             let new_coded =
-              scope.Scope.run ~role:wrole (fun () ->
-                  let enc = C.encode_vectors_fast coding next_states in
-                  (match behavior with
-                  | Lying_update { node; offset } ->
-                    enc.(node) <-
-                      Array.map (fun v -> F.add v offset) enc.(node)
-                  | Honest | Lying_encode _ | Lying_decode _ -> ());
-                  enc)
+              Span.with_ ~ops:scope.Scope.ops ~name:"delegate.reencode"
+                (fun () ->
+                  scope.Scope.run ~role:wrole (fun () ->
+                      let enc = C.encode_vectors_fast coding next_states in
+                      (match behavior with
+                      | Lying_update { node; offset } ->
+                        enc.(node) <-
+                          Array.map (fun v -> F.add v offset) enc.(node)
+                      | Honest | Lying_encode _ | Lying_decode _ -> ());
+                      enc))
             in
             verify_columns Update cmatrix
               ~xs:
@@ -288,5 +297,5 @@ module Make (F : Field_intf.S) = struct
           end
         end
       end
-    end
+    end)
 end

@@ -19,6 +19,7 @@
 
 module Field_intf = Csm_field.Field_intf
 module Scope = Csm_metrics.Scope
+module Span = Csm_obs.Span
 
 module Make (F : Field_intf.S) = struct
   module M = Csm_linalg.Linalg.Make (F)
@@ -105,6 +106,9 @@ module Make (F : Field_intf.S) = struct
   (* Algorithm 1, run by an honest auditor. *)
   let audit ?(scope = Scope.null) ?(role = "auditor") (w : worker)
       (a : M.mat) (x : M.vec) : audit_report =
+    Span.with_ ~ops:scope.Scope.ops ~name:"intermix.audit"
+      ~attrs:[ ("role", role) ]
+      (fun () ->
     scope.Scope.run ~role (fun () ->
         let y = M.mat_vec a x in
         let n = M.rows a and k = M.cols a in
@@ -151,7 +155,7 @@ module Make (F : Field_intf.S) = struct
             end
           in
           bisect ~lo:0 ~hi:k ~claim:w.claimed.(row) ~level:0
-        end)
+        end))
 
   (* Commoner verification: O(1) field work regardless of K and N.
      Returns [true] when the alert is valid, i.e. the worker is exposed;
@@ -181,6 +185,9 @@ module Make (F : Field_intf.S) = struct
   let run_protocol ?(scope = Scope.null) (w : worker) (a : M.mat) (x : M.vec)
       ~(auditors : int list) ~(dishonest_auditor : int -> alert option) :
       verdict =
+    Span.with_ ~ops:scope.Scope.ops ~name:"intermix.verify"
+      ~attrs:[ ("auditors", string_of_int (List.length auditors)) ]
+      (fun () ->
     let valid = ref [] and dismissed = ref [] in
     let max_inter = ref 0 in
     List.iter
@@ -208,7 +215,7 @@ module Make (F : Field_intf.S) = struct
       valid_alerts = !valid;
       dismissed_alerts = !dismissed;
       max_interactions = !max_inter;
-    }
+    })
 
   (* ----- Committee election (Section 6.1) ----- *)
 

@@ -40,18 +40,21 @@ let inv_weight = 32
 
 let total t = adds t + muls t + (inv_weight * invs t)
 
-let snapshot t =
+(* Cheap snapshot: three atomic loads, no allocation of new atomics.
+   Spans use snapshot/diff to attribute op deltas to a region without
+   resetting counters that other roles/domains are still writing. *)
+let snapshot t = (adds t, muls t, invs t)
+
+let diff ~before:(a0, m0, i0) ~after:(a1, m1, i1) =
+  (a1 - a0, m1 - m0, i1 - i0)
+
+let total_of (a, m, i) = a + m + (inv_weight * i)
+
+let copy t =
   {
     adds = Atomic.make (adds t);
     muls = Atomic.make (muls t);
     invs = Atomic.make (invs t);
-  }
-
-let diff ~before ~after =
-  {
-    adds = Atomic.make (adds after - adds before);
-    muls = Atomic.make (muls after - muls before);
-    invs = Atomic.make (invs after - invs before);
   }
 
 let accumulate ~into t =

@@ -30,11 +30,21 @@ val inv_weight : int
 val total : t -> int
 (** Total operation count: [adds + muls + inv_weight * invs]. *)
 
-val snapshot : t -> t
-(** Immutable copy of the current counts. *)
+val snapshot : t -> int * int * int
+(** Cheap (adds, muls, invs) snapshot — three atomic loads, no
+    allocation — for attributing op deltas to a span without resetting
+    a counter that other roles / domains are still writing. *)
 
-val diff : before:t -> after:t -> t
-(** Counts accumulated between two snapshots. *)
+val diff :
+  before:int * int * int -> after:int * int * int -> int * int * int
+(** Component-wise [after - before] of two snapshots. *)
+
+val total_of : int * int * int -> int
+(** Weighted total of a snapshot/diff triple ([total] on live
+    counters). *)
+
+val copy : t -> t
+(** Immutable counter holding the current counts. *)
 
 val accumulate : into:t -> t -> unit
 (** [accumulate ~into t] adds [t]'s counts into [into]. *)

@@ -54,6 +54,16 @@ let grand_total t =
   locked t (fun () ->
       Hashtbl.fold (fun _ c acc -> acc + Counter.total c) t.table 0)
 
+(* Unweighted (adds, muls, invs) totals across every role: the span
+   tracer samples this at span start/end to attribute exact op deltas
+   to pipeline phases, whatever roles the work lands on. *)
+let op_totals t =
+  locked t (fun () ->
+      Hashtbl.fold
+        (fun _ c (a, m, i) ->
+          (a + Counter.adds c, m + Counter.muls c, i + Counter.invs c))
+        t.table (0, 0, 0))
+
 let reset t = locked t (fun () -> Hashtbl.iter (fun _ c -> Counter.reset c) t.table)
 
 (* Throughput per the paper's definition (Section 2.2):

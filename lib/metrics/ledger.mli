@@ -21,6 +21,10 @@ val total : t -> string -> int
 
 val grand_total : t -> int
 
+val op_totals : t -> int * int * int
+(** Unweighted (adds, muls, invs) summed over all roles — the span
+    tracer's operation source. *)
+
 val reset : t -> unit
 
 val throughput : commands:int -> node_costs:int array -> float

@@ -5,9 +5,15 @@
    routes operation counts to the right ledger role while a given
    node/worker/auditor is "computing".  The default scope is free. *)
 
-type t = { run : 'a. role:string -> (unit -> 'a) -> 'a }
+type t = {
+  run : 'a. role:string -> (unit -> 'a) -> 'a;
+  ops : unit -> int * int * int;
+      (* current (adds, muls, invs) totals of whatever this scope counts
+         into; the span tracer samples it at span boundaries *)
+}
 
-let null = { run = (fun ~role:_ f -> f ()) }
+let no_ops () = (0, 0, 0)
+let null = { run = (fun ~role:_ f -> f ()); ops = no_ops }
 
 (* The shape of [Csm_field.Counted.Make(_)]'s counter plumbing. *)
 module type COUNTED_RUNNER = sig
@@ -15,6 +21,9 @@ module type COUNTED_RUNNER = sig
 end
 
 let of_ledger (module R : COUNTED_RUNNER) ledger =
-  { run = (fun ~role f -> R.with_counter (Ledger.counter ledger role) f) }
+  {
+    run = (fun ~role f -> R.with_counter (Ledger.counter ledger role) f);
+    ops = (fun () -> Ledger.op_totals ledger);
+  }
 
 let node t i f = t.run ~role:(Ledger.node_role i) f

@@ -1,10 +1,15 @@
 (** Cost-attribution scopes: route field-operation counts to ledger
     roles while protocol engines execute on behalf of a node. *)
 
-type t = { run : 'a. role:string -> (unit -> 'a) -> 'a }
+type t = {
+  run : 'a. role:string -> (unit -> 'a) -> 'a;
+  ops : unit -> int * int * int;
+      (** current (adds, muls, invs) totals of this scope's sink; spans
+          sample it at their boundaries to record per-phase op deltas *)
+}
 
 val null : t
-(** No-op scope (no measurement). *)
+(** No-op scope (no measurement; [ops] is constantly [(0, 0, 0)]). *)
 
 module type COUNTED_RUNNER = sig
   val with_counter : Counter.t -> (unit -> 'a) -> 'a

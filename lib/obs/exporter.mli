@@ -1,0 +1,28 @@
+(** Span exporters: Chrome trace-event JSON (chrome://tracing /
+    Perfetto) and building blocks for the self-describing run-report
+    JSON.  Environment-gated via [install] — zero overhead when
+    [CSM_TRACE] is unset. *)
+
+val chrome_trace : Span.record list -> Json.t
+(** The ["traceEvents"] object: one complete ("X") event per span,
+    [tid] = owning domain, timestamps rebased to the earliest span. *)
+
+val write_chrome_trace : path:string -> Span.record list -> unit
+
+val host : ?domains:int -> unit -> Json.t
+(** Host metadata (OCaml version, word size, core count, configured
+    domain count) for embedding in reports. *)
+
+val span_summary_json : Summary.stat list -> Json.t
+(** Per-span-name p50/p95/max + op totals, as a JSON list. *)
+
+val trace_path : unit -> string option
+(** [CSM_TRACE] if set. *)
+
+val report_path : unit -> string option
+(** [CSM_REPORT] if set. *)
+
+val install : unit -> unit
+(** Read [CSM_TRACE] once; when set, enable tracing and register an
+    at-exit Chrome-trace flush to that path.  Idempotent; does nothing
+    (and costs nothing) when the variable is unset. *)

@@ -1,0 +1,15 @@
+(** Minimal dependency-free JSON emitter (strings escaped; non-finite
+    floats emitted as [null] so documents always parse). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_buffer : Buffer.t -> t -> unit
+val to_string : t -> string
+val write : path:string -> t -> unit

@@ -1,0 +1,62 @@
+(* Per-span-name aggregation: count, total time, p50/p95/max latency,
+   and summed operation deltas.  Used by the run-report exporter and the
+   harness CSV writer. *)
+
+type stat = {
+  s_name : string;
+  count : int;
+  total_s : float;
+  p50_s : float;
+  p95_s : float;
+  max_s : float;
+  adds : int;
+  muls : int;
+  invs : int;
+}
+
+(* Nearest-rank percentile on a sorted array; q in [0, 1]. *)
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then nan
+  else begin
+    let rank = int_of_float (ceil (q *. float_of_int n)) in
+    sorted.(max 0 (min (n - 1) (rank - 1)))
+  end
+
+let by_name (records : Span.record list) : stat list =
+  let tbl : (string, Span.record list ref) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (r : Span.record) ->
+      match Hashtbl.find_opt tbl r.Span.name with
+      | Some l -> l := r :: !l
+      | None -> Hashtbl.add tbl r.Span.name (ref [ r ]))
+    records;
+  Hashtbl.fold
+    (fun name rs acc ->
+      let rs = !rs in
+      let durs =
+        Array.of_list (List.map (fun (r : Span.record) -> r.Span.dur_s) rs)
+      in
+      Array.sort compare durs;
+      let sum f = List.fold_left (fun a r -> a + f r) 0 rs in
+      {
+        s_name = name;
+        count = List.length rs;
+        total_s = Array.fold_left ( +. ) 0.0 durs;
+        p50_s = percentile durs 0.50;
+        p95_s = percentile durs 0.95;
+        max_s = percentile durs 1.0;
+        adds = sum (fun (r : Span.record) -> r.Span.d_adds);
+        muls = sum (fun (r : Span.record) -> r.Span.d_muls);
+        invs = sum (fun (r : Span.record) -> r.Span.d_invs);
+      }
+      :: acc)
+    tbl []
+  |> List.sort (fun a b -> compare a.s_name b.s_name)
+
+let pp_stat ppf s =
+  Format.fprintf ppf
+    "%-26s n=%-6d total=%8.3fms p50=%8.3fms p95=%8.3fms max=%8.3fms ops=%d"
+    s.s_name s.count (s.total_s *. 1e3) (s.p50_s *. 1e3) (s.p95_s *. 1e3)
+    (s.max_s *. 1e3)
+    (s.adds + s.muls + s.invs)

@@ -1,0 +1,22 @@
+(** Per-span-name latency/operation summaries (p50 / p95 / max). *)
+
+type stat = {
+  s_name : string;
+  count : int;
+  total_s : float;
+  p50_s : float;  (** nearest-rank median duration (seconds) *)
+  p95_s : float;
+  max_s : float;
+  adds : int;  (** summed op deltas over all spans of this name *)
+  muls : int;
+  invs : int;
+}
+
+val percentile : float array -> float -> float
+(** [percentile sorted q] — nearest-rank percentile, [q] in [0, 1];
+    [nan] on an empty array. *)
+
+val by_name : Span.record list -> stat list
+(** One stat per distinct span name, sorted by name. *)
+
+val pp_stat : Format.formatter -> stat -> unit

@@ -124,9 +124,10 @@ module Make (F : Field_intf.S) = struct
   type algorithm = Berlekamp_welch | Gao
 
   let decode ?(algorithm = Gao) ~k pairs =
-    match algorithm with
-    | Berlekamp_welch -> decode_bw ~k pairs
-    | Gao -> decode_gao ~k pairs
+    Csm_obs.Span.with_ ~name:"rs.decode" (fun () ->
+        match algorithm with
+        | Berlekamp_welch -> decode_bw ~k pairs
+        | Gao -> decode_gao ~k pairs)
 
   (* Erasure-only decoding (crash faults): every received symbol is
      trusted, so interpolating through any k of them must explain all of

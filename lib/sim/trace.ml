@@ -8,11 +8,14 @@
    - monotonicity: event timestamps never decrease;
    - halted silence: no delivery is processed by a node after its halt
      (drops are recorded instead);
-   - timer integrity: every fired timer was set, and fires at its set
-     time.
+   - timer integrity: every fired timer was set, fires at its set time,
+     and no timer is set twice at the same (node, tag, fire time)
+     without an intervening fire.
 
-   The checker is protocol-agnostic, so any test can wrap its run with
-   [collector] and assert [check] for free. *)
+   Violations are returned in chronological order of the offending
+   event (ties broken by detection order), so a failing test reads as a
+   timeline.  The checker is protocol-agnostic, so any test can wrap
+   its run with [collector] and assert [check] for free. *)
 
 type 'm t = { mutable events : 'm Net.trace_event list (* newest first *) }
 
@@ -36,14 +39,24 @@ let time_of (ev : 'm Net.trace_event) =
 
 let check ?(msg_equal = ( = )) (t : 'm t) : violation list =
   let evs = events t in
+  (* each violation is stamped with the offending event's time plus a
+     detection sequence number, so the final list can be merged across
+     the independent passes into chronological order *)
   let violations = ref [] in
-  let bad fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
+  let seq = ref 0 in
+  let bad ~at fmt =
+    Printf.ksprintf
+      (fun s ->
+        incr seq;
+        violations := (at, !seq, s) :: !violations)
+      fmt
+  in
   (* monotone timestamps *)
   let rec mono last = function
     | [] -> ()
     | ev :: rest ->
       let now = time_of ev in
-      if now < last then bad "timestamp regression at t=%d" now;
+      if now < last then bad ~at:now "timestamp regression at t=%d" now;
       mono now rest
   in
   mono 0 evs;
@@ -55,16 +68,17 @@ let check ?(msg_equal = ( = )) (t : 'm t) : violation list =
     (fun ev ->
       match ev with
       | Net.T_send { src; dst; deliver_at; msg; at } ->
-        if deliver_at <= at then bad "zero/negative latency at t=%d" at;
+        if deliver_at <= at then bad ~at "zero/negative latency at t=%d" at;
         pending := (src, dst, deliver_at, msg) :: !pending
       | Net.T_deliver { at; src; dst; msg } ->
         (match Hashtbl.find_opt halts dst with
-        | Some h when at > h -> bad "delivery to halted node %d at t=%d" dst at
+        | Some h when at > h ->
+          bad ~at "delivery to halted node %d at t=%d" dst at
         | _ -> ());
         let rec take acc = function
           | [] ->
-            bad "delivery without matching send (src=%d dst=%d t=%d)" src dst
-              at;
+            bad ~at "delivery without matching send (src=%d dst=%d t=%d)" src
+              dst at;
             List.rev acc
           | (s, d, da, m) :: rest
             when s = src && d = dst && da = at && msg_equal m msg ->
@@ -78,20 +92,36 @@ let check ?(msg_equal = ( = )) (t : 'm t) : violation list =
       | Net.T_halt { node; at } ->
         if not (Hashtbl.mem halts node) then Hashtbl.add halts node at)
     evs;
-  (* timers: every fired (node, tag, at) has a matching set *)
-  let sets = Hashtbl.create 32 in
+  (* timers: every fired (node, tag, at) has a matching set, and no
+     (node, tag, fire_at) is re-armed while still pending — a double set
+     without an intervening fire is a scheduling bug even though the
+     duplicate would fire "on time" *)
+  let sets : (int * int * int, int) Hashtbl.t = Hashtbl.create 32 in
+  let count key = Option.value ~default:0 (Hashtbl.find_opt sets key) in
   List.iter
     (function
-      | Net.T_timer_set { node; tag; fire_at; _ } ->
-        Hashtbl.add sets (node, tag, fire_at) ()
+      | Net.T_timer_set { node; tag; fire_at; at } ->
+        let key = (node, tag, fire_at) in
+        let c = count key in
+        if c > 0 then
+          bad ~at
+            "timer set twice without intervening fire (node=%d tag=%d \
+             fire_at=%d set at t=%d)"
+            node tag fire_at at;
+        Hashtbl.replace sets key (c + 1)
       | Net.T_timer_fired { node; tag; at } ->
-        if not (Hashtbl.mem sets (node, tag, at)) then
-          bad "timer fired without set (node=%d tag=%d t=%d)" node tag at
-        else Hashtbl.remove sets (node, tag, at)
+        let key = (node, tag, at) in
+        let c = count key in
+        if c = 0 then
+          bad ~at "timer fired without set (node=%d tag=%d t=%d)" node tag at
+        else Hashtbl.replace sets key (c - 1)
       | Net.T_send _ | Net.T_deliver _ | Net.T_drop_halted _ | Net.T_halt _ ->
         ())
     evs;
-  List.rev !violations
+  List.sort
+    (fun (t1, s1, _) (t2, s2, _) -> compare (t1, s1) (t2, s2))
+    !violations
+  |> List.map (fun (_, _, s) -> s)
 
 let message_count t =
   List.length

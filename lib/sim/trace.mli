@@ -15,6 +15,9 @@ val events : 'm t -> 'm Net.trace_event list
 type violation = string
 
 val check : ?msg_equal:('m -> 'm -> bool) -> 'm t -> violation list
-(** Empty list = all physical invariants hold. *)
+(** Empty list = all physical invariants hold.  Also flags a timer
+    re-armed at the same (node, tag, fire time) without an intervening
+    fire.  Violations come back in chronological order of the offending
+    event. *)
 
 val message_count : 'm t -> int

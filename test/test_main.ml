@@ -23,4 +23,5 @@ let () =
          Test_linalg.suites;
          Test_rs.suites;
          Test_parallel.suites;
+         Test_obs.suites;
        ])

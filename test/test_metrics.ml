@@ -22,9 +22,19 @@ let counter_diff () =
   let before = Counter.snapshot c in
   Counter.mul c;
   Counter.mul c;
-  let d = Counter.diff ~before ~after:(Counter.snapshot c) in
-  Alcotest.(check int) "diff adds" 0 (Counter.adds d);
-  Alcotest.(check int) "diff muls" 2 (Counter.muls d)
+  Counter.inv c;
+  let da, dm, di = Counter.diff ~before ~after:(Counter.snapshot c) in
+  Alcotest.(check int) "diff adds" 0 da;
+  Alcotest.(check int) "diff muls" 2 dm;
+  Alcotest.(check int) "diff invs" 1 di;
+  Alcotest.(check int)
+    "diff total weighted" (2 + Counter.inv_weight)
+    (Counter.total_of (da, dm, di));
+  (* the copy is a frozen counter; snapshot of the copy matches *)
+  let frozen = Counter.copy c in
+  Counter.add c;
+  Alcotest.(check int) "copy frozen adds" 1 (Counter.adds frozen);
+  Alcotest.(check int) "live adds" 2 (Counter.adds c)
 
 module CF = Counted.Make (Fp.F97)
 

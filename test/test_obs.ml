@@ -1,0 +1,314 @@
+(* Observability layer: span tracer determinism, exporter JSON
+   round-trip, the disabled fast path, and op-delta attribution against
+   the metrics ledger. *)
+
+module Span = Csm_obs.Span
+module Summary = Csm_obs.Summary
+module Exporter = Csm_obs.Exporter
+module Json = Csm_obs.Json
+module Pool = Csm_parallel.Pool
+module Counter = Csm_metrics.Counter
+module Ledger = Csm_metrics.Ledger
+module Scope = Csm_metrics.Scope
+module CF = Csm_field.Counted.Make (Csm_field.Fp.Default)
+module E = Csm_core.Engine.Make (CF)
+module M = E.M
+module Params = Csm_core.Params
+
+(* run [f] with tracing on and a clean buffer; always restore the
+   disabled state so other suites see zero tracer overhead *)
+let traced f =
+  Span.reset ();
+  Span.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Span.disable ();
+      Span.reset ())
+    f
+
+let small_round ~scope () =
+  let d = 2 and n = 11 and k = 3 and b = 2 in
+  let machine = M.degree_machine d in
+  let params = Params.make ~network:Params.Sync ~n ~k ~d ~b in
+  let rng = Csm_rng.create 0x0B5 in
+  let init =
+    Array.init k (fun _ ->
+        Array.init machine.M.state_dim (fun _ -> CF.random rng))
+  in
+  let commands =
+    Array.init k (fun _ ->
+        Array.init machine.M.input_dim (fun _ -> CF.random rng))
+  in
+  let engine = E.create ~machine ~params ~init in
+  let report =
+    E.round ~scope engine ~commands ~byzantine:(fun i -> i >= n - b) ()
+  in
+  Alcotest.(check bool) "round decoded" true (report.E.decoded <> None)
+
+(* The engine's phase spans are emitted by the coordinating domain in a
+   fixed order; worker-domain spans (rs.decode) interleave by wall
+   clock but their multiset is schedule-independent.  After the
+   merge-sort by (start, id), both properties must hold at any domain
+   width. *)
+let nesting_deterministic () =
+  let phase_names =
+    [ "engine.round"; "engine.encode"; "engine.compute"; "engine.decode";
+      "engine.reencode" ]
+  in
+  let capture width =
+    traced (fun () ->
+        Pool.with_domain_limit width (fun () -> small_round ~scope:Scope.null ());
+        Span.records ())
+  in
+  let phases records =
+    List.filter_map
+      (fun (r : Span.record) ->
+        if List.mem r.Span.name phase_names then
+          Some (r.Span.name, r.Span.depth, r.Span.parent >= 0)
+        else None)
+      records
+  in
+  let name_counts records =
+    List.sort compare
+      (List.map (fun (r : Span.record) -> r.Span.name) records)
+  in
+  let seq = capture 1 in
+  let par = capture 4 in
+  Alcotest.(check (list (triple string int bool)))
+    "phase spans identical across widths" (phases seq) (phases par);
+  Alcotest.(check (list string))
+    "span multiset identical across widths" (name_counts seq) (name_counts par);
+  (* nesting: every phase sub-span is depth 1 under engine.round *)
+  List.iter
+    (fun (name, depth, has_parent) ->
+      if name <> "engine.round" then begin
+        Alcotest.(check int) (name ^ " depth") 1 depth;
+        Alcotest.(check bool) (name ^ " parented") true has_parent
+      end)
+    (phases seq);
+  (* ids strictly increase along the sorted single-domain record list *)
+  let ids =
+    List.filter_map
+      (fun (r : Span.record) ->
+        if List.mem r.Span.name phase_names then Some r.Span.id else None)
+      seq
+  in
+  Alcotest.(check bool)
+    "sorted by (start, id)" true
+    (List.sort compare ids = ids)
+
+(* ----- a minimal JSON parser, enough to round-trip the exporter ----- *)
+
+exception Bad of string
+
+let parse_json (s : string) =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then s.[!pos] else raise (Bad "eof") in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    if !pos < n && (match s.[!pos] with ' ' | '\n' | '\t' | '\r' -> true | _ -> false)
+    then begin advance (); skip_ws () end
+  in
+  let expect c =
+    skip_ws ();
+    if peek () <> c then raise (Bad (Printf.sprintf "expected %c at %d" c !pos));
+    advance ()
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | '"' -> advance ()
+      | '\\' ->
+        advance ();
+        (match peek () with
+        | 'u' ->
+          advance ();
+          for _ = 1 to 4 do
+            (match peek () with
+            | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> advance ()
+            | _ -> raise (Bad "bad \\u escape"))
+          done;
+          Buffer.add_char b '?'
+        | ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') as c ->
+          advance ();
+          Buffer.add_char b c
+        | _ -> raise (Bad "bad escape"));
+        go ()
+      | c when Char.code c < 0x20 -> raise (Bad "raw control char in string")
+      | c ->
+        advance ();
+        Buffer.add_char b c;
+        go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = '}' then begin advance (); `Obj [] end
+      else begin
+        let rec members acc =
+          let key = parse_string () in
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | ',' -> advance (); skip_ws (); members ((key, v) :: acc)
+          | '}' -> advance (); `Obj (List.rev ((key, v) :: acc))
+          | _ -> raise (Bad "bad object")
+        in
+        skip_ws ();
+        members []
+      end
+    | '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = ']' then begin advance (); `List [] end
+      else begin
+        let rec elems acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | ',' -> advance (); elems (v :: acc)
+          | ']' -> advance (); `List (List.rev (v :: acc))
+          | _ -> raise (Bad "bad array")
+        in
+        elems []
+      end
+    | '"' -> `Str (parse_string ())
+    | 't' -> pos := !pos + 4; `Bool true
+    | 'f' -> pos := !pos + 5; `Bool false
+    | 'n' -> pos := !pos + 4; `Null
+    | '-' | '0' .. '9' ->
+      let start = !pos in
+      let num c =
+        match c with
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while !pos < n && num s.[!pos] do advance () done;
+      `Num (float_of_string (String.sub s start (!pos - start)))
+    | c -> raise (Bad (Printf.sprintf "unexpected %c" c))
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then raise (Bad "trailing garbage");
+  v
+
+let exporter_round_trips () =
+  let records =
+    traced (fun () ->
+        Span.with_ ~name:"outer"
+          ~attrs:[ ("weird", "quote\"back\\slash\nnewline") ]
+          (fun () ->
+            Span.with_ ~name:"inner" (fun () -> ());
+            Span.with_ ~name:"inner" (fun () -> ()));
+        Span.records ())
+  in
+  Alcotest.(check int) "three spans" 3 (List.length records);
+  let json = Exporter.chrome_trace records in
+  (match parse_json (Json.to_string json) with
+  | `Obj fields ->
+    (match List.assoc "traceEvents" fields with
+    | `List evs ->
+      Alcotest.(check int) "three events" 3 (List.length evs);
+      List.iter
+        (function
+          | `Obj ev ->
+            List.iter
+              (fun key ->
+                Alcotest.(check bool) ("has " ^ key) true (List.mem_assoc key ev))
+              [ "name"; "ph"; "ts"; "dur"; "pid"; "tid"; "args" ]
+          | _ -> Alcotest.fail "event not an object")
+        evs
+    | _ -> Alcotest.fail "traceEvents not a list")
+  | _ -> Alcotest.fail "trace not an object");
+  (* the run-report building blocks parse too *)
+  (match parse_json (Json.to_string (Exporter.host ~domains:4 ())) with
+  | `Obj fields ->
+    Alcotest.(check bool) "host has ocaml_version" true
+      (List.mem_assoc "ocaml_version" fields)
+  | _ -> Alcotest.fail "host not an object");
+  match
+    parse_json (Json.to_string (Exporter.span_summary_json (Summary.by_name records)))
+  with
+  | `List (_ :: _) -> ()
+  | _ -> Alcotest.fail "summary not a non-empty list"
+
+(* with tracing disabled, the instrumented wrapper is one atomic load:
+   no allocation, and nothing is buffered *)
+let disabled_fast_path () =
+  Span.disable ();
+  Span.reset ();
+  let f = fun () -> () in
+  (* warm up so the closure and any lazy setup are allocated already *)
+  for _ = 1 to 10 do
+    Span.with_ ~name:"noop" f
+  done;
+  let before = Gc.minor_words () in
+  for _ = 1 to 10_000 do
+    Span.with_ ~name:"noop" f
+  done;
+  let after = Gc.minor_words () in
+  Alcotest.(check (float 0.0)) "no allocation when disabled" 0.0 (after -. before);
+  Alcotest.(check int) "no records buffered" 0 (List.length (Span.records ()))
+
+(* the span's sampled op deltas must agree with the ledger: the
+   engine.round span covers exactly the scoped work of one round, and
+   its children partition it *)
+let op_deltas_match_ledger () =
+  let ledger = Ledger.create () in
+  let scope = Scope.of_ledger (module CF) ledger in
+  let records = traced (fun () -> small_round ~scope (); Span.records ()) in
+  let find name =
+    match
+      List.filter (fun (r : Span.record) -> r.Span.name = name) records
+    with
+    | [ r ] -> r
+    | rs -> Alcotest.failf "expected one %s span, got %d" name (List.length rs)
+  in
+  let round = find "engine.round" in
+  let la, lm, li = Ledger.op_totals ledger in
+  Alcotest.(check (triple int int int))
+    "round delta = ledger totals" (la, lm, li)
+    (round.Span.d_adds, round.Span.d_muls, round.Span.d_invs);
+  Alcotest.(check bool) "round did real work" true (la + lm + li > 0);
+  (* children partition the round's ops (the corruption callback runs
+     outside the ledger scope, so nothing leaks between phases) *)
+  let sum =
+    List.fold_left
+      (fun (a, m, i) name ->
+        let r = find name in
+        (a + r.Span.d_adds, m + r.Span.d_muls, i + r.Span.d_invs))
+      (0, 0, 0)
+      [ "engine.encode"; "engine.compute"; "engine.decode"; "engine.reencode" ]
+  in
+  Alcotest.(check (triple int int int))
+    "phase deltas partition the round" (la, lm, li) sum;
+  (* the grand total also matches the weighted ledger accounting *)
+  Alcotest.(check int)
+    "weighted total consistent"
+    (Ledger.grand_total ledger)
+    (la + lm + (Counter.inv_weight * li))
+
+let suites =
+  [
+    ( "obs",
+      [
+        Alcotest.test_case "nesting deterministic across widths" `Quick
+          nesting_deterministic;
+        Alcotest.test_case "exporter round-trips valid JSON" `Quick
+          exporter_round_trips;
+        Alcotest.test_case "disabled fast path allocates nothing" `Quick
+          disabled_fast_path;
+        Alcotest.test_case "op deltas match ledger" `Quick
+          op_deltas_match_ledger;
+      ] );
+  ]

@@ -259,6 +259,52 @@ let trace_checker_catches () =
     (Net.T_timer_fired { at = 3; node = 0; tag = 9 });
   Alcotest.(check bool) "orphan timer flagged" true (Trace.check t2 <> [])
 
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* a timer re-armed at the same (node, tag, fire time) before firing is
+   flagged; set-fire-set-fire is fine *)
+let trace_double_set_flagged () =
+  let t = Trace.create () in
+  Trace.tracer t (Net.T_timer_set { at = 0; node = 2; tag = 7; fire_at = 10 });
+  Trace.tracer t (Net.T_timer_set { at = 1; node = 2; tag = 7; fire_at = 10 });
+  Trace.tracer t (Net.T_timer_fired { at = 10; node = 2; tag = 7 });
+  Trace.tracer t (Net.T_timer_fired { at = 10; node = 2; tag = 7 });
+  (match Trace.check t with
+  | [ v ] ->
+    Alcotest.(check bool)
+      "mentions double set" true
+      (contains ~sub:"set twice" v)
+  | vs ->
+    Alcotest.failf "expected exactly one violation, got %d" (List.length vs));
+  (* the legal schedule: set, fire, re-set, fire *)
+  let ok = Trace.create () in
+  Trace.tracer ok (Net.T_timer_set { at = 0; node = 2; tag = 7; fire_at = 5 });
+  Trace.tracer ok (Net.T_timer_fired { at = 5; node = 2; tag = 7 });
+  Trace.tracer ok (Net.T_timer_set { at = 5; node = 2; tag = 7; fire_at = 5 });
+  Trace.tracer ok (Net.T_timer_fired { at = 5; node = 2; tag = 7 });
+  Alcotest.(check (list string)) "re-arm after fire is legal" [] (Trace.check ok)
+
+(* violations from different checker passes come back in event order *)
+let trace_violations_chronological () =
+  let t = Trace.create () in
+  (* t=2: orphan timer fire (timer pass); t=4: orphan delivery
+     (causality pass).  The old per-pass grouping reported the delivery
+     first. *)
+  Trace.tracer t (Net.T_timer_fired { at = 2; node = 0; tag = 1 });
+  Trace.tracer t (Net.T_deliver { at = 4; src = 0; dst = 1; msg = Ping 0 });
+  match Trace.check t with
+  | [ first; second ] ->
+    Alcotest.(check bool)
+      "timer violation first" true
+      (contains ~sub:"timer" first);
+    Alcotest.(check bool)
+      "delivery violation second" true
+      (contains ~sub:"delivery" second)
+  | vs -> Alcotest.failf "expected two violations, got %d" (List.length vs)
+
 let suites =
   [
     ( "sim",
@@ -281,5 +327,9 @@ let suites =
           trace_deterministic_replay;
         Alcotest.test_case "checker catches forged traces" `Quick
           trace_checker_catches;
+        Alcotest.test_case "double timer set flagged" `Quick
+          trace_double_set_flagged;
+        Alcotest.test_case "violations chronological" `Quick
+          trace_violations_chronological;
       ] );
   ]
