@@ -1,6 +1,6 @@
 # Convenience wrappers around dune; `make ci` is the full local gate.
 
-.PHONY: all build test bench-smoke ci clean
+.PHONY: all build test bench-smoke bench-gate metrics-smoke ci clean
 
 all: build
 
@@ -13,17 +13,40 @@ test:
 bench-smoke:
 	dune build @bench-smoke
 
+# Regression gate over the smoke bench: determinism + ledger invariants
+# and the op-count anchor in bench/baseline.json (see bin/bench_gate.ml).
+# The last committed BENCH_parallel.json serves as the informational
+# "previous" point.
+bench-gate:
+	dune exec bench/main.exe -- --smoke --out /tmp/csm_ci_bench.json
+	dune exec bin/bench_gate.exe -- --current /tmp/csm_ci_bench.json \
+	  --previous BENCH_parallel.json --baseline bench/baseline.json
+
+# Drive the metrics registry end-to-end: a --metrics run must emit a
+# well-formed Prometheus exposition with the per-node protocol signals.
+metrics-smoke:
+	CSM_TICKER=0 CSM_METRICS=/tmp/csm_metrics.prom \
+	  dune exec bin/csm_run.exe -- --metrics --rounds 2 > /tmp/csm_metrics_stdout.txt
+	grep -q '^csm_messages_total{' /tmp/csm_metrics.prom
+	grep -q '^csm_round_latency_seconds_bucket{' /tmp/csm_metrics.prom
+	grep -q '^csm_node_suspicion{' /tmp/csm_metrics.prom
+	@echo "metrics-smoke: ok"
+
 # CI gate: type-check everything (tests and benches included),
 # regenerate the parallel smoke benchmark, run the test suite, then
-# exercise the tracer end-to-end — a CSM_TRACE'd demo run plus a traced
-# smoke bench — so the observability layer is driven on every commit.
+# exercise the observability layer end-to-end — a CSM_TRACE'd demo run,
+# a traced + gated smoke bench, and a metrics exposition check — so
+# tracing, metrics and the bench gate are driven on every commit.
 ci:
 	dune build @check @bench-smoke
 	dune runtest
 	CSM_TRACE=/tmp/csm_ci_trace.json CSM_REPORT=/tmp/csm_ci_report.json \
-	  dune exec bin/csm_run.exe -- --trace --report --rounds 2
+	  CSM_TICKER=0 dune exec bin/csm_run.exe -- --trace --report --rounds 2
 	CSM_TRACE=/tmp/csm_ci_bench_trace.json \
 	  dune exec bench/main.exe -- --smoke --out /tmp/csm_ci_bench.json
+	dune exec bin/bench_gate.exe -- --current /tmp/csm_ci_bench.json \
+	  --previous BENCH_parallel.json --baseline bench/baseline.json
+	$(MAKE) metrics-smoke
 
 clean:
 	dune clean

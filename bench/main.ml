@@ -409,7 +409,7 @@ let run_smoke ~out =
   in
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n";
-  Printf.bprintf buf "  \"schema\": \"csm-bench-parallel/1\",\n";
+  Printf.bprintf buf "  \"schema\": \"csm-bench-parallel/2\",\n";
   Printf.bprintf buf "  \"bench\": \"parallel/engine-round-n64\",\n";
   Printf.bprintf buf
     "  \"host\": {\"ocaml_version\": %S, \"word_size\": %d, \
@@ -435,6 +435,8 @@ let run_smoke ~out =
           timings));
   Printf.bprintf buf "  \"deterministic\": %b,\n" deterministic;
   Printf.bprintf buf "  \"ledger_identical\": %b,\n" ledger_identical;
+  (* hardware-independent op total: the regression gate's anchor *)
+  Printf.bprintf buf "  \"ledger_grand_total\": %d,\n" base_ops;
   Printf.bprintf buf
     "  \"note\": \"wall-clock measured on host_cores CPU core(s); \
      speedups reflect that hardware, while determinism and operation \

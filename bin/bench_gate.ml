@@ -1,0 +1,154 @@
+(* Bench regression gate:
+
+     bench_gate --current BENCH.json --baseline bench/baseline.json
+                [--previous OLD_BENCH.json] [--tolerance PCT]
+
+   Reads the smoke-bench report just produced (csm-bench-parallel/2),
+   the committed baseline, and optionally the previous run's report,
+   then enforces the hardware-independent invariants:
+
+   - the current run must be deterministic across domain widths and its
+     operation ledger identical at every width (these are boolean
+     results computed by the bench itself);
+   - the benched configuration (n/k/d/b) must match the baseline — a
+     silent config change would make op-count comparisons meaningless;
+   - the ledger grand total must stay within --tolerance percent of the
+     baseline's (the counts are exact, so the default tolerance exists
+     only to allow deliberate, reviewed drift via a baseline update).
+
+   Wall-clock timings are deliberately NOT gated: they measure the CI
+   host, not the code.  The previous report, when given, is compared
+   informationally (printed, never fatal) so gradual drift is visible
+   in CI logs.
+
+   Exit codes: 0 ok, 1 regression, 2 usage/IO/parse error. *)
+
+open Cmdliner
+module Json = Csm_obs.Json
+
+let fail_usage fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 2) fmt
+
+let load path =
+  try Json.parse_file path with
+  | Sys_error m -> fail_usage "bench_gate: %s" m
+  | Json.Parse_error m -> fail_usage "bench_gate: %s: %s" path m
+
+let str_field j key =
+  match Option.bind (Json.member key j) Json.to_string_opt with
+  | Some s -> s
+  | None -> fail_usage "bench_gate: missing string field %S" key
+
+let int_field j key =
+  match Option.bind (Json.member key j) Json.to_int_opt with
+  | Some i -> i
+  | None -> fail_usage "bench_gate: missing integer field %S" key
+
+let bool_field j key =
+  match Option.bind (Json.member key j) Json.to_bool_opt with
+  | Some b -> b
+  | None -> fail_usage "bench_gate: missing boolean field %S" key
+
+let run current baseline previous tolerance =
+  let cur = load current in
+  let base = load baseline in
+  let schema = str_field cur "schema" in
+  if not (String.equal schema "csm-bench-parallel/2") then
+    fail_usage "bench_gate: %s has schema %s (need csm-bench-parallel/2)"
+      current schema;
+  let failures = ref [] in
+  let check name ok detail =
+    if ok then Printf.printf "ok    %-24s %s\n" name detail
+    else begin
+      Printf.printf "FAIL  %-24s %s\n" name detail;
+      failures := name :: !failures
+    end
+  in
+  (* 1. invariants of the current run *)
+  check "deterministic"
+    (bool_field cur "deterministic")
+    "identical decode across domain widths";
+  check "ledger_identical"
+    (bool_field cur "ledger_identical")
+    "identical op ledger across domain widths";
+  (* 2. config must match the baseline *)
+  List.iter
+    (fun key ->
+      let c = int_field cur key and b = int_field base key in
+      check (Printf.sprintf "config.%s" key) (c = b)
+        (Printf.sprintf "current=%d baseline=%d" c b))
+    [ "n"; "k"; "d"; "b" ];
+  (* 3. op total vs baseline, within tolerance *)
+  let cur_ops = int_field cur "ledger_grand_total" in
+  let base_ops = int_field base "ledger_grand_total" in
+  let drift_pct =
+    if base_ops = 0 then if cur_ops = 0 then 0.0 else infinity
+    else
+      100.0
+      *. Float.abs (float_of_int (cur_ops - base_ops))
+      /. float_of_int base_ops
+  in
+  check "ledger_grand_total"
+    (drift_pct <= tolerance)
+    (Printf.sprintf "current=%d baseline=%d drift=%.2f%% (tolerance %.2f%%)"
+       cur_ops base_ops drift_pct tolerance);
+  (* 4. informational comparison with the previous run *)
+  (match previous with
+  | None -> ()
+  | Some path when not (Sys.file_exists path) ->
+    Printf.printf "note  previous report %s not found (first run?)\n" path
+  | Some path -> (
+    let prev = load path in
+    match Option.bind (Json.member "ledger_grand_total" prev) Json.to_int_opt with
+    | None ->
+      (* pre-/2 report without the op total: nothing to compare *)
+      Printf.printf "note  previous report %s predates ledger_grand_total\n"
+        path
+    | Some prev_ops ->
+      Printf.printf "note  ops vs previous run: current=%d previous=%d (%+d)\n"
+        cur_ops prev_ops (cur_ops - prev_ops)));
+  if !failures = [] then begin
+    Printf.printf "bench_gate: all checks passed\n";
+    0
+  end
+  else begin
+    Printf.printf "bench_gate: REGRESSION: %s\n"
+      (String.concat ", " (List.rev !failures));
+    1
+  end
+
+let () =
+  let current =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "current" ] ~docv:"FILE" ~doc:"Smoke-bench report to gate.")
+  in
+  let baseline =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "baseline" ] ~docv:"FILE"
+          ~doc:"Committed baseline (bench/baseline.json).")
+  in
+  let previous =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "previous" ] ~docv:"FILE"
+          ~doc:
+            "Previous run's report, compared informationally (never fatal; \
+             silently noted when missing).")
+  in
+  let tolerance =
+    Arg.(
+      value & opt float 5.0
+      & info [ "tolerance" ] ~docv:"PCT"
+          ~doc:"Allowed op-count drift vs the baseline, in percent.")
+  in
+  let cmd =
+    Cmd.v
+      (Cmd.info "bench_gate"
+         ~doc:"Gate CI on the parallel smoke bench's invariants")
+      Term.(const run $ current $ baseline $ previous $ tolerance)
+  in
+  exit (Cmd.eval' cmd)

@@ -2,7 +2,7 @@
 
      csm_run [-n N] [-k K] [-d D] [-b B] [--rounds R]
              [--network sync|partial] [--adversary none|lie|equivocate|withhold]
-             [--trace] [--report]
+             [--trace] [--report] [--metrics] [--ticker]
 
    Runs the full protocol (consensus + coded execution + client
    delivery) on the simulator and prints a per-round report.
@@ -10,10 +10,15 @@
    Observability: --trace writes a Chrome trace-event JSON (load in
    chrome://tracing or Perfetto) of the nested protocol/engine spans;
    --report writes a self-describing run-report JSON with the config,
-   measured λ/γ/β, per-role operation totals and per-span p50/p95/max.
+   measured λ/γ/β, per-role operation totals, per-span p50/p95/max and
+   the metrics registry; --metrics enables the per-node telemetry
+   registry and prints a Prometheus text exposition to stdout (and to
+   the CSM_METRICS path when set).  A live one-line ticker is shown on
+   stderr while rounds run when stderr is a TTY (or CSM_TICKER=1).
    Paths default to csm_trace.json / csm_report.json and can be
    overridden with the CSM_TRACE / CSM_REPORT environment variables
-   (setting CSM_TRACE alone also enables tracing, flag or not). *)
+   (setting CSM_TRACE / CSM_METRICS / CSM_EVENTS alone also enables the
+   matching channel, flag or not). *)
 
 open Cmdliner
 module CF = Csm_field.Counted.Make (Csm_field.Fp.Default)
@@ -28,6 +33,10 @@ module Span = Csm_obs.Span
 module Summary = Csm_obs.Summary
 module Exporter = Csm_obs.Exporter
 module Json = Csm_obs.Json
+module Metric = Csm_obs.Metric
+module Tel = Csm_obs.Telemetry
+module Prom = Csm_obs.Prom
+module Event = Csm_obs.Event
 
 let network_name = function
   | Params.Sync -> "sync"
@@ -47,7 +56,7 @@ let run_report ~n ~k ~d ~b ~rounds ~network ~adversary ~seed ~executed
   in
   Json.Obj
     [
-      ("schema", Json.Str "csm-run-report/1");
+      ("schema", Json.Str "csm-run-report/2");
       ("host", Exporter.host ());
       ( "config",
         Json.Obj
@@ -72,17 +81,41 @@ let run_report ~n ~k ~d ~b ~rounds ~network ~adversary ~seed ~executed
           ] );
       ("roles", Json.Obj role_totals);
       ("spans", Exporter.span_summary_json stats);
+      ("metrics", Exporter.metrics_json ());
     ]
 
-let run n k d b rounds network adversary seed trace report =
+(* Live one-line progress ticker on stderr: round counter plus running
+   executed/skip tallies, rewritten in place. *)
+let make_ticker ~rounds =
+  let executed = ref 0 and skipped = ref 0 and bad = ref 0 in
+  let done_ = ref 0 in
+  fun (o : P.round_outcome) ->
+    incr done_;
+    (match o.P.consensus with
+    | P.Agreed _ -> if o.P.executed then incr executed else incr bad
+    | P.Skipped -> incr skipped
+    | P.Disagreement -> incr bad);
+    Printf.eprintf "\r\027[Kround %d/%d  executed=%d skipped=%d failed=%d%!"
+      !done_ rounds !executed !skipped !bad;
+    if !done_ = rounds then prerr_newline ()
+
+let want_ticker () =
+  match Sys.getenv_opt "CSM_TICKER" with
+  | Some ("0" | "off" | "false") -> false
+  | Some _ -> true
+  | None -> ( try Unix.isatty Unix.stderr with Unix.Unix_error _ -> false)
+
+let run n k d b rounds network adversary seed trace report metrics ticker =
   let network =
     match network with
     | "partial" -> Params.Partial_sync
     | _ -> Params.Sync
   in
-  (* env-var-only activation (CSM_TRACE without --trace) *)
+  (* env-var-only activation (CSM_TRACE / CSM_EVENTS / CSM_METRICS
+     without the flags) *)
   Exporter.install ();
   if trace || report then Span.enable ();
+  if metrics || report then Metric.enable ();
   let machine = M.degree_machine d in
   let params =
     try Params.make ~network ~n ~k ~d ~b
@@ -115,9 +148,12 @@ let run n k d b rounds network adversary seed trace report =
   in
   let ledger = Ledger.create () in
   let scope = Scope.of_ledger (module CF) ledger in
+  let progress =
+    if ticker || want_ticker () then Some (make_ticker ~rounds) else None
+  in
   let outcomes =
     Span.with_ ~ops:scope.Scope.ops ~name:"csm_run" (fun () ->
-        P.run ~scope cfg engine ~workload ~rounds adv)
+        P.run ~scope ?progress cfg engine ~workload ~rounds adv)
   in
   List.iter
     (fun (o : P.round_outcome) ->
@@ -154,6 +190,25 @@ let run n k d b rounds network adversary seed trace report =
   in
   Format.printf "measured: λ=%.6f γ=%d β=%d (total ops %d)@." lambda k b
     (Ledger.grand_total ledger);
+  (* paper-headline gauges, exported alongside the per-node signals *)
+  Metric.set Tel.throughput_lambda lambda;
+  Metric.set Tel.storage_gamma (float_of_int k);
+  Metric.set Tel.security_beta (float_of_int b);
+  (match Event.recent () with
+  | [] -> ()
+  | events ->
+    Format.printf "events (%d total, %d kept):@." (Event.total ())
+      (List.length events);
+    List.iter (fun e -> Format.printf "  %a@." Event.pp e) events);
+  if metrics then begin
+    print_newline ();
+    Prom.output stdout;
+    match Prom.metrics_path () with
+    | Some path ->
+      Prom.write ~path;
+      Format.printf "metrics: wrote %s@." path
+    | None -> ()
+  end;
   if Span.enabled () then begin
     let records = Span.records () in
     let stats = Summary.by_name records in
@@ -210,11 +265,28 @@ let () =
             "Write a structured run-report JSON ($(b,CSM_REPORT) overrides \
              the csm_report.json default path).")
   in
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:
+            "Enable the telemetry registry and print a Prometheus text \
+             exposition to stdout ($(b,CSM_METRICS) also writes it to that \
+             path).")
+  in
+  let ticker =
+    Arg.(
+      value & flag
+      & info [ "ticker" ]
+          ~doc:
+            "Force the live per-round progress ticker on stderr (on by \
+             default when stderr is a terminal; $(b,CSM_TICKER)=0 disables).")
+  in
   let cmd =
     Cmd.v
       (Cmd.info "csm_run" ~doc:"Run the networked Coded State Machine")
       Term.(
         const run $ n $ k $ d $ b $ rounds $ network $ adversary $ seed $ trace
-        $ report)
+        $ report $ metrics $ ticker)
   in
   exit (Cmd.eval cmd)

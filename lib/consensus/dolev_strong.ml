@@ -183,6 +183,18 @@ let run cfg ?proposal ?(byzantine = fun _ -> None) () : outcome =
     Net.run
       ~max_time:(((cfg.f + 2) * cfg.delta) + cfg.delta)
       ~latency:(Net.sync ~delta:cfg.delta)
+        (* wire estimate: value bytes + 24 per chain link (16-byte
+           signature + signer id) *)
+      ~size:(fun m -> String.length m.value + (24 * List.length m.chain))
       behaviors
   in
+  let module Tel = Csm_obs.Telemetry in
+  let module Metric = Csm_obs.Metric in
+  Tel.record_per_node ~layer:"consensus" ~sent:stats.Net.sent_by
+    ~received:stats.Net.received_by ~bytes_sent:stats.Net.bytes_sent_by
+    ~bytes_received:stats.Net.bytes_received_by;
+  if Metric.enabled () then
+    Metric.observe
+      (Tel.consensus_latency ~protocol:"dolev_strong")
+      (float_of_int stats.Net.end_time);
   { decisions; stats })

@@ -26,6 +26,8 @@
 
 module Auth = Csm_crypto.Auth
 module Net = Csm_sim.Net
+module Metric = Csm_obs.Metric
+module Tel = Csm_obs.Telemetry
 
 type digest = string
 
@@ -75,6 +77,13 @@ let payload_string cfg (p : payload) =
   cfg.instance ^ "!" ^ body
 
 type phase = Idle | Preprepared | Prepared | Decided
+
+let phase_name = function
+  | Pre_prepare _ -> "pre_prepare"
+  | Prepare _ -> "prepare"
+  | Commit _ -> "commit"
+  | View_change _ -> "view_change"
+  | New_view _ -> "new_view"
 
 type node_state = {
   mutable view : int;
@@ -142,7 +151,11 @@ let honest cfg ~me ?proposal ~(on_decide : int -> string -> unit) () :
            (payload_string cfg m.payload)
            m.signature)
     then ()
-    else
+    else begin
+      (* counted after signature verification: only authenticated
+         messages advance the protocol *)
+      if Metric.enabled () then
+        Metric.inc (Tel.pbft_messages ~phase:(phase_name m.payload));
       match m.payload with
       | Pre_prepare { view; value } ->
         on_pre_prepare api ~sender:m.signer view value
@@ -242,6 +255,7 @@ let honest cfg ~me ?proposal ~(on_decide : int -> string -> unit) () :
             end
           end
         end
+    end
 
   and on_pre_prepare api ~sender view value =
     if view = st.view && sender = leader_of cfg view && st.value = None then begin
@@ -347,5 +361,19 @@ let run cfg ?(proposals = fun _ -> None) ?(byzantine = fun _ -> None)
             | Some b -> b
             | None -> honest cfg ~me:i ?proposal:(proposals i) ~on_decide ())
       in
-      let stats = Net.run ~max_time ~latency behaviors in
+      let stats =
+        Net.run ~max_time ~latency
+          (* wire estimate: serialized payload + 16-byte signature +
+             signer id *)
+          ~size:(fun m ->
+            String.length (payload_string cfg m.payload) + 24)
+          behaviors
+      in
+      Tel.record_per_node ~layer:"consensus" ~sent:stats.Net.sent_by
+        ~received:stats.Net.received_by ~bytes_sent:stats.Net.bytes_sent_by
+        ~bytes_received:stats.Net.bytes_received_by;
+      if Metric.enabled () then
+        Metric.observe
+          (Tel.consensus_latency ~protocol:"pbft")
+          (float_of_int stats.Net.end_time);
       { decisions; stats })

@@ -25,6 +25,9 @@ module Pbft = Csm_consensus.Pbft
 module Pool = Csm_parallel.Pool
 module Scope = Csm_metrics.Scope
 module Span = Csm_obs.Span
+module Metric = Csm_obs.Metric
+module Tel = Csm_obs.Telemetry
+module Event = Csm_obs.Event
 
 module Make (F : Field_intf.S) = struct
   module E = Engine.Make (F)
@@ -317,8 +320,15 @@ module Make (F : Field_intf.S) = struct
           Net.partial_sync ~gst:cfg.gst ~delta:cfg.delta
             ~pre:(fun ~src:_ ~dst:_ ~now:_ -> cfg.pre_gst_delay)
     in
-    Span.with_ ~ops:scope.Scope.ops ~name:"exec.deliver" (fun () ->
-        ignore (Net.run ~latency behaviors));
+    let stats =
+      Span.with_ ~ops:scope.Scope.ops ~name:"exec.deliver" (fun () ->
+          Net.run ~latency
+            ~size:(fun (Result g) -> 8 * Array.length g)
+            behaviors)
+    in
+    Tel.record_per_node ~layer:"execution" ~sent:stats.Net.sent_by
+      ~received:stats.Net.received_by ~bytes_sent:stats.Net.bytes_sent_by
+      ~bytes_received:stats.Net.bytes_received_by;
     decoded)
 
   (* Client vote: first value with ≥ threshold matches. *)
@@ -353,8 +363,58 @@ module Make (F : Field_intf.S) = struct
     delivered : F.t array option array;  (* per-machine client decisions *)
   }
 
+  (* Round-level health signals: outcome counters, the per-node
+     suspicion gauge fed by the decoder's error locations (counted once
+     per round, from the honest nodes' agreed decode — not once per
+     decoder, which would multiply by n − b), and warn/error events for
+     anomalous rounds. *)
+  let record_round_outcome (o : round_outcome) =
+    if Metric.enabled () then begin
+      let result =
+        match o.consensus with
+        | Disagreement -> "disagreement"
+        | Skipped -> "skipped"
+        | Agreed _ -> if o.executed then "executed" else "decode_failed"
+      in
+      Metric.inc (Tel.rounds_total ~result);
+      match o.decoded with
+      | Some d ->
+        List.iter
+          (fun node ->
+            Metric.inc (Tel.decode_errors ~node);
+            Metric.add (Tel.node_suspicion ~node) 1.0)
+          d.E.error_nodes
+      | None -> ()
+    end;
+    let round_attr = ("round", string_of_int o.round) in
+    (match o.consensus with
+    | Disagreement ->
+      Event.emit ~attrs:[ round_attr ] Event.Error "consensus.disagreement"
+    | Skipped -> Event.emit ~attrs:[ round_attr ] Event.Warn "round.skipped"
+    | Agreed _ ->
+      if not o.executed then
+        Event.emit ~attrs:[ round_attr ] Event.Error "round.decode_failed"
+      else begin
+        if not o.honest_agree then
+          Event.emit ~attrs:[ round_attr ] Event.Error "round.honest_split";
+        match o.decoded with
+        | Some d when d.E.error_nodes <> [] ->
+          Event.emit
+            ~attrs:
+              [
+                round_attr;
+                ( "nodes",
+                  String.concat ","
+                    (List.map string_of_int d.E.error_nodes) );
+              ]
+            Event.Warn "decode.errors_corrected"
+        | _ -> Event.emit ~attrs:[ round_attr ] Event.Debug "round.executed"
+      end)
+
   let run_round ?(scope = Scope.null) ?validate cfg (engine : E.t) ~round
       ~commands adv : round_outcome =
+    let outcome =
+      Metric.time Tel.round_latency (fun () ->
     Span.with_ ~ops:scope.Scope.ops
       ~attrs:[ ("round", string_of_int round) ]
       ~name:"protocol.round"
@@ -437,12 +497,17 @@ module Make (F : Field_intf.S) = struct
         honest_agree;
         decoded;
         delivered;
-      })
+      }))
+    in
+    record_round_outcome outcome;
+    outcome
 
-  let run ?(scope = Scope.null) cfg engine ~workload ~rounds adv =
+  let run ?(scope = Scope.null) ?progress cfg engine ~workload ~rounds adv =
     List.init rounds (fun r ->
         let commands = workload r in
-        run_round ~scope cfg engine ~round:r ~commands adv)
+        let outcome = run_round ~scope cfg engine ~round:r ~commands adv in
+        (match progress with Some f -> f outcome | None -> ());
+        outcome)
 
   (* ----- Client layer: submission pools, validity, liveness -----
 

@@ -83,12 +83,15 @@ module Make (F : Field_intf.S) : sig
 
   val run :
     ?scope:Csm_metrics.Scope.t ->
+    ?progress:(round_outcome -> unit) ->
     config ->
     E.t ->
     workload:(int -> F.t array array) ->
     rounds:int ->
     adversary ->
     round_outcome list
+  (** [progress] is invoked after each round completes (live tickers /
+      logging); it does not affect the protocol. *)
 
   type submission = { client : int; command : F.t array }
 

@@ -178,6 +178,16 @@ let write_all ~dir () =
   in
   (* when tracing is on, also summarize the spans the sweeps above just
      emitted (p50/p95/max per span name) *)
-  if Csm_obs.Span.enabled () then
-    paths @ [ write_file ~dir ~name:"spans.csv" (spans_csv ()) ]
+  let paths =
+    if Csm_obs.Span.enabled () then
+      paths @ [ write_file ~dir ~name:"spans.csv" (spans_csv ()) ]
+    else paths
+  in
+  (* when metrics are on, snapshot the registry the sweeps populated as
+     a Prometheus exposition file *)
+  if Csm_obs.Metric.enabled () then begin
+    let path = Filename.concat dir "metrics.prom" in
+    Csm_obs.Prom.write ~path;
+    paths @ [ path ]
+  end
   else paths

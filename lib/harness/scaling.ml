@@ -29,6 +29,9 @@ type scaling_point = {
    simulation (own engines, ledgers, rngs), so the sweep points run
    across the domain pool. *)
 let throughput_sweep ?(mu = 0.25) ?(d = 2) ?(rounds = 2) ns =
+  Csm_obs.Event.emit
+    ~attrs:[ ("points", string_of_int (List.length ns)) ]
+    Csm_obs.Event.Info "scaling.throughput_sweep.start";
   Pool.parallel_list_map
     (fun n ->
       Csm_obs.Span.with_ ~name:"scaling.point"
@@ -38,16 +41,26 @@ let throughput_sweep ?(mu = 0.25) ?(d = 2) ?(rounds = 2) ns =
       let find name =
         (List.find (fun r -> r.Table1.scheme = name) rows).Table1.throughput
       in
-      {
-        n;
-        k = setup.Table1.k;
-        b = setup.Table1.b;
-        gamma = setup.Table1.k;
-        lambda_full = find "full-replication";
-        lambda_partial = find "partial-replication";
-        lambda_csm = find "csm-decentralized";
-        lambda_csm_intermix = find "csm-intermix";
-      }))
+      let point =
+        {
+          n;
+          k = setup.Table1.k;
+          b = setup.Table1.b;
+          gamma = setup.Table1.k;
+          lambda_full = find "full-replication";
+          lambda_partial = find "partial-replication";
+          lambda_csm = find "csm-decentralized";
+          lambda_csm_intermix = find "csm-intermix";
+        }
+      in
+      Csm_obs.Event.emit
+        ~attrs:
+          [
+            ("n", string_of_int n);
+            ("lambda_csm", Printf.sprintf "%.9f" point.lambda_csm);
+          ]
+        Csm_obs.Event.Info "scaling.point.done";
+      point))
     ns
 
 (* Storage/security scaling: closed forms from Params, checked linear. *)
@@ -72,6 +85,9 @@ module Lag = Csm_poly.Lagrange.Make (CF)
 type coding_cost = { cn : int; naive_ops : int; fast_ops : int }
 
 let coding_sweep ?(ratio = 2) ns =
+  Csm_obs.Event.emit
+    ~attrs:[ ("points", string_of_int (List.length ns)) ]
+    Csm_obs.Event.Info "scaling.coding_sweep.start";
   Pool.parallel_list_map
     (fun n ->
       Csm_obs.Span.with_ ~name:"scaling.coding_point"

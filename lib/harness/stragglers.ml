@@ -73,6 +73,11 @@ let run_point ~seed ~n ~k ~d ~b ~stragglers ~tail =
     let honest_times =
       List.filteri (fun i _ -> times.(i) < max_int) (Array.to_list times)
     in
+    (if Csm_obs.Metric.enabled () then
+       let h = Csm_obs.Telemetry.straggler_wait ~early in
+       List.iter
+         (fun t -> Csm_obs.Metric.observe h (float_of_int t))
+         honest_times);
     let all_decoded = Array.for_all (fun d -> d <> None) per_node in
     (* verify correctness against the uncoded reference *)
     let next_ref, out_ref = M.run_fleet machine ~states:init ~commands in

@@ -45,6 +45,12 @@ module Make (F : Field_intf.S) = struct
 
   type fraud_stage = Encode | Decode_cert | Evaluate | Update
 
+  let fraud_stage_name = function
+    | Encode -> "encode"
+    | Decode_cert -> "decode_cert"
+    | Evaluate -> "evaluate"
+    | Update -> "update"
+
   type outcome = {
     decoded : E.decoded option;  (* None iff the round aborted on fraud *)
     fraud : fraud_stage option;  (* stage at which fraud was caught *)
@@ -298,4 +304,15 @@ module Make (F : Field_intf.S) = struct
         end
       end
     end)
+    |> fun outcome ->
+    (match outcome.fraud with
+    | Some stage ->
+      if Csm_obs.Metric.enabled () then
+        Csm_obs.Metric.inc
+          (Csm_obs.Telemetry.delegation_fraud ~stage:(fraud_stage_name stage));
+      Csm_obs.Event.emit
+        ~attrs:[ ("stage", fraud_stage_name stage) ]
+        Csm_obs.Event.Warn "delegation.fraud_caught"
+    | None -> ());
+    outcome
 end

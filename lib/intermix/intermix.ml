@@ -156,6 +156,13 @@ module Make (F : Field_intf.S) = struct
           in
           bisect ~lo:0 ~hi:k ~claim:w.claimed.(row) ~level:0
         end))
+    |> fun report ->
+    (if Csm_obs.Metric.enabled () then
+       let result =
+         match report.result with Accept -> "accept" | Alert _ -> "alert"
+       in
+       Csm_obs.Metric.inc (Csm_obs.Telemetry.intermix_audits ~result));
+    report
 
   (* Commoner verification: O(1) field work regardless of K and N.
      Returns [true] when the alert is valid, i.e. the worker is exposed;

@@ -90,14 +90,67 @@ let span_summary_json (stats : Summary.stat list) : Json.t =
            ])
        stats)
 
+(* Metrics registry rendered as JSON for the run report: one object per
+   family; histograms carry bucket bounds, cumulative-free per-bucket
+   counts, sum/count and the nearest-rank p50/p95 estimates. *)
+let metrics_json () : Json.t =
+  let sample_json (s : Metric.sample) =
+    let labels =
+      match s.Metric.labels with
+      | [] -> []
+      | ls ->
+        [ ("labels", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) ls)) ]
+    in
+    let value =
+      match s.Metric.value with
+      | Metric.V_counter c -> [ ("value", Json.Int c) ]
+      | Metric.V_gauge g -> [ ("value", Json.Float g) ]
+      | Metric.V_histogram h ->
+        [
+          ( "buckets",
+            Json.List
+              (Array.to_list (Array.map (fun b -> Json.Float b) h.Metric.s_bounds))
+          );
+          ( "counts",
+            Json.List
+              (Array.to_list (Array.map (fun c -> Json.Int c) h.Metric.s_counts))
+          );
+          ("sum", Json.Float h.Metric.s_sum);
+          ("count", Json.Int h.Metric.s_count);
+          ("p50", Json.Float (Metric.quantile h 0.50));
+          ("p95", Json.Float (Metric.quantile h 0.95));
+        ]
+    in
+    Json.Obj (labels @ value)
+  in
+  Json.List
+    (List.map
+       (fun (v : Metric.view) ->
+         Json.Obj
+           [
+             ("name", Json.Str v.Metric.name);
+             ( "kind",
+               Json.Str
+                 (match v.Metric.kind with
+                 | Metric.K_counter -> "counter"
+                 | Metric.K_gauge -> "gauge"
+                 | Metric.K_histogram -> "histogram") );
+             ("samples", Json.List (List.map sample_json v.Metric.samples));
+           ])
+       (Metric.families ()))
+
 let trace_path () = Sys.getenv_opt "CSM_TRACE"
 let report_path () = Sys.getenv_opt "CSM_REPORT"
 
 let installed = ref false
 
+(* One entry point for every env-gated observability channel: spans
+   (CSM_TRACE), events (CSM_EVENTS) and metrics (CSM_METRICS). *)
 let install () =
   if not !installed then begin
     installed := true;
+    Event.install ();
+    Prom.install ();
     match trace_path () with
     | None -> ()
     | Some path ->

@@ -16,6 +16,11 @@ val host : ?domains:int -> unit -> Json.t
 val span_summary_json : Summary.stat list -> Json.t
 (** Per-span-name p50/p95/max + op totals, as a JSON list. *)
 
+val metrics_json : unit -> Json.t
+(** The metrics registry as a JSON list of families (for the
+    [csm-run-report/2] "metrics" section); histograms include bucket
+    bounds, per-bucket counts and p50/p95 estimates. *)
+
 val trace_path : unit -> string option
 (** [CSM_TRACE] if set. *)
 
@@ -23,6 +28,8 @@ val report_path : unit -> string option
 (** [CSM_REPORT] if set. *)
 
 val install : unit -> unit
-(** Read [CSM_TRACE] once; when set, enable tracing and register an
-    at-exit Chrome-trace flush to that path.  Idempotent; does nothing
-    (and costs nothing) when the variable is unset. *)
+(** Read [CSM_TRACE], [CSM_EVENTS] and [CSM_METRICS] once and activate
+    the matching channels (span tracing with an at-exit Chrome-trace
+    flush, event log level, metrics registry with an at-exit Prometheus
+    write).  Idempotent; does nothing (and costs nothing) when the
+    variables are unset. *)

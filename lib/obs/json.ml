@@ -1,8 +1,12 @@
-(* Minimal JSON emitter for the exporters (no external dependency).
+(* Minimal JSON emitter and parser for the exporters and the bench
+   regression gate (no external dependency).
 
    Strings are escaped per RFC 8259; non-finite floats have no JSON
    representation and are emitted as null so every produced document
-   stays parseable. *)
+   stays parseable.  Finite floats use the shortest decimal form that
+   round-trips exactly (%.15g, widening to %.16g / %.17g only when
+   needed), so nanosecond-scale timestamps survive an emit/parse
+   cycle bit-for-bit. *)
 
 type t =
   | Null
@@ -29,12 +33,22 @@ let escape_to buf s =
     s;
   Buffer.add_char buf '"'
 
+(* Shortest decimal representation that parses back to exactly [f].
+   %.15g suffices for most values; 17 significant digits always
+   round-trip an IEEE double. *)
+let float_repr f =
+  let s = Printf.sprintf "%.15g" f in
+  if float_of_string s = f then s
+  else
+    let s = Printf.sprintf "%.16g" f in
+    if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
 let rec to_buffer buf = function
   | Null -> Buffer.add_string buf "null"
   | Bool b -> Buffer.add_string buf (if b then "true" else "false")
   | Int i -> Buffer.add_string buf (string_of_int i)
   | Float f ->
-    if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%.6g" f)
+    if Float.is_finite f then Buffer.add_string buf (float_repr f)
     else Buffer.add_string buf "null"
   | Str s -> escape_to buf s
   | List items ->
@@ -68,3 +82,205 @@ let write ~path v =
     (fun () ->
       output_string oc (to_string v);
       output_char oc '\n')
+
+(* ----- parsing ----- *)
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Parse_error m)) fmt
+
+let parse (s : string) : t =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then s.[!pos] else fail "unexpected end of input" in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    if
+      !pos < n
+      && match s.[!pos] with ' ' | '\n' | '\t' | '\r' -> true | _ -> false
+    then begin
+      advance ();
+      skip_ws ()
+    end
+  in
+  let expect c =
+    skip_ws ();
+    if peek () <> c then fail "expected %C at offset %d" c !pos;
+    advance ()
+  in
+  let literal word v =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      v
+    end
+    else fail "bad literal at offset %d" !pos
+  in
+  let hex_digit c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> fail "bad hex digit at offset %d" !pos
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | '"' -> advance ()
+      | '\\' ->
+        advance ();
+        (match peek () with
+        | 'u' ->
+          advance ();
+          let code = ref 0 in
+          for _ = 1 to 4 do
+            code := (!code * 16) + hex_digit (peek ());
+            advance ()
+          done;
+          (* UTF-8 encode the BMP code point (surrogate pairs are kept
+             as two encoded halves — fine for our ASCII payloads) *)
+          let c = !code in
+          if c < 0x80 then Buffer.add_char b (Char.chr c)
+          else if c < 0x800 then begin
+            Buffer.add_char b (Char.chr (0xC0 lor (c lsr 6)));
+            Buffer.add_char b (Char.chr (0x80 lor (c land 0x3F)))
+          end
+          else begin
+            Buffer.add_char b (Char.chr (0xE0 lor (c lsr 12)));
+            Buffer.add_char b (Char.chr (0x80 lor ((c lsr 6) land 0x3F)));
+            Buffer.add_char b (Char.chr (0x80 lor (c land 0x3F)))
+          end
+        | '"' -> advance (); Buffer.add_char b '"'
+        | '\\' -> advance (); Buffer.add_char b '\\'
+        | '/' -> advance (); Buffer.add_char b '/'
+        | 'b' -> advance (); Buffer.add_char b '\b'
+        | 'f' -> advance (); Buffer.add_char b '\012'
+        | 'n' -> advance (); Buffer.add_char b '\n'
+        | 'r' -> advance (); Buffer.add_char b '\r'
+        | 't' -> advance (); Buffer.add_char b '\t'
+        | c -> fail "bad escape \\%C" c);
+        go ()
+      | c when Char.code c < 0x20 -> fail "raw control character in string"
+      | c ->
+        advance ();
+        Buffer.add_char b c;
+        go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_float = ref false in
+    if peek () = '-' then advance ();
+    let digits () =
+      let d = ref 0 in
+      while !pos < n && match s.[!pos] with '0' .. '9' -> true | _ -> false do
+        advance ();
+        incr d
+      done;
+      if !d = 0 then fail "bad number at offset %d" start
+    in
+    digits ();
+    if !pos < n && s.[!pos] = '.' then begin
+      is_float := true;
+      advance ();
+      digits ()
+    end;
+    if !pos < n && (s.[!pos] = 'e' || s.[!pos] = 'E') then begin
+      is_float := true;
+      advance ();
+      if !pos < n && (s.[!pos] = '+' || s.[!pos] = '-') then advance ();
+      digits ()
+    end;
+    let tok = String.sub s start (!pos - start) in
+    if !is_float then Float (float_of_string tok)
+    else
+      match int_of_string_opt tok with
+      | Some i -> Int i
+      | None -> Float (float_of_string tok)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let key = parse_string () in
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | ',' ->
+            advance ();
+            members ((key, v) :: acc)
+          | '}' ->
+            advance ();
+            Obj (List.rev ((key, v) :: acc))
+          | c -> fail "expected , or } but found %C at offset %d" c !pos
+        in
+        members []
+      end
+    | '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = ']' then begin
+        advance ();
+        List []
+      end
+      else begin
+        let rec elems acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | ',' ->
+            advance ();
+            elems (v :: acc)
+          | ']' ->
+            advance ();
+            List (List.rev (v :: acc))
+          | c -> fail "expected , or ] but found %C at offset %d" c !pos
+        in
+        elems []
+      end
+    | '"' -> Str (parse_string ())
+    | 't' -> literal "true" (Bool true)
+    | 'f' -> literal "false" (Bool false)
+    | 'n' -> literal "null" Null
+    | '-' | '0' .. '9' -> parse_number ()
+    | c -> fail "unexpected %C at offset %d" c !pos
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage at offset %d" !pos;
+  v
+
+let parse_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> parse (really_input_string ic (in_channel_length ic)))
+
+(* ----- accessors (regression gate / tests) ----- *)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_float_opt = function
+  | Int i -> Some (float_of_int i)
+  | Float f -> Some f
+  | _ -> None
+
+let to_int_opt = function Int i -> Some i | _ -> None
+let to_bool_opt = function Bool b -> Some b | _ -> None
+let to_string_opt = function Str s -> Some s | _ -> None

@@ -1,0 +1,23 @@
+(** Prometheus text-format (0.0.4) exposition of the [Metric]
+    registry: HELP/TYPE headers, escaped label values, histograms as
+    cumulative [_bucket{le=...}] + [_sum] + [_count]. *)
+
+val render : unit -> string
+(** The full exposition document for every registered family. *)
+
+val write : path:string -> unit
+
+val output : out_channel -> unit
+
+val metrics_path : unit -> string option
+(** [CSM_METRICS] if set. *)
+
+val install : unit -> unit
+(** Read [CSM_METRICS] once; when set, enable the metrics registry and
+    register an at-exit exposition write to that path.  Idempotent;
+    free when unset. *)
+
+(**/**)
+
+val label_block : Metric.labels -> string
+val float_str : float -> string

@@ -17,7 +17,7 @@ type stat = {
 (* Nearest-rank percentile on a sorted array; q in [0, 1]. *)
 let percentile sorted q =
   let n = Array.length sorted in
-  if n = 0 then nan
+  if n = 0 then 0.0
   else begin
     let rank = int_of_float (ceil (q *. float_of_int n)) in
     sorted.(max 0 (min (n - 1) (rank - 1)))
@@ -37,7 +37,7 @@ let by_name (records : Span.record list) : stat list =
       let durs =
         Array.of_list (List.map (fun (r : Span.record) -> r.Span.dur_s) rs)
       in
-      Array.sort compare durs;
+      Array.sort Float.compare durs;
       let sum f = List.fold_left (fun a r -> a + f r) 0 rs in
       {
         s_name = name;

@@ -14,7 +14,7 @@ type stat = {
 
 val percentile : float array -> float -> float
 (** [percentile sorted q] — nearest-rank percentile, [q] in [0, 1];
-    [nan] on an empty array. *)
+    [0.0] on an empty array. *)
 
 val by_name : Span.record list -> stat list
 (** One stat per distinct span name, sorted by name. *)

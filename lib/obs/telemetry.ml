@@ -1,0 +1,126 @@
+(* The CSM metric families, defined once so every instrumentation site
+   (protocol core, consensus, RS decoder, INTERMIX, harness) agrees on
+   names, labels and bucket layouts — and so the EXPERIMENTS.md table
+   has a single source of truth.
+
+   Naming: Prometheus conventions (csm_ prefix, _total for counters,
+   base-unit suffixes).  Paper symbols: λ throughput, γ = K storage
+   efficiency, β = b security (Section 1); node labels are the node ids
+   of the simulated cluster.
+
+   Every constructor below interns into the [Metric] registry, so
+   calling it repeatedly returns the same instrument.  Hot paths should
+   still guard with [Metric.enabled ()] to keep the disabled path
+   allocation-free. *)
+
+let node_label i = ("node", string_of_int i)
+
+(* simulator-tick histograms: 1 .. ~500k ticks in powers of two *)
+let tick_buckets = Metric.log_buckets ~lo:1.0 ~factor:2.0 ~count:20 ()
+
+let messages_total ~node ~dir ~layer =
+  Metric.counter ~help:"Messages sent/received per node and protocol layer"
+    ~labels:[ node_label node; ("dir", dir); ("layer", layer) ]
+    "csm_messages_total"
+
+let message_bytes_total ~node ~dir ~layer =
+  Metric.counter
+    ~help:"Approximate wire bytes sent/received per node and protocol layer"
+    ~labels:[ node_label node; ("dir", dir); ("layer", layer) ]
+    "csm_message_bytes_total"
+
+(* Fold a [Net.stats]-shaped set of per-node arrays into the message
+   counters.  Byte totals are skipped when the caller had no sizer
+   (all-zero arrays would only add noise). *)
+let record_per_node ~layer ~sent ~received ~bytes_sent ~bytes_received =
+  if Metric.enabled () then begin
+    let n = Array.length sent in
+    for i = 0 to n - 1 do
+      if sent.(i) > 0 then
+        Metric.inc ~by:sent.(i) (messages_total ~node:i ~dir:"sent" ~layer);
+      if received.(i) > 0 then
+        Metric.inc ~by:received.(i)
+          (messages_total ~node:i ~dir:"received" ~layer);
+      if bytes_sent.(i) > 0 then
+        Metric.inc ~by:bytes_sent.(i)
+          (message_bytes_total ~node:i ~dir:"sent" ~layer);
+      if bytes_received.(i) > 0 then
+        Metric.inc ~by:bytes_received.(i)
+          (message_bytes_total ~node:i ~dir:"received" ~layer)
+    done
+  end
+
+let round_latency =
+  Metric.histogram
+    ~help:"Wall-clock protocol round latency (consensus + execution), seconds"
+    "csm_round_latency_seconds"
+
+let consensus_latency ~protocol =
+  Metric.histogram
+    ~help:"Simulated consensus completion time, ticks"
+    ~labels:[ ("protocol", protocol) ]
+    ~buckets:tick_buckets "csm_consensus_latency_ticks"
+
+let pbft_messages ~phase =
+  Metric.counter ~help:"Authenticated PBFT messages accepted, by phase"
+    ~labels:[ ("phase", phase) ]
+    "csm_pbft_messages_total"
+
+let rounds_total ~result =
+  Metric.counter
+    ~help:"Protocol rounds by outcome (executed | skipped | disagreement)"
+    ~labels:[ ("result", result) ]
+    "csm_rounds_total"
+
+let rs_decodes ~algorithm ~outcome =
+  Metric.counter ~help:"Reed-Solomon decode attempts, by algorithm and outcome"
+    ~labels:[ ("algorithm", algorithm); ("outcome", outcome) ]
+    "csm_rs_decodes_total"
+
+let rs_corrected_symbols =
+  Metric.counter
+    ~help:"Total erroneous symbols located and corrected by the RS decoder"
+    "csm_rs_corrected_symbols_total"
+
+let decode_errors ~node =
+  Metric.counter
+    ~help:"Times a node's execution result was flagged wrong by the decoder"
+    ~labels:[ node_label node ]
+    "csm_decode_errors_total"
+
+let node_suspicion ~node =
+  Metric.gauge
+    ~help:
+      "Cumulative decoder error locations attributed to the node (β signal); \
+       nonzero marks suspected Byzantine behavior"
+    ~labels:[ node_label node ]
+    "csm_node_suspicion"
+
+let straggler_wait ~early =
+  Metric.histogram
+    ~help:"Honest-node decode completion time, ticks (early-decode vs full Δ)"
+    ~labels:[ ("early", if early then "true" else "false") ]
+    ~buckets:tick_buckets "csm_straggler_wait_ticks"
+
+let intermix_audits ~result =
+  Metric.counter ~help:"INTERMIX audit verdicts (accept | alert)"
+    ~labels:[ ("result", result) ]
+    "csm_intermix_audits_total"
+
+let delegation_fraud ~stage =
+  Metric.counter
+    ~help:"Delegation fraud detections, by pipeline stage"
+    ~labels:[ ("stage", stage) ]
+    "csm_delegation_fraud_total"
+
+let throughput_lambda =
+  Metric.gauge ~help:"Measured commands-per-round throughput λ"
+    "csm_throughput_lambda"
+
+let storage_gamma =
+  Metric.gauge ~help:"Storage efficiency γ = K (machines per coded state)"
+    "csm_storage_gamma"
+
+let security_beta =
+  Metric.gauge ~help:"Security parameter β = b (tolerated Byzantine nodes)"
+    "csm_security_beta"

@@ -1,0 +1,36 @@
+(** The CSM metric families (Prometheus naming, csm_ prefix), defined
+    once so every instrumentation site and the EXPERIMENTS.md table
+    agree.  Constructors intern into {!Metric}; guard hot paths with
+    [Metric.enabled ()]. *)
+
+val tick_buckets : float array
+(** Simulator-tick histogram buckets: 1 .. ~5·10⁵ in powers of two. *)
+
+val messages_total : node:int -> dir:string -> layer:string -> Metric.counter
+val message_bytes_total :
+  node:int -> dir:string -> layer:string -> Metric.counter
+
+val record_per_node :
+  layer:string ->
+  sent:int array ->
+  received:int array ->
+  bytes_sent:int array ->
+  bytes_received:int array ->
+  unit
+(** Fold per-node simulator stats into the message counters; a no-op
+    when metrics are disabled. *)
+
+val round_latency : Metric.hist
+val consensus_latency : protocol:string -> Metric.hist
+val pbft_messages : phase:string -> Metric.counter
+val rounds_total : result:string -> Metric.counter
+val rs_decodes : algorithm:string -> outcome:string -> Metric.counter
+val rs_corrected_symbols : Metric.counter
+val decode_errors : node:int -> Metric.counter
+val node_suspicion : node:int -> Metric.gauge
+val straggler_wait : early:bool -> Metric.hist
+val intermix_audits : result:string -> Metric.counter
+val delegation_fraud : stage:string -> Metric.counter
+val throughput_lambda : Metric.gauge
+val storage_gamma : Metric.gauge
+val security_beta : Metric.gauge

@@ -125,9 +125,29 @@ module Make (F : Field_intf.S) = struct
 
   let decode ?(algorithm = Gao) ~k pairs =
     Csm_obs.Span.with_ ~name:"rs.decode" (fun () ->
-        match algorithm with
-        | Berlekamp_welch -> decode_bw ~k pairs
-        | Gao -> decode_gao ~k pairs)
+        let result =
+          match algorithm with
+          | Berlekamp_welch -> decode_bw ~k pairs
+          | Gao -> decode_gao ~k pairs
+        in
+        let module Metric = Csm_obs.Metric in
+        let module Tel = Csm_obs.Telemetry in
+        if Metric.enabled () then begin
+          let alg =
+            match algorithm with
+            | Berlekamp_welch -> "berlekamp_welch"
+            | Gao -> "gao"
+          in
+          (match result with
+          | Some d ->
+            Metric.inc
+              (Tel.rs_decodes ~algorithm:alg
+                 ~outcome:(if d.errors = [] then "clean" else "corrected"));
+            if d.errors <> [] then
+              Metric.inc ~by:(List.length d.errors) Tel.rs_corrected_symbols
+          | None -> Metric.inc (Tel.rs_decodes ~algorithm:alg ~outcome:"failed"))
+        end;
+        result)
 
   (* Erasure-only decoding (crash faults): every received symbol is
      trusted, so interpolating through any k of them must explain all of

@@ -58,11 +58,17 @@ let silent : 'm behavior =
     on_timer = (fun _ _ -> ());
   }
 
+(* Per-node arrays are indexed by node id; byte totals use the [?size]
+   sizer passed to [run] (0 when omitted, so the arrays stay cheap). *)
 type stats = {
   mutable messages_sent : int;
   mutable messages_delivered : int;
   mutable timers_fired : int;
   mutable end_time : int;
+  sent_by : int array;
+  received_by : int array;
+  bytes_sent_by : int array;
+  bytes_received_by : int array;
 }
 
 type 'm event =
@@ -82,21 +88,33 @@ type 'm trace_event =
 exception Simulation_limit of string
 
 let run ?(max_time = 1_000_000) ?(max_events = 10_000_000)
-    ?(tracer : ('m trace_event -> unit) option) ~latency
-    (behaviors : 'm behavior array) : stats =
+    ?(tracer : ('m trace_event -> unit) option) ?(size : ('m -> int) option)
+    ~latency (behaviors : 'm behavior array) : stats =
   let n = Array.length behaviors in
   if n = 0 then invalid_arg "Net.run: no nodes";
   let queue = Event_queue.create ~dummy:(Timer { node = -1; tag = -1 }) in
   let halted = Array.make n false in
   let stats =
-    { messages_sent = 0; messages_delivered = 0; timers_fired = 0; end_time = 0 }
+    {
+      messages_sent = 0;
+      messages_delivered = 0;
+      timers_fired = 0;
+      end_time = 0;
+      sent_by = Array.make n 0;
+      received_by = Array.make n 0;
+      bytes_sent_by = Array.make n 0;
+      bytes_received_by = Array.make n 0;
+    }
   in
+  let size_of = match size with Some f -> f | None -> fun _ -> 0 in
   let clock = ref 0 in
   let trace ev = match tracer with Some f -> f ev | None -> () in
   let api_of i =
     let send dst msg =
       if dst < 0 || dst >= n then invalid_arg "Net.send: bad destination";
       stats.messages_sent <- stats.messages_sent + 1;
+      stats.sent_by.(i) <- stats.sent_by.(i) + 1;
+      stats.bytes_sent_by.(i) <- stats.bytes_sent_by.(i) + size_of msg;
       let delay = max 1 (latency ~src:i ~dst ~now:!clock) in
       trace
         (T_send { at = !clock; src = i; dst; deliver_at = !clock + delay; msg });
@@ -142,6 +160,9 @@ let run ?(max_time = 1_000_000) ?(max_events = 10_000_000)
         | Deliver { dst; src; msg } ->
           if not halted.(dst) then begin
             stats.messages_delivered <- stats.messages_delivered + 1;
+            stats.received_by.(dst) <- stats.received_by.(dst) + 1;
+            stats.bytes_received_by.(dst) <-
+              stats.bytes_received_by.(dst) + size_of msg;
             trace (T_deliver { at = time; src; dst; msg });
             behaviors.(dst).on_message apis.(dst) ~sender:src msg
           end

@@ -36,6 +36,10 @@ type stats = {
   mutable messages_delivered : int;
   mutable timers_fired : int;
   mutable end_time : int;
+  sent_by : int array;  (** messages sent, per node id *)
+  received_by : int array;  (** messages delivered, per node id *)
+  bytes_sent_by : int array;  (** via the [?size] sizer; 0s without one *)
+  bytes_received_by : int array;
 }
 
 type 'm trace_event =
@@ -52,10 +56,12 @@ val run :
   ?max_time:int ->
   ?max_events:int ->
   ?tracer:('m trace_event -> unit) ->
+  ?size:('m -> int) ->
   latency:latency ->
   'm behavior array ->
   stats
 (** Execute until the event queue drains (or a limit hits).  The
     [sender] passed to [on_message] is stamped by the simulator and
-    cannot be forged.
+    cannot be forged.  [size] estimates a message's wire size in bytes
+    for the per-node byte totals (defaults to [fun _ -> 0]).
     @raise Simulation_limit when [max_events] is exceeded. *)

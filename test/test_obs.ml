@@ -6,6 +6,8 @@ module Span = Csm_obs.Span
 module Summary = Csm_obs.Summary
 module Exporter = Csm_obs.Exporter
 module Json = Csm_obs.Json
+module Metric = Csm_obs.Metric
+module Prom = Csm_obs.Prom
 module Pool = Csm_parallel.Pool
 module Counter = Csm_metrics.Counter
 module Ledger = Csm_metrics.Ledger
@@ -298,6 +300,350 @@ let op_deltas_match_ledger () =
     (Ledger.grand_total ledger)
     (la + lm + (Counter.inv_weight * li))
 
+(* ----- Json: the library parser round-trips its own emitter ----- *)
+
+let json_parse_round_trip () =
+  let doc =
+    Json.Obj
+      [
+        ("schema", Json.Str "csm-test/1");
+        ("pi", Json.Float Float.pi);
+        (* nanosecond-scale duration: must survive emit/parse exactly *)
+        ("ns", Json.Float 1.234567891e-9);
+        ("denormal", Json.Float 5e-324);
+        ("neg", Json.Int (-42));
+        ("big", Json.Int max_int);
+        ("esc", Json.Str "quote\"back\\slash\nnewline\ttab\001ctl");
+        ("unicode", Json.Str "\xce\xbb \xce\xb3 \xce\xb2");
+        ( "list",
+          Json.List [ Json.Null; Json.Bool true; Json.Bool false; Json.Float 0.1 ]
+        );
+        ("nested", Json.Obj [ ("empty_list", Json.List []); ("empty_obj", Json.Obj []) ]);
+      ]
+  in
+  let s = Json.to_string doc in
+  let parsed = Json.parse s in
+  (* parse ∘ emit is a fixed point on the emitted text *)
+  Alcotest.(check string) "parse/re-emit fixed point" s (Json.to_string parsed);
+  let fval key =
+    match Option.bind (Json.member key parsed) Json.to_float_opt with
+    | Some f -> f
+    | None -> Alcotest.failf "missing float field %s" key
+  in
+  Alcotest.(check (float 0.0)) "pi exact" Float.pi (fval "pi");
+  Alcotest.(check (float 0.0)) "nanoseconds exact" 1.234567891e-9 (fval "ns");
+  Alcotest.(check (float 0.0)) "denormal exact" 5e-324 (fval "denormal");
+  (match Option.bind (Json.member "esc" parsed) Json.to_string_opt with
+  | Some str ->
+    Alcotest.(check string) "escapes decode" "quote\"back\\slash\nnewline\ttab\001ctl" str
+  | None -> Alcotest.fail "missing esc");
+  (* shortest-form float text round-trips bit-exactly *)
+  List.iter
+    (fun f ->
+      Alcotest.(check bool)
+        (Printf.sprintf "float_repr round-trips %h" f)
+        true
+        (Float.equal (float_of_string (Json.float_repr f)) f))
+    [ 0.1; 1.0 /. 3.0; 1e300; 5e-324; 1.234567891e-9; Float.pi; -0.0 ];
+  (* malformed input is rejected, not silently truncated *)
+  match Json.parse "{} trailing" with
+  | exception Json.Parse_error _ -> ()
+  | _ -> Alcotest.fail "trailing garbage accepted"
+
+(* ----- metrics registry ----- *)
+
+(* run [f] with the metrics registry enabled and empty; restore the
+   disabled state and drop the test instruments afterwards *)
+let metered f =
+  Metric.reset ();
+  Metric.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Metric.disable ();
+      Metric.reset ())
+    f
+
+(* the quantile estimate is the upper bound of the bucket holding the
+   exact nearest-rank value — i.e. within one bucket of the truth *)
+let hist_quantile_within_bucket () =
+  metered (fun () ->
+      let buckets = Metric.log_buckets ~lo:1.0 ~factor:2.0 ~count:10 () in
+      let h = Metric.histogram ~buckets "test_quantile" in
+      let data = Array.init 100 (fun i -> float_of_int (i + 1)) in
+      Array.iter (Metric.observe h) data;
+      let snap = Metric.snapshot h in
+      Alcotest.(check int) "count" 100 snap.Metric.s_count;
+      let bucket_ub v =
+        match Array.find_opt (fun b -> v <= b) buckets with
+        | Some b -> b
+        | None -> infinity
+      in
+      List.iter
+        (fun q ->
+          let rank = max 1 (int_of_float (ceil (q *. 100.))) in
+          let exact = data.(rank - 1) in
+          let est = Metric.quantile snap q in
+          Alcotest.(check bool)
+            (Printf.sprintf "q=%.2f estimate covers the exact value" q)
+            true (est >= exact);
+          Alcotest.(check (float 0.0))
+            (Printf.sprintf "q=%.2f lands in the exact value's bucket" q)
+            (bucket_ub exact) est)
+        [ 0.01; 0.25; 0.5; 0.9; 0.95; 0.99; 1.0 ];
+      Alcotest.(check (float 0.0))
+        "empty histogram quantile is 0"
+        0.0
+        (Metric.quantile (Metric.snapshot (Metric.histogram ~buckets "test_empty")) 0.5))
+
+let snapshot_eq =
+  Alcotest.testable
+    (fun fmt (s : Metric.snapshot) ->
+      Format.fprintf fmt "{count=%d; sum=%g; counts=[%s]}" s.Metric.s_count
+        s.Metric.s_sum
+        (String.concat ";"
+           (Array.to_list (Array.map string_of_int s.Metric.s_counts))))
+    ( = )
+
+(* merge is associative and commutative, and per-domain shards merge to
+   the same snapshot at any domain width (integer-valued observations
+   keep the float sum exact in any accumulation order) *)
+let hist_merge_schedule_independent () =
+  metered (fun () ->
+      let buckets = Metric.log_buckets ~lo:1.0 ~factor:2.0 ~count:12 () in
+      let mk name obs =
+        let h = Metric.histogram ~buckets name in
+        List.iter (Metric.observe h) obs;
+        Metric.snapshot h
+      in
+      (* include underflow (0.5), interior, and overflow (5000) buckets *)
+      let a = mk "test_merge_a" [ 1.0; 3.0; 700.0 ]
+      and b = mk "test_merge_b" [ 2.0; 2.0; 64.0 ]
+      and c = mk "test_merge_c" [ 5000.0; 0.5 ] in
+      Alcotest.check snapshot_eq "commutative" (Metric.merge a b)
+        (Metric.merge b a);
+      Alcotest.check snapshot_eq "associative"
+        (Metric.merge (Metric.merge a b) c)
+        (Metric.merge a (Metric.merge b c));
+      let snap_at width =
+        let h =
+          Metric.histogram ~buckets (Printf.sprintf "test_width_%d" width)
+        in
+        Pool.with_domain_limit width (fun () ->
+            Pool.parallel_for 1000 (fun i ->
+                Metric.observe h (float_of_int (1 + (i mod 100)))));
+        Metric.snapshot h
+      in
+      let seq = snap_at 1 in
+      Alcotest.(check int) "sequential count" 1000 seq.Metric.s_count;
+      List.iter
+        (fun w ->
+          Alcotest.check snapshot_eq
+            (Printf.sprintf "width %d snapshot = sequential" w)
+            seq (snap_at w))
+        [ 2; 4; 8 ])
+
+(* with metrics disabled every record call is one atomic load: no
+   allocation, and nothing reaches the instruments *)
+let metric_disabled_fast_path () =
+  Metric.disable ();
+  let c = Metric.counter "test_disabled_total" in
+  let g = Metric.gauge "test_disabled_gauge" in
+  let h = Metric.histogram "test_disabled_seconds" in
+  let f = fun () -> () in
+  (* warm up so closures and shards-to-be are already allocated *)
+  for _ = 1 to 10 do
+    Metric.inc c;
+    Metric.set g 1.0;
+    Metric.add g 1.0;
+    Metric.observe h 2.0;
+    Metric.time h f
+  done;
+  let before = Gc.minor_words () in
+  for _ = 1 to 10_000 do
+    Metric.inc c;
+    Metric.set g 1.0;
+    Metric.add g 1.0;
+    Metric.observe h 2.0;
+    Metric.time h f
+  done;
+  let after = Gc.minor_words () in
+  Alcotest.(check (float 0.0)) "no allocation when disabled" 0.0 (after -. before);
+  Alcotest.(check int) "counter untouched" 0 (Metric.counter_value c);
+  Alcotest.(check (float 0.0)) "gauge untouched" 0.0 (Metric.gauge_value g);
+  Alcotest.(check int) "histogram untouched" 0 (Metric.snapshot h).Metric.s_count
+
+(* ----- Prometheus exposition: line-format checker ----- *)
+
+(* The validator behind `make metrics-smoke`: every line of an
+   exposition document must be a HELP/TYPE header or a well-formed
+   sample, every sample's family must have a TYPE header, label values
+   must use only the three legal escapes, and the value must parse. *)
+
+let is_name_start = function 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true | _ -> false
+let is_name_char c = is_name_start c || match c with '0' .. '9' -> true | _ -> false
+
+let check_sample_line families line =
+  let n = String.length line in
+  let pos = ref 0 in
+  while !pos < n && is_name_char line.[!pos] do incr pos done;
+  if !pos = 0 || not (is_name_start line.[0]) then
+    Alcotest.failf "bad sample name: %S" line;
+  let name = String.sub line 0 !pos in
+  if !pos < n && line.[!pos] = '{' then begin
+    incr pos;
+    let rec labels () =
+      let start = !pos in
+      while !pos < n && is_name_char line.[!pos] do incr pos done;
+      if !pos = start then Alcotest.failf "empty label name: %S" line;
+      if !pos >= n || line.[!pos] <> '=' then Alcotest.failf "expected '=': %S" line;
+      incr pos;
+      if !pos >= n || line.[!pos] <> '"' then
+        Alcotest.failf "label value not quoted: %S" line;
+      incr pos;
+      let rec value () =
+        if !pos >= n then Alcotest.failf "unterminated label value: %S" line
+        else
+          match line.[!pos] with
+          | '"' -> incr pos
+          | '\\' ->
+            if !pos + 1 >= n then Alcotest.failf "dangling escape: %S" line;
+            (match line.[!pos + 1] with
+            | '\\' | '"' | 'n' -> pos := !pos + 2
+            | bad -> Alcotest.failf "illegal escape \\%c: %S" bad line);
+            value ()
+          | _ ->
+            incr pos;
+            value ()
+      in
+      value ();
+      if !pos < n && line.[!pos] = ',' then begin
+        incr pos;
+        labels ()
+      end
+      else if !pos < n && line.[!pos] = '}' then incr pos
+      else Alcotest.failf "bad label block: %S" line
+    in
+    labels ()
+  end;
+  if !pos >= n || line.[!pos] <> ' ' then
+    Alcotest.failf "expected space before value: %S" line;
+  incr pos;
+  let v = String.sub line !pos (n - !pos) in
+  (match float_of_string_opt v with
+  | Some _ -> ()
+  | None ->
+    if not (List.mem v [ "+Inf"; "-Inf"; "NaN" ]) then
+      Alcotest.failf "bad sample value %S: %S" v line);
+  let declared nm = Hashtbl.mem families nm in
+  let histo_series suffix =
+    String.ends_with ~suffix name
+    && declared (String.sub name 0 (String.length name - String.length suffix))
+  in
+  if
+    not
+      (declared name || histo_series "_bucket" || histo_series "_sum"
+     || histo_series "_count")
+  then Alcotest.failf "sample %s has no TYPE header" name
+
+let check_header_line families line =
+  match String.split_on_char ' ' line with
+  | "#" :: (("HELP" | "TYPE") as kw) :: name :: rest ->
+    if
+      name = ""
+      || (not (is_name_start name.[0]))
+      || not (String.for_all is_name_char name)
+    then Alcotest.failf "bad metric name in header: %S" line;
+    if kw = "TYPE" then begin
+      match rest with
+      | [ ("counter" | "gauge" | "histogram" | "summary" | "untyped") ] ->
+        Hashtbl.replace families name ()
+      | _ -> Alcotest.failf "bad TYPE line: %S" line
+    end
+  | _ -> Alcotest.failf "bad comment line: %S" line
+
+let check_prom_format doc =
+  (match String.length doc with
+  | 0 -> Alcotest.fail "empty exposition"
+  | n ->
+    if doc.[n - 1] <> '\n' then
+      Alcotest.fail "exposition must end with a newline");
+  let families = Hashtbl.create 16 in
+  List.iter
+    (fun line ->
+      if line <> "" then
+        if line.[0] = '#' then check_header_line families line
+        else check_sample_line families line)
+    (String.split_on_char '\n' doc)
+
+let prom_exposition_well_formed () =
+  metered (fun () ->
+      let c =
+        Metric.counter ~help:"messages"
+          ~labels:[ ("node", "0"); ("dir", "sent") ]
+          "csm_test_messages_total"
+      in
+      Metric.inc ~by:3 c;
+      let g =
+        Metric.gauge ~help:"help with \\ backslash\nand newline"
+          ~labels:[ ("node", "quote\"back\\slash\nnl") ]
+          "csm_test_suspicion"
+      in
+      Metric.set g 1.5;
+      let h =
+        Metric.histogram ~help:"latency"
+          ~buckets:(Metric.log_buckets ~lo:1.0 ~factor:2.0 ~count:4 ())
+          "csm_test_latency_seconds"
+      in
+      List.iter (Metric.observe h) [ 0.5; 3.0; 100.0 ];
+      let doc = Prom.render () in
+      check_prom_format doc;
+      let lines = String.split_on_char '\n' doc in
+      let has line = List.mem line lines in
+      List.iter
+        (fun expected ->
+          Alcotest.(check bool) (Printf.sprintf "has %S" expected) true
+            (has expected))
+        [
+          "csm_test_messages_total{dir=\"sent\",node=\"0\"} 3";
+          "csm_test_suspicion{node=\"quote\\\"back\\\\slash\\nnl\"} 1.5";
+          "csm_test_latency_seconds_bucket{le=\"+Inf\"} 3";
+          "csm_test_latency_seconds_sum 103.5";
+          "csm_test_latency_seconds_count 3";
+          "# TYPE csm_test_latency_seconds histogram";
+        ];
+      (* cumulative bucket counts are non-decreasing *)
+      let bucket_counts =
+        List.filter_map
+          (fun line ->
+            if
+              String.length line > 0
+              && String.starts_with ~prefix:"csm_test_latency_seconds_bucket{"
+                   line
+            then
+              match String.rindex_opt line ' ' with
+              | Some i ->
+                Some
+                  (int_of_string
+                     (String.sub line (i + 1) (String.length line - i - 1)))
+              | None -> None
+            else None)
+          lines
+      in
+      Alcotest.(check bool) "cumulative buckets non-decreasing" true
+        (List.sort compare bucket_counts = bucket_counts);
+      (* the checker actually rejects malformed documents *)
+      List.iter
+        (fun bad ->
+          match check_prom_format bad with
+          | exception _ -> ()
+          | () -> Alcotest.failf "checker accepted malformed %S" bad)
+        [
+          "no_type_header 1\n";
+          "# TYPE x counter\nx{l=\"bad\\q\"} 1\n";
+          "# TYPE x counter\nx notanumber\n";
+          "# TYPE x counter\nx 1";
+        ])
+
 let suites =
   [
     ( "obs",
@@ -310,5 +656,15 @@ let suites =
           disabled_fast_path;
         Alcotest.test_case "op deltas match ledger" `Quick
           op_deltas_match_ledger;
+        Alcotest.test_case "Json parser round-trips the emitter" `Quick
+          json_parse_round_trip;
+        Alcotest.test_case "histogram quantile within one bucket" `Quick
+          hist_quantile_within_bucket;
+        Alcotest.test_case "histogram merge schedule-independent" `Quick
+          hist_merge_schedule_independent;
+        Alcotest.test_case "metric disabled path allocates nothing" `Quick
+          metric_disabled_fast_path;
+        Alcotest.test_case "Prometheus exposition well-formed" `Quick
+          prom_exposition_well_formed;
       ] );
   ]
