@@ -1,6 +1,6 @@
 # Convenience wrappers around dune; `make ci` is the full local gate.
 
-.PHONY: all build test bench-smoke bench-gate metrics-smoke ci clean
+.PHONY: all build test bench-smoke bench-gate metrics-smoke cluster-smoke ci clean
 
 all: build
 
@@ -32,6 +32,21 @@ metrics-smoke:
 	grep -q '^csm_node_suspicion{' /tmp/csm_metrics.prom
 	@echo "metrics-smoke: ok"
 
+# Real-cluster smoke: 3 forked node processes over Unix-domain sockets,
+# 2 rounds, one Byzantine node.  The drop run must still decode and
+# match the single-process reference byte-for-byte; the corrupt run
+# must detect every mangled frame (csm_transport_frame_errors_total in
+# the exposition) and still verify.
+cluster-smoke:
+	dune exec bin/csm_cluster.exe -- --transport socket \
+	  -n 3 -k 1 -d 1 -b 1 --rounds 2 --faults 1:drop
+	CSM_METRICS=/tmp/csm_cluster_metrics.prom \
+	  dune exec bin/csm_cluster.exe -- --transport socket \
+	  -n 3 -k 1 -d 1 -b 1 --rounds 2 --faults 2:corrupt --expect-frame-errors
+	grep -q '^csm_transport_frame_errors_total{' /tmp/csm_cluster_metrics.prom
+	grep -q '^csm_messages_total{.*layer="transport"' /tmp/csm_cluster_metrics.prom
+	@echo "cluster-smoke: ok"
+
 # CI gate: type-check everything (tests and benches included),
 # regenerate the parallel smoke benchmark, run the test suite, then
 # exercise the observability layer end-to-end — a CSM_TRACE'd demo run,
@@ -47,6 +62,7 @@ ci:
 	dune exec bin/bench_gate.exe -- --current /tmp/csm_ci_bench.json \
 	  --previous BENCH_parallel.json --baseline bench/baseline.json
 	$(MAKE) metrics-smoke
+	$(MAKE) cluster-smoke
 
 clean:
 	dune clean

@@ -10,6 +10,8 @@
    - intermix/*          Algorithm 1: honest audit, adaptive fraud
                          localization, O(1) commoner check (Figure 5)
    - consensus/*         Dolev-Strong and PBFT instances (consensus phase)
+   - transport/*         frame codec + loopback transport round trip
+                         (the real-transport hot path)
    - parallel/*          one decentralized engine round at N=64 under
                          1/2/4/8 domains (the multicore execution layer)
 
@@ -478,6 +480,45 @@ let bench_pbft =
 let consensus_group =
   Test.make_grouped ~name:"consensus" [ bench_dolev_strong; bench_pbft ]
 
+(* ----- transport: frame codec + loopback round trip ----- *)
+
+module Frame = Csm_wire.Frame
+module TW = Csm_core.Wire.Make (F)
+module Transport = Csm_transport.Transport
+module Loopback = Csm_transport.Loopback
+
+let bench_frame_codec =
+  let payload =
+    TW.encode_vector_bin (Array.init 8 (fun i -> F.of_int (i + 1)))
+  in
+  let frame = Frame.make ~kind:Frame.Result ~sender:3 ~round:17 payload in
+  let bytes = Frame.encode frame in
+  Test.make ~name:"frame-encode-decode"
+    (Staged.stage (fun () ->
+         let b = Frame.encode frame in
+         assert (String.length b = String.length bytes);
+         match Frame.decode b with
+         | Some f -> ignore (Sys.opaque_identity f)
+         | None -> assert false))
+
+let bench_loopback_rtt =
+  let net = Loopback.create ~endpoints:2 in
+  let a = Loopback.endpoint net ~id:0 in
+  let b = Loopback.endpoint net ~id:1 in
+  let payload =
+    TW.encode_vector_bin (Array.init 8 (fun i -> F.of_int (i + 1)))
+  in
+  let frame = Frame.make ~kind:Frame.Result ~sender:0 ~round:0 payload in
+  Test.make ~name:"loopback-round-trip"
+    (Staged.stage (fun () ->
+         a.Transport.send ~dst:1 frame;
+         match b.Transport.recv ~timeout:1.0 with
+         | Some _ -> ()
+         | None -> assert false))
+
+let transport_group =
+  Test.make_grouped ~name:"transport" [ bench_frame_codec; bench_loopback_rtt ]
+
 (* ----- runner ----- *)
 
 let all_tests =
@@ -489,6 +530,7 @@ let all_tests =
       rs_group;
       intermix_group;
       consensus_group;
+      transport_group;
       parallel_group;
     ]
 

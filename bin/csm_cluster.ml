@@ -1,0 +1,342 @@
+(* Multi-process CSM cluster driver:
+
+     csm_cluster [-n N] [-k K] [-d D] [-b B] [--rounds R] [--seed S]
+                 [--transport loopback|socket|tcp] [--dir DIR]
+                 [--port-base P] [--faults "1:drop,2:corrupt,3:delay"]
+                 [--deadline SEC] [--out FILE] [--no-verify]
+                 [--expect-frame-errors]
+
+   Runs N node runtimes plus a voting client over the chosen transport
+   (loopback = threads in this process; socket = one forked process per
+   node over Unix-domain sockets; tcp = forked processes over TCP
+   loopback), drives R protocol rounds end to end, and verifies the
+   client's voted ledger byte-for-byte against a fault-free
+   single-process engine run at the same seed.
+
+   --faults turns nodes Byzantine at the transport layer: `drop`
+   withholds every protocol frame, `delay` sends frames ~20ms late
+   (`delay:0.05` for a custom lag), `corrupt` mangles every payload so
+   receivers detect and drop it (visible as csm_transport_frame_errors_total
+   when CSM_METRICS is set).
+
+   Exit status: 0 = verified (or --no-verify), 1 = ledger mismatch /
+   missing acceptance (or --expect-frame-errors unmet), 2 = usage. *)
+
+open Cmdliner
+module F = Csm_field.Fp.Default
+module Params = Csm_core.Params
+module Node = Csm_transport.Node
+module Cluster = Csm_transport.Cluster
+module C = Cluster.Make (F)
+module Transport = Csm_transport.Transport
+module Metric = Csm_obs.Metric
+module Tel = Csm_obs.Telemetry
+module Exporter = Csm_obs.Exporter
+module Json = Csm_obs.Json
+module Prom = Csm_obs.Prom
+
+let parse_fault s =
+  match String.index_opt s ':' with
+  | None -> None
+  | Some i -> (
+    let node = String.sub s 0 i in
+    let kind = String.sub s (i + 1) (String.length s - i - 1) in
+    match int_of_string_opt node with
+    | None -> None
+    | Some node -> (
+      match String.split_on_char ':' kind with
+      | [ "drop" ] -> Some (node, Node.Drop)
+      | [ "corrupt" ] -> Some (node, Node.Corrupt)
+      | [ "delay" ] -> Some (node, Node.Delay 0.02)
+      | [ "delay"; lag ] -> (
+        match float_of_string_opt lag with
+        | Some lag when lag >= 0.0 -> Some (node, Node.Delay lag)
+        | _ -> None)
+      | _ -> None))
+
+let parse_faults s =
+  if String.trim s = "" then Some []
+  else
+    let parts = String.split_on_char ',' (String.trim s) in
+    let rec go acc = function
+      | [] -> Some (List.rev acc)
+      | p :: rest -> (
+        match parse_fault (String.trim p) with
+        | Some f -> go (f :: acc) rest
+        | None -> None)
+    in
+    go [] parts
+
+let stats_json = function
+  | None -> Json.Obj [ ("missing", Json.Bool true) ]
+  | Some (s : Transport.stats) ->
+    Json.Obj
+      [
+        ("frames_sent", Json.Int s.Transport.frames_sent);
+        ("frames_received", Json.Int s.Transport.frames_received);
+        ("bytes_sent", Json.Int s.Transport.bytes_sent);
+        ("bytes_received", Json.Int s.Transport.bytes_received);
+        ("frame_errors", Json.Int s.Transport.frame_errors);
+      ]
+
+let hex s =
+  let b = Buffer.create (2 * String.length s) in
+  String.iter (fun c -> Buffer.add_string b (Printf.sprintf "%02x" (Char.code c))) s;
+  Buffer.contents b
+
+let result_json ~n ~k ~d ~b ~rounds ~seed ~transport ~faults (r : C.result) =
+  Json.Obj
+    [
+      ("schema", Json.Str "csm-cluster-report/1");
+      ("host", Exporter.host ());
+      ( "config",
+        Json.Obj
+          [
+            ("n", Json.Int n);
+            ("k", Json.Int k);
+            ("d", Json.Int d);
+            ("b", Json.Int b);
+            ("rounds", Json.Int rounds);
+            ("seed", Json.Int seed);
+            ("transport", Json.Str transport);
+            ( "faults",
+              Json.List
+                (List.map
+                   (fun (i, f) ->
+                     Json.Obj
+                       [
+                         ("node", Json.Int i);
+                         ("fault", Json.Str (Node.fault_name f));
+                       ])
+                   faults) );
+          ] );
+      ("ok", Json.Bool r.C.ok);
+      ( "ledger",
+        Json.List
+          (Array.to_list
+             (Array.map
+                (function
+                  | Some p -> Json.Str (hex p)
+                  | None -> Json.Null)
+                r.C.ledger)) );
+      ( "reference",
+        Json.List
+          (Array.to_list (Array.map (fun p -> Json.Str (hex p)) r.C.reference))
+      );
+      ( "outputs_received",
+        Json.List
+          (Array.to_list (Array.map (fun c -> Json.Int c) r.C.outputs_received))
+      );
+      ("stats", Json.List (Array.to_list (Array.map stats_json r.C.stats)));
+    ]
+
+let total_frame_errors (r : C.result) =
+  Array.fold_left
+    (fun acc s ->
+      match s with Some s -> acc + s.Transport.frame_errors | None -> acc)
+    0 r.C.stats
+
+let run n k d b rounds seed transport dir port_base faults_s deadline out
+    no_verify expect_frame_errors =
+  Exporter.install ();
+  let faults =
+    match parse_faults faults_s with
+    | Some fs -> fs
+    | None ->
+      Printf.eprintf "csm_cluster: bad --faults %S (want \"1:drop,2:corrupt\")\n"
+        faults_s;
+      exit 2
+  in
+  List.iter
+    (fun (i, _) ->
+      if i < 0 || i >= n then begin
+        Printf.eprintf "csm_cluster: fault node %d out of range [0, %d)\n" i n;
+        exit 2
+      end)
+    faults;
+  if List.length faults > b then
+    Printf.eprintf
+      "csm_cluster: warning: %d faulty nodes exceed the b=%d budget\n"
+      (List.length faults) b;
+  let params =
+    try Params.make ~network:Params.Sync ~n ~k ~d ~b
+    with Invalid_argument msg ->
+      prerr_endline msg;
+      exit 2
+  in
+  let cleanup_dir = ref None in
+  let mode =
+    match transport with
+    | "loopback" -> Cluster.Loopback
+    | "socket" ->
+      let dir =
+        match dir with
+        | Some d -> d
+        | None ->
+          let d =
+            Filename.concat
+              (Filename.get_temp_dir_name ())
+              (Printf.sprintf "csm-cluster-%d" (Unix.getpid ()))
+          in
+          (try Unix.mkdir d 0o700 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+          cleanup_dir := Some d;
+          d
+      in
+      Cluster.Uds dir
+    | "tcp" -> Cluster.Tcp port_base
+    | other ->
+      Printf.eprintf "csm_cluster: unknown --transport %s\n" other;
+      exit 2
+  in
+  let cfg = { C.params; rounds; seed; mode; faults; deadline } in
+  Printf.printf "csm_cluster: N=%d K=%d d=%d b=%d rounds=%d seed=%d %s%s\n%!" n
+    k d b rounds seed
+    (Cluster.mode_name mode)
+    (if faults = [] then ""
+     else
+       " faults="
+       ^ String.concat ","
+           (List.map
+              (fun (i, f) -> Printf.sprintf "%d:%s" i (Node.fault_name f))
+              faults));
+  let result = C.run cfg in
+  (match !cleanup_dir with
+  | Some d -> (
+    try
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat d f) with Sys_error _ -> ())
+        (Sys.readdir d);
+      Unix.rmdir d
+    with Sys_error _ | Unix.Unix_error _ -> ())
+  | None -> ());
+  Array.iteri
+    (fun r entry ->
+      Printf.printf "round %d: accepted=%b outputs=%d match=%b\n" r
+        (entry <> None)
+        result.C.outputs_received.(r)
+        (entry = Some result.C.reference.(r)))
+    result.C.ledger;
+  let errors = total_frame_errors result in
+  Printf.printf "transport: frame_errors=%d\n" errors;
+  Array.iteri
+    (fun i s ->
+      match s with
+      | Some (s : Transport.stats) ->
+        Printf.printf
+          "  endpoint %d%s: sent=%d received=%d bytes_out=%d bytes_in=%d \
+           errors=%d\n"
+          i
+          (if i = n then " (client)" else "")
+          s.Transport.frames_sent s.Transport.frames_received
+          s.Transport.bytes_sent s.Transport.bytes_received
+          s.Transport.frame_errors
+      | None -> Printf.printf "  endpoint %d: no stats (no reply)\n" i)
+    result.C.stats;
+  (* fold the socket-boundary counters into the metrics registry so a
+     CSM_METRICS exposition shows the transport layer next to the
+     simulator layers *)
+  if Metric.enabled () then begin
+    let np1 = n + 1 in
+    let arr f =
+      Array.init np1 (fun i ->
+          match result.C.stats.(i) with Some s -> f s | None -> 0)
+    in
+    Tel.record_per_node ~layer:"transport"
+      ~sent:(arr (fun s -> s.Transport.frames_sent))
+      ~received:(arr (fun s -> s.Transport.frames_received))
+      ~bytes_sent:(arr (fun s -> s.Transport.bytes_sent))
+      ~bytes_received:(arr (fun s -> s.Transport.bytes_received));
+    Array.iteri
+      (fun i s ->
+        match s with
+        | Some s when s.Transport.frame_errors > 0 ->
+          Metric.inc ~by:s.Transport.frame_errors
+            (Tel.transport_frame_errors ~node:i)
+        | _ -> ())
+      result.C.stats;
+    match Prom.metrics_path () with
+    | Some path ->
+      Prom.write ~path;
+      Printf.printf "metrics: wrote %s\n" path
+    | None -> ()
+  end;
+  (match out with
+  | Some path ->
+    Json.write ~path
+      (result_json ~n ~k ~d ~b ~rounds ~seed ~transport ~faults result);
+    Printf.printf "report: wrote %s\n" path
+  | None -> ());
+  let verified = no_verify || result.C.ok in
+  Printf.printf "verify: %s\n"
+    (if no_verify then "skipped" else if result.C.ok then "ok" else "MISMATCH");
+  if expect_frame_errors && errors = 0 then begin
+    Printf.printf "expected frame errors, saw none\n";
+    exit 1
+  end;
+  exit (if verified then 0 else 1)
+
+let () =
+  let n = Arg.(value & opt int 3 & info [ "n" ] ~doc:"Nodes.") in
+  let k = Arg.(value & opt int 1 & info [ "k" ] ~doc:"State machines.") in
+  let d = Arg.(value & opt int 1 & info [ "d" ] ~doc:"Degree.") in
+  let b = Arg.(value & opt int 1 & info [ "b" ] ~doc:"Byzantine budget.") in
+  let rounds = Arg.(value & opt int 2 & info [ "rounds" ] ~doc:"Rounds.") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"RNG seed.") in
+  let transport =
+    Arg.(
+      value & opt string "socket"
+      & info [ "transport" ] ~doc:"loopback|socket|tcp.")
+  in
+  let dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dir" ] ~doc:"Unix-socket directory (socket transport).")
+  in
+  let port_base =
+    Arg.(
+      value & opt int 17700
+      & info [ "port-base" ] ~doc:"TCP base port (tcp transport).")
+  in
+  let faults =
+    Arg.(
+      value & opt string ""
+      & info [ "faults" ]
+          ~doc:
+            "Transport-level Byzantine faults, e.g. \
+             $(b,1:drop,2:corrupt,0:delay:0.05).")
+  in
+  let deadline =
+    Arg.(
+      value & opt float 5.0
+      & info [ "deadline" ] ~doc:"Per-wait deadline in seconds.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~doc:"Write a JSON cluster report to this path.")
+  in
+  let no_verify =
+    Arg.(
+      value & flag
+      & info [ "no-verify" ]
+          ~doc:"Skip the reference-run comparison (exit 0 regardless).")
+  in
+  let expect_frame_errors =
+    Arg.(
+      value & flag
+      & info [ "expect-frame-errors" ]
+          ~doc:
+            "Fail unless at least one malformed frame was detected (use with \
+             a corrupt fault).")
+  in
+  let cmd =
+    Cmd.v
+      (Cmd.info "csm_cluster"
+         ~doc:"Run a real multi-process CSM cluster over sockets")
+      Term.(
+        const run $ n $ k $ d $ b $ rounds $ seed $ transport $ dir $ port_base
+        $ faults $ deadline $ out $ no_verify $ expect_frame_errors)
+  in
+  exit (Cmd.eval cmd)

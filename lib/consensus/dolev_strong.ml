@@ -183,9 +183,12 @@ let run cfg ?proposal ?(byzantine = fun _ -> None) () : outcome =
     Net.run
       ~max_time:(((cfg.f + 2) * cfg.delta) + cfg.delta)
       ~latency:(Net.sync ~delta:cfg.delta)
-        (* wire estimate: value bytes + 24 per chain link (16-byte
-           signature + signer id) *)
-      ~size:(fun m -> String.length m.value + (24 * List.length m.chain))
+        (* real wire bytes: a Commit frame whose payload carries the
+           value plus 24 bytes per chain link (16-byte signature +
+           signer id) *)
+      ~size:(fun m ->
+        Csm_wire.Frame.encoded_size
+          ~payload_bytes:(String.length m.value + (24 * List.length m.chain)))
       behaviors
   in
   let module Tel = Csm_obs.Telemetry in

@@ -363,10 +363,11 @@ let run cfg ?(proposals = fun _ -> None) ?(byzantine = fun _ -> None)
       in
       let stats =
         Net.run ~max_time ~latency
-          (* wire estimate: serialized payload + 16-byte signature +
-             signer id *)
+          (* real wire bytes: a Commit frame whose payload carries the
+             serialized message + 16-byte signature + signer id *)
           ~size:(fun m ->
-            String.length (payload_string cfg m.payload) + 24)
+            Csm_wire.Frame.encoded_size
+              ~payload_bytes:(String.length (payload_string cfg m.payload) + 24))
           behaviors
       in
       Tel.record_per_node ~layer:"consensus" ~sent:stats.Net.sent_by

@@ -323,7 +323,12 @@ module Make (F : Field_intf.S) = struct
     let stats =
       Span.with_ ~ops:scope.Scope.ops ~name:"exec.deliver" (fun () ->
           Net.run ~latency
-            ~size:(fun (Result g) -> 8 * Array.length g)
+            (* real wire bytes: a Result frame carrying the binary
+               vector encoding of gᵢ — the socket transport sends
+               exactly this many bytes *)
+            ~size:(fun (Result g) ->
+              Csm_wire.Frame.encoded_size
+                ~payload_bytes:(W.vector_bytes ~dim:(Array.length g)))
             behaviors)
     in
     Tel.record_per_node ~layer:"execution" ~sent:stats.Net.sent_by

@@ -1,15 +1,48 @@
 (* Wire serialization of field-element vectors.
 
-   Consensus protocols agree on byte strings; commands are K vectors of
-   field elements.  The format is a plain decimal encoding — compact
-   enough for a simulation and trivially deterministic, which matters
-   because consensus values are compared and signed as strings. *)
+   Two formats, both deterministic:
+
+   - a decimal string encoding, used as the consensus value format
+     (consensus protocols agree on byte strings, and signed values are
+     compared as strings, so the encoding must be canonical: exactly
+     one accepted spelling per vector);
+   - a fixed-width binary encoding (8-byte big-endian per element),
+     used as [Csm_wire.Frame] payloads by the real transports and by
+     the simulator's byte accounting.
+
+   Every decoder is total and exact: inputs with trailing garbage,
+   non-canonical digits, truncated or extended bodies yield [None] and
+   never raise — a Byzantine peer must not be able to crash a decoder
+   or sneak two spellings of the same value past a string equality
+   check. *)
 
 module Field_intf = Csm_field.Field_intf
 
 module Make (F : Field_intf.S) = struct
+  (* ----- canonical decimal strings (consensus values) ----- *)
+
   let encode_vector (v : F.t array) =
     String.concat "," (Array.to_list (Array.map (fun x -> string_of_int (F.to_int x)) v))
+
+  (* Strict non-negative decimal: digits only, no leading zeros (except
+     "0" itself), at most 18 digits (< 2⁶⁰, comfortably inside native
+     int).  [int_of_string]'s leniency (underscores, 0x/0o/0b prefixes,
+     leading zeros) would accept many spellings of one value — trailing
+     garbage like "3_" decodes as 3 — which breaks the canonicity the
+     consensus layer relies on. *)
+  let parse_nat s =
+    let len = String.length s in
+    if len = 0 || len > 18 then None
+    else if len > 1 && s.[0] = '0' then None
+    else
+      let rec go i acc =
+        if i = len then Some acc
+        else
+          match s.[i] with
+          | '0' .. '9' as c -> go (i + 1) ((acc * 10) + (Char.code c - 48))
+          | _ -> None
+      in
+      go 0 0
 
   let decode_vector ~dim s =
     if s = "" && dim = 0 then Some [||]
@@ -17,9 +50,9 @@ module Make (F : Field_intf.S) = struct
       let parts = String.split_on_char ',' s in
       if List.length parts <> dim then None
       else
-        try
-          Some (Array.of_list (List.map (fun p -> F.of_int (int_of_string p)) parts))
-        with Failure _ -> None
+        let decoded = List.filter_map parse_nat parts in
+        if List.length decoded <> dim then None
+        else Some (Array.of_list (List.map F.of_int decoded))
 
   (* K command vectors, ';'-separated. *)
   let encode_commands (commands : F.t array array) =
@@ -31,4 +64,110 @@ module Make (F : Field_intf.S) = struct
     else
       let decoded = List.filter_map (decode_vector ~dim) parts in
       if List.length decoded = k then Some (Array.of_list decoded) else None
+
+  (* ----- fixed-width binary (transport frame payloads) ----- *)
+
+  let elt_bytes = 8
+  let vector_bytes ~dim = dim * elt_bytes
+  let commands_bytes ~k ~dim = k * vector_bytes ~dim
+
+  let encode_vector_bin (v : F.t array) =
+    let b = Bytes.create (vector_bytes ~dim:(Array.length v)) in
+    Array.iteri
+      (fun i x -> Bytes.set_int64_be b (i * elt_bytes) (Int64.of_int (F.to_int x)))
+      v;
+    Bytes.unsafe_to_string b
+
+  (* Read one element at [off]; negative values and values beyond
+     [max_int] (i.e. not representable in a native int) are rejected. *)
+  let read_elt s off =
+    let x = String.get_int64_be s off in
+    if Int64.compare x 0L < 0 || Int64.compare x (Int64.of_int max_int) > 0
+    then None
+    else Some (F.of_int (Int64.to_int x))
+
+  let decode_vector_bin_at s ~pos ~dim =
+    let ok = ref true in
+    let v =
+      Array.init dim (fun i ->
+          match read_elt s (pos + (i * elt_bytes)) with
+          | Some x -> x
+          | None ->
+            ok := false;
+            F.zero)
+    in
+    if !ok then Some v else None
+
+  let decode_vector_bin ~dim s =
+    if dim < 0 || String.length s <> vector_bytes ~dim then None
+    else decode_vector_bin_at s ~pos:0 ~dim
+
+  let encode_commands_bin (commands : F.t array array) =
+    String.concat "" (Array.to_list (Array.map encode_vector_bin commands))
+
+  let decode_commands_bin ~k ~dim s =
+    if k < 0 || dim < 0 || String.length s <> commands_bytes ~k ~dim then None
+    else
+      let rows =
+        Array.init k (fun i ->
+            decode_vector_bin_at s ~pos:(i * vector_bytes ~dim) ~dim)
+      in
+      if Array.for_all Option.is_some rows then
+        Some (Array.map Option.get rows)
+      else None
+
+  (* Self-describing matrix (rows of possibly different widths): u32
+     row count, then per row a u32 width followed by the elements.
+     Used for the Output frame payload (K output rows + K next-state
+     rows).  Caps bound the allocation a corrupted length claim can
+     force before the exact-length check. *)
+
+  let max_matrix_rows = 1 lsl 16
+  let max_matrix_dim = 1 lsl 20
+
+  let encode_matrix_bin (rows : F.t array array) =
+    let buf = Buffer.create 64 in
+    let u32 v =
+      let b = Bytes.create 4 in
+      Bytes.set_int32_be b 0 (Int32.of_int v);
+      Buffer.add_bytes buf b
+    in
+    u32 (Array.length rows);
+    Array.iter
+      (fun row ->
+        u32 (Array.length row);
+        Buffer.add_string buf (encode_vector_bin row))
+      rows;
+    Buffer.contents buf
+
+  let decode_matrix_bin s =
+    let len = String.length s in
+    let u32 pos =
+      if pos + 4 > len then None
+      else
+        let v = Int32.to_int (String.get_int32_be s pos) in
+        if v < 0 then None else Some v
+    in
+    match u32 0 with
+    | None -> None
+    | Some rows when rows > max_matrix_rows -> None
+    | Some rows ->
+      let out = Array.make rows [||] in
+      let rec go i pos =
+        if i = rows then if pos = len then Some out else None
+        else
+          match u32 pos with
+          | None -> None
+          | Some dim when dim > max_matrix_dim -> None
+          | Some dim ->
+            let body = pos + 4 in
+            if body + vector_bytes ~dim > len then None
+            else (
+              match decode_vector_bin_at s ~pos:body ~dim with
+              | None -> None
+              | Some row ->
+                out.(i) <- row;
+                go (i + 1) (body + vector_bytes ~dim))
+      in
+      go 0 4
 end

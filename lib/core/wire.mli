@@ -1,14 +1,47 @@
-(** Deterministic wire encoding of field-element vectors, used as the
-    consensus value format. *)
+(** Deterministic wire encodings of field-element vectors: canonical
+    decimal strings (the consensus value format) and fixed-width binary
+    (the [Csm_wire.Frame] payload format of the real transports).
+
+    Every decoder is total and exact — trailing garbage, non-canonical
+    digits, truncated or extended bodies yield [None], never an
+    exception. *)
 
 module Field_intf = Csm_field.Field_intf
 
 module Make (F : Field_intf.S) : sig
+  (** {1 Canonical decimal strings} *)
+
   val encode_vector : F.t array -> string
+
   val decode_vector : dim:int -> string -> F.t array option
+  (** Strict: exactly [dim] comma-separated canonical decimals (digits
+      only, no leading zeros, ≤ 18 digits). *)
 
   val encode_commands : F.t array array -> string
   (** K command vectors, ';'-separated. *)
 
   val decode_commands : k:int -> dim:int -> string -> F.t array array option
+
+  (** {1 Fixed-width binary (frame payloads)} *)
+
+  val elt_bytes : int
+  (** 8: each element is one big-endian u64. *)
+
+  val vector_bytes : dim:int -> int
+  (** Exact payload size of an encoded [dim]-vector — the value the
+      simulator's [?size] sizers feed to [Csm_wire.Frame.encoded_size]. *)
+
+  val commands_bytes : k:int -> dim:int -> int
+
+  val encode_vector_bin : F.t array -> string
+  val decode_vector_bin : dim:int -> string -> F.t array option
+
+  val encode_commands_bin : F.t array array -> string
+  val decode_commands_bin : k:int -> dim:int -> string -> F.t array array option
+
+  val encode_matrix_bin : F.t array array -> string
+  (** Self-describing rows of possibly different widths (the Output
+      frame payload: K output rows followed by K next-state rows). *)
+
+  val decode_matrix_bin : string -> F.t array array option
 end

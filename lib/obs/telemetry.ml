@@ -113,6 +113,15 @@ let delegation_fraud ~stage =
     ~labels:[ ("stage", stage) ]
     "csm_delegation_fraud_total"
 
+let transport_frame_errors ~node =
+  Metric.counter
+    ~help:
+      "Malformed or undecodable transport frames detected at the node \
+       (bad header, truncated/corrupted payload) — each one dropped, \
+       never fatal"
+    ~labels:[ node_label node ]
+    "csm_transport_frame_errors_total"
+
 let throughput_lambda =
   Metric.gauge ~help:"Measured commands-per-round throughput λ"
     "csm_throughput_lambda"

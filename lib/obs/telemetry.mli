@@ -29,6 +29,10 @@ val rs_corrected_symbols : Metric.counter
 val decode_errors : node:int -> Metric.counter
 val node_suspicion : node:int -> Metric.gauge
 val straggler_wait : early:bool -> Metric.hist
+val transport_frame_errors : node:int -> Metric.counter
+(** Corrupt/truncated frames detected (and dropped) at the transport
+    boundary — the cluster driver's Byzantine-resilience signal. *)
+
 val intermix_audits : result:string -> Metric.counter
 val delegation_fraud : stage:string -> Metric.counter
 val throughput_lambda : Metric.gauge

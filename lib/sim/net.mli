@@ -62,6 +62,9 @@ val run :
   stats
 (** Execute until the event queue drains (or a limit hits).  The
     [sender] passed to [on_message] is stamped by the simulator and
-    cannot be forged.  [size] estimates a message's wire size in bytes
-    for the per-node byte totals (defaults to [fun _ -> 0]).
+    cannot be forged.  [size] reports a message's wire size in bytes
+    for the per-node byte totals (defaults to [fun _ -> 0]); sizers
+    should return the full on-wire size — [Csm_wire.Frame.encoded_size]
+    over the frame payload the real transport would send — so simulated
+    byte counts equal socket bytes.
     @raise Simulation_limit when [max_events] is exceeded. *)

@@ -1,0 +1,56 @@
+(** Multi-node cluster driver: N node runtimes plus a voting client
+    over loopback threads or forked socket processes, verified against
+    a fault-free single-process engine run at the same seed. *)
+
+module Field_intf = Csm_field.Field_intf
+module Params = Csm_core.Params
+
+type mode =
+  | Loopback  (** threads in this process, in-memory frames *)
+  | Uds of string  (** forked processes, Unix-domain sockets in a dir *)
+  | Tcp of int  (** forked processes, TCP loopback from a base port *)
+
+val mode_name : mode -> string
+
+module Make (F : Field_intf.S) : sig
+  module N : module type of Node.Make (F)
+  module W = N.W
+  module E = N.E
+  module M = N.M
+
+  type config = {
+    params : Params.t;
+    rounds : int;
+    seed : int;
+    mode : mode;
+    faults : (int * Node.fault) list;
+    deadline : float;  (** per-wait upper bound, seconds *)
+  }
+
+  type result = {
+    ledger : string option array;
+        (** per round, the Output payload at least b+1 nodes agreed on *)
+    reference : string array;
+        (** the payloads of a fault-free single-process run, same seed *)
+    outputs_received : int array;
+        (** validated Output frames the client saw per round *)
+    stats : Transport.stats option array;
+        (** per-endpoint transport counters: the n nodes, then the
+            client last *)
+    ok : bool;  (** every round accepted and byte-equal to the reference *)
+  }
+
+  val initial_states : config -> F.t array array
+  val machine : config -> M.t
+
+  val workload : Csm_rng.t -> k:int -> int -> F.t array array
+  (** The deterministic per-round commands both the client and the
+      reference run derive from the seed. *)
+
+  val reference_ledger : config -> string array
+
+  val run : config -> result
+  (** Run the cluster end to end (socket modes fork one child per node
+      before doing any pool/thread work in the parent) and verify the
+      voted ledger against the reference. *)
+end

@@ -1,0 +1,13 @@
+(** In-process loopback transport, bit-compatible with the socket path:
+    frames are encoded on send and decoded on receive, so byte counts
+    and corruption handling match a real socket run exactly, while
+    delivery is immediate and deterministic. *)
+
+type net
+
+val create : endpoints:int -> net
+(** One shared in-memory network with [endpoints] mailboxes (node ids
+    [0 .. endpoints-1]; by convention the cluster client is the last). *)
+
+val endpoint : net -> id:int -> Transport.t
+(** The endpoint for [id]; safe to drive from its own thread. *)

@@ -1,0 +1,311 @@
+(* The per-process CSM node runtime: one node of the cluster, holding
+   its own coded state S̃ᵢ inside a local engine instance and speaking
+   the Frame wire protocol over an abstract {!Transport.t}.
+
+   Round structure (client is endpoint [n]):
+
+     Command (client → all)   the round's K command vectors
+     Commit  (node → nodes)   echo of the command payload; a round
+                              proceeds once b+1 endorsements of the
+                              node's own view arrive (self included)
+     compute                  X̃ᵢ = encode(commands), gᵢ = f(S̃ᵢ, X̃ᵢ)
+     Result  (node → nodes)   gᵢ, binary vector payload
+     decode                   Reed–Solomon decode of the collected gⱼ
+     Output  (node → client)  decoded Ŷ rows then next-state Ŝ rows
+     re-encode                S̃ᵢ(t+1) from the decoded next states
+
+   Every inbound payload is validated at intake with the total binary
+   decoders — a truncated or corrupted body counts one transport frame
+   error and is dropped, so a Byzantine peer can lie (the code corrects
+   lies) or babble garbage (dropped and counted) but never crash or
+   wedge the node; collect loops bound their waiting with the
+   [deadline] so silent peers cannot stall a round either.
+
+   The runtime's own faults ([Drop]/[Delay]/[Corrupt]) apply to the
+   frames it *sends* — that is how the cluster driver turns a node
+   Byzantine at the transport layer. *)
+
+module Field_intf = Csm_field.Field_intf
+module Frame = Csm_wire.Frame
+module Params = Csm_core.Params
+
+type fault =
+  | Honest
+  | Drop  (** withhold every protocol frame *)
+  | Delay of float  (** send protocol frames late by this many seconds *)
+  | Corrupt  (** mangle every protocol payload (detectably malformed) *)
+
+let fault_name = function
+  | Honest -> "honest"
+  | Drop -> "drop"
+  | Delay _ -> "delay"
+  | Corrupt -> "corrupt"
+
+(* Sent by a [Drop] node: nothing.  A [Corrupt] node's frames arrive but
+   fail payload validation, so they add to frame errors, not to the
+   protocol state.  [Delay] frames arrive late but intact. *)
+let delivers = function Honest | Delay _ -> true | Drop | Corrupt -> false
+
+module Make (F : Field_intf.S) = struct
+  module W = Csm_core.Wire.Make (F)
+  module E = Csm_core.Engine.Make (F)
+  module M = E.M
+
+  type config = {
+    node : int;
+    params : Params.t;
+    machine : M.t;
+    init : F.t array array;  (* the K initial states, shared by all *)
+    rounds : int;
+    fault : fault;
+    faults : (int * fault) list;  (* the whole cluster's fault map *)
+    deadline : float;  (* per-wait upper bound, seconds *)
+  }
+
+  (* Peers whose protocol frames will actually arrive (and validate). *)
+  let expected_peers cfg =
+    let n = cfg.params.Params.n in
+    let dead i =
+      match List.assoc_opt i cfg.faults with
+      | Some f -> not (delivers f)
+      | None -> false
+    in
+    n - List.length (List.filter dead (List.init n (fun i -> i)))
+
+  (* Mangle a payload so every total decoder rejects it: flip a byte and
+     drop the last one — the fixed-width decoders check exact length,
+     the self-describing ones check exact consumption. *)
+  let corrupt_payload p =
+    if String.length p = 0 then "\x00"
+    else begin
+      let b = Bytes.of_string (String.sub p 0 (String.length p - 1)) in
+      if Bytes.length b > 0 then
+        Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0xFF));
+      Bytes.to_string b
+    end
+
+  let send_protocol cfg (tr : Transport.t) ~dst frame =
+    match cfg.fault with
+    | Honest -> tr.Transport.send ~dst frame
+    | Drop -> ()
+    | Delay t ->
+      Thread.delay t;
+      tr.Transport.send ~dst frame
+    | Corrupt ->
+      tr.Transport.send ~dst
+        { frame with Frame.payload = corrupt_payload frame.Frame.payload }
+
+  (* ---- inbox: validated protocol state, filled by [pump] ---- *)
+
+  type inbox = {
+    commands : (int, string * F.t array array) Hashtbl.t;
+        (* round → (payload, decoded commands), client frames only *)
+    commits : (int * int, string) Hashtbl.t;  (* (round, sender) → payload *)
+    results : (int * int, F.t array) Hashtbl.t;  (* (round, sender) → gⱼ *)
+    mutable shutdown : bool;
+  }
+
+  let make_inbox () =
+    {
+      commands = Hashtbl.create 16;
+      commits = Hashtbl.create 64;
+      results = Hashtbl.create 64;
+      shutdown = false;
+    }
+
+  (* Intake-time validation: decode the payload with the total decoders
+     the moment the frame arrives, so a malformed body is counted and
+     dropped exactly once no matter when the round logic looks. *)
+  let dispatch cfg (tr : Transport.t) inbox (fr : Frame.t) =
+    let n = cfg.params.Params.n in
+    let k = cfg.params.Params.k in
+    let sender = fr.Frame.sender in
+    match fr.Frame.kind with
+    | Frame.Command when sender = n -> (
+      match
+        W.decode_commands_bin ~k ~dim:cfg.machine.M.input_dim fr.Frame.payload
+      with
+      | Some cs ->
+        if not (Hashtbl.mem inbox.commands fr.Frame.round) then
+          Hashtbl.replace inbox.commands fr.Frame.round (fr.Frame.payload, cs)
+      | None -> Transport.record_error tr)
+    | Frame.Commit when sender >= 0 && sender < n && sender <> cfg.node -> (
+      match
+        W.decode_commands_bin ~k ~dim:cfg.machine.M.input_dim fr.Frame.payload
+      with
+      | Some _ ->
+        if not (Hashtbl.mem inbox.commits (fr.Frame.round, sender)) then
+          Hashtbl.replace inbox.commits (fr.Frame.round, sender)
+            fr.Frame.payload
+      | None -> Transport.record_error tr)
+    | Frame.Result when sender >= 0 && sender < n && sender <> cfg.node -> (
+      let dim = cfg.machine.M.state_dim + cfg.machine.M.output_dim in
+      match W.decode_vector_bin ~dim fr.Frame.payload with
+      | Some g ->
+        if not (Hashtbl.mem inbox.results (fr.Frame.round, sender)) then
+          Hashtbl.replace inbox.results (fr.Frame.round, sender) g
+      | None -> Transport.record_error tr)
+    | Frame.Shutdown when sender = n -> inbox.shutdown <- true
+    | _ ->
+      (* unexpected kind/sender combination: malformed at the protocol
+         level, counted like any other bad frame *)
+      Transport.record_error tr
+
+  (* Drain everything already delivered, waiting at most [within] for
+     the first frame. *)
+  let pump ?(within = 0.0) cfg tr inbox =
+    let rec drain ~timeout =
+      match tr.Transport.recv ~timeout with
+      | Some fr ->
+        dispatch cfg tr inbox fr;
+        drain ~timeout:0.0
+      | None -> ()
+    in
+    drain ~timeout:within
+
+  (* Pump until [cond] holds or [cfg.deadline] passes. *)
+  let wait_until cfg tr inbox cond =
+    let limit = Unix.gettimeofday () +. cfg.deadline in
+    let rec loop () =
+      pump cfg tr inbox;
+      if cond () then true
+      else if inbox.shutdown || Unix.gettimeofday () >= limit then cond ()
+      else begin
+        pump ~within:0.05 cfg tr inbox;
+        loop ()
+      end
+    in
+    loop ()
+
+  (* ---- one protocol round ---- *)
+
+  let run_round cfg (tr : Transport.t) engine inbox r =
+    let n = cfg.params.Params.n in
+    let b = cfg.params.Params.b in
+    let me = cfg.node in
+    (* 1. the round's commands, from the client *)
+    let got_commands =
+      wait_until cfg tr inbox (fun () -> Hashtbl.mem inbox.commands r)
+    in
+    if not got_commands then false
+    else begin
+      let cmd_payload, commands = Hashtbl.find inbox.commands r in
+      (* 2. commit: echo the command payload to every peer, then wait
+         for the peers expected to deliver; proceed on b+1 matching
+         endorsements (self included) *)
+      let commit = Frame.make ~kind:Frame.Commit ~sender:me ~round:r cmd_payload in
+      for j = 0 to n - 1 do
+        if j <> me then send_protocol cfg tr ~dst:j commit
+      done;
+      let expected_commits = expected_peers cfg - 1 (* peers, sans self *) in
+      let commits_in () =
+        Hashtbl.fold
+          (fun (r', _) _ acc -> if r' = r then acc + 1 else acc)
+          inbox.commits 0
+      in
+      ignore (wait_until cfg tr inbox (fun () -> commits_in () >= expected_commits));
+      let matching =
+        1
+        + Hashtbl.fold
+            (fun (r', _) p acc -> if r' = r && p = cmd_payload then acc + 1 else acc)
+            inbox.commits 0
+      in
+      let committed = matching >= b + 1 in
+      if not committed then false
+      else begin
+      (* 3. compute gᵢ over the committed commands *)
+      let coded_command = E.node_encode_command engine ~node:me ~commands in
+      let g = E.node_compute engine ~node:me ~coded_command in
+      (* 4. broadcast the result, keep our own *)
+      let result =
+        Frame.make ~kind:Frame.Result ~sender:me ~round:r
+          (W.encode_vector_bin g)
+      in
+      for j = 0 to n - 1 do
+        if j <> me then send_protocol cfg tr ~dst:j result
+      done;
+      Hashtbl.replace inbox.results (r, me) g;
+      (* 5. collect and decode *)
+      let expected_results = expected_peers cfg in
+      let results_in () =
+        Hashtbl.fold
+          (fun (r', _) _ acc -> if r' = r then acc + 1 else acc)
+          inbox.results 0
+      in
+      ignore
+        (wait_until cfg tr inbox (fun () -> results_in () >= expected_results));
+      let received =
+        List.sort compare
+          (Hashtbl.fold
+             (fun (r', j) g acc -> if r' = r then (j, g) :: acc else acc)
+             inbox.results [])
+      in
+      match E.decode_results engine received with
+      | None -> false
+      | Some d ->
+        (* 6. ship the decoded outputs + next states to the client *)
+        let payload =
+          W.encode_matrix_bin (Array.append d.E.outputs d.E.next_states)
+        in
+        send_protocol cfg tr ~dst:n
+          (Frame.make ~kind:Frame.Output ~sender:me ~round:r payload);
+        (* 7. advance our own coded state *)
+        E.node_update_state engine ~node:me ~next_states:d.E.next_states;
+        true
+      end
+    end
+
+  (* Binary stats payload: five big-endian u64 counters. *)
+  let stats_payload (s : Transport.stats) =
+    let b = Bytes.create 40 in
+    List.iteri
+      (fun i v -> Bytes.set_int64_be b (8 * i) (Int64.of_int v))
+      [
+        s.Transport.frames_sent;
+        s.Transport.frames_received;
+        s.Transport.bytes_sent;
+        s.Transport.bytes_received;
+        s.Transport.frame_errors;
+      ];
+    Bytes.to_string b
+
+  let decode_stats_payload p =
+    if String.length p <> 40 then None
+    else begin
+      let v i = Int64.to_int (String.get_int64_be p (8 * i)) in
+      let ok = ref true in
+      for i = 0 to 4 do
+        if v i < 0 then ok := false
+      done;
+      if not !ok then None
+      else
+        Some
+          {
+            Transport.frames_sent = v 0;
+            frames_received = v 1;
+            bytes_sent = v 2;
+            bytes_received = v 3;
+            frame_errors = v 4;
+          }
+    end
+
+  (* ---- entry point: run all rounds, then answer the shutdown ---- *)
+
+  let run cfg (tr : Transport.t) =
+    let engine =
+      E.create ~machine:cfg.machine ~params:cfg.params ~init:cfg.init
+    in
+    let inbox = make_inbox () in
+    let n = cfg.params.Params.n in
+    for r = 0 to cfg.rounds - 1 do
+      if not inbox.shutdown then ignore (run_round cfg tr engine inbox r)
+    done;
+    (* wait for the client's shutdown, reply with our counters (control
+       frames are exempt from the node's fault: the driver needs them) *)
+    ignore (wait_until cfg tr inbox (fun () -> inbox.shutdown));
+    let snap = Transport.snapshot tr in
+    tr.Transport.send ~dst:n
+      (Frame.make ~kind:Frame.Stats ~sender:cfg.node ~round:cfg.rounds
+         (stats_payload snap));
+    tr.Transport.close ()
+end

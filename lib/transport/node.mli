@@ -1,0 +1,55 @@
+(** One CSM node runtime over an abstract {!Transport.t}: owns its coded
+    state S̃ᵢ (in a local engine instance) and speaks the Frame protocol
+    for the commit → compute → decode round structure.  Inbound payloads
+    are validated at intake with the total binary decoders: malformed
+    bodies count one transport frame error and are dropped, never
+    raised; collect loops are deadline-bounded so silent peers cannot
+    stall a round. *)
+
+module Field_intf = Csm_field.Field_intf
+module Frame = Csm_wire.Frame
+module Params = Csm_core.Params
+
+type fault =
+  | Honest
+  | Drop  (** withhold every protocol frame *)
+  | Delay of float  (** send protocol frames late by this many seconds *)
+  | Corrupt  (** mangle every protocol payload (detectably malformed) *)
+
+val fault_name : fault -> string
+
+val delivers : fault -> bool
+(** Whether a node with this fault contributes validated protocol frames
+    ([Honest]/[Delay] do; [Drop] withholds, [Corrupt] frames are
+    rejected at intake). *)
+
+module Make (F : Field_intf.S) : sig
+  module W : module type of Csm_core.Wire.Make (F)
+  module E : module type of Csm_core.Engine.Make (F)
+  module M = E.M
+
+  type config = {
+    node : int;
+    params : Params.t;
+    machine : M.t;
+    init : F.t array array;  (** the K initial states, shared by all *)
+    rounds : int;
+    fault : fault;  (** this node's own transport-level fault *)
+    faults : (int * fault) list;  (** the whole cluster's fault map *)
+    deadline : float;  (** per-wait upper bound, seconds *)
+  }
+
+  val corrupt_payload : string -> string
+  (** The [Corrupt] fault's mangling (exposed for tests): flips a byte
+      and drops the last, so every total decoder rejects the result. *)
+
+  val stats_payload : Transport.stats -> string
+  (** Binary Stats-frame payload: five big-endian u64 counters. *)
+
+  val decode_stats_payload : string -> Transport.stats option
+
+  val run : config -> Transport.t -> unit
+  (** Run all configured rounds, wait for the client's [Shutdown], reply
+      with a [Stats] frame, close the transport.  Never raises on
+      Byzantine input. *)
+end

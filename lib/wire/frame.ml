@@ -1,0 +1,150 @@
+(* The CSM wire frame: the length-prefixed binary envelope every
+   protocol message travels in, shared by the discrete-event simulator's
+   byte accounting and the real transports in [Csm_transport].
+
+   Layout (big-endian, 16-byte header):
+
+     offset 0   'C'              magic
+     offset 1   'S'
+     offset 2   version          (currently 1)
+     offset 3   kind tag         (see [kind])
+     offset 4   sender id        u32
+     offset 8   round            u32
+     offset 12  payload length   u32  (<= [max_payload_bytes])
+     offset 16  payload bytes
+
+   Decoding is total: every malformed input — wrong magic, unknown
+   version or tag, negative/oversized fields, truncated or trailing
+   bytes — yields [None], never an exception, so a Byzantine peer
+   cannot crash a receiver with a crafted frame.  Authentication is
+   deliberately NOT the frame's job (signatures live in [Csm_crypto]);
+   the sender field is the unauthenticated channel claim. *)
+
+type kind =
+  | Command  (* client -> nodes: the round's K command vectors *)
+  | Commit  (* node -> node: consensus payload over the agreed commands *)
+  | Result  (* node -> node: the coded execution result g_i *)
+  | Output  (* node -> client: decoded per-machine outputs + next states *)
+  | Stats  (* node -> client: end-of-run transport counters *)
+  | Shutdown  (* client -> nodes: drain and exit *)
+
+let tag_of_kind = function
+  | Command -> 1
+  | Commit -> 2
+  | Result -> 3
+  | Output -> 4
+  | Stats -> 5
+  | Shutdown -> 6
+
+let kind_of_tag = function
+  | 1 -> Some Command
+  | 2 -> Some Commit
+  | 3 -> Some Result
+  | 4 -> Some Output
+  | 5 -> Some Stats
+  | 6 -> Some Shutdown
+  | _ -> None
+
+let kind_name = function
+  | Command -> "command"
+  | Commit -> "commit"
+  | Result -> "result"
+  | Output -> "output"
+  | Stats -> "stats"
+  | Shutdown -> "shutdown"
+
+type t = {
+  version : int;
+  kind : kind;
+  sender : int;
+  round : int;
+  payload : string;
+}
+
+let current_version = 1
+let header_bytes = 16
+let max_payload_bytes = 1 lsl 24
+let max_id = 0x7FFFFFFF
+
+let encoded_size ~payload_bytes = header_bytes + payload_bytes
+let size t = encoded_size ~payload_bytes:(String.length t.payload)
+
+let make ?(version = current_version) ~kind ~sender ~round payload =
+  if version < 0 || version > 0xFF then invalid_arg "Frame.make: version";
+  if sender < 0 || sender > max_id then invalid_arg "Frame.make: sender";
+  if round < 0 || round > max_id then invalid_arg "Frame.make: round";
+  if String.length payload > max_payload_bytes then
+    invalid_arg "Frame.make: payload too large";
+  { version; kind; sender; round; payload }
+
+let encode t =
+  if t.version < 0 || t.version > 0xFF then invalid_arg "Frame.encode: version";
+  if t.sender < 0 || t.sender > max_id then invalid_arg "Frame.encode: sender";
+  if t.round < 0 || t.round > max_id then invalid_arg "Frame.encode: round";
+  let len = String.length t.payload in
+  if len > max_payload_bytes then invalid_arg "Frame.encode: payload too large";
+  let b = Bytes.create (header_bytes + len) in
+  Bytes.set b 0 'C';
+  Bytes.set b 1 'S';
+  Bytes.set b 2 (Char.chr t.version);
+  Bytes.set b 3 (Char.chr (tag_of_kind t.kind));
+  Bytes.set_int32_be b 4 (Int32.of_int t.sender);
+  Bytes.set_int32_be b 8 (Int32.of_int t.round);
+  Bytes.set_int32_be b 12 (Int32.of_int len);
+  Bytes.blit_string t.payload 0 b header_bytes len;
+  Bytes.unsafe_to_string b
+
+type header = {
+  h_version : int;
+  h_kind : kind;
+  h_sender : int;
+  h_round : int;
+  h_payload_bytes : int;
+}
+
+let decode_header ?(pos = 0) s =
+  if pos < 0 || String.length s - pos < header_bytes then None
+  else if s.[pos] <> 'C' || s.[pos + 1] <> 'S' then None
+  else
+    let version = Char.code s.[pos + 2] in
+    if version <> current_version then None
+    else
+      match kind_of_tag (Char.code s.[pos + 3]) with
+      | None -> None
+      | Some k ->
+        let u32 off = Int32.to_int (String.get_int32_be s (pos + off)) in
+        let sender = u32 4 and round = u32 8 and len = u32 12 in
+        if sender < 0 || round < 0 || len < 0 || len > max_payload_bytes then
+          None
+        else
+          Some
+            {
+              h_version = version;
+              h_kind = k;
+              h_sender = sender;
+              h_round = round;
+              h_payload_bytes = len;
+            }
+
+let of_header h ~payload =
+  if String.length payload <> h.h_payload_bytes then None
+  else
+    Some
+      {
+        version = h.h_version;
+        kind = h.h_kind;
+        sender = h.h_sender;
+        round = h.h_round;
+        payload;
+      }
+
+let decode s =
+  match decode_header s with
+  | None -> None
+  | Some h ->
+    if String.length s <> header_bytes + h.h_payload_bytes then None
+    else of_header h ~payload:(String.sub s header_bytes h.h_payload_bytes)
+
+let pp ppf t =
+  Format.fprintf ppf "%s[v%d from=%d round=%d %dB]" (kind_name t.kind)
+    t.version t.sender t.round (String.length t.payload)

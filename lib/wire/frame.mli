@@ -1,0 +1,72 @@
+(** Versioned tagged wire frame: the binary envelope of every CSM
+    protocol message, shared by the simulator's byte accounting (the
+    [?size] sizers of [Csm_sim.Net.run]) and the real transports.
+
+    Decoding is total — malformed input yields [None], never raises —
+    so a Byzantine peer cannot crash a receiver with a crafted frame.
+    The sender field is the unauthenticated channel claim; signatures
+    are [Csm_crypto]'s job. *)
+
+type kind =
+  | Command  (** client → nodes: the round's K command vectors *)
+  | Commit  (** node → node: consensus payload over the agreed commands *)
+  | Result  (** node → node: the coded execution result gᵢ *)
+  | Output  (** node → client: decoded outputs Ŷ + next states Ŝ *)
+  | Stats  (** node → client: end-of-run transport counters *)
+  | Shutdown  (** client → nodes: drain and exit *)
+
+val tag_of_kind : kind -> int
+val kind_of_tag : int -> kind option
+val kind_name : kind -> string
+
+type t = {
+  version : int;
+  kind : kind;
+  sender : int;
+  round : int;
+  payload : string;
+}
+
+val current_version : int
+
+val header_bytes : int
+(** Fixed header size (16): magic, version, kind, sender, round,
+    payload length. *)
+
+val max_payload_bytes : int
+(** Decoders reject larger length claims before allocating. *)
+
+val encoded_size : payload_bytes:int -> int
+(** Exact on-wire size of a frame carrying [payload_bytes] of payload;
+    [String.length (encode t) = encoded_size ~payload_bytes:(String.length
+    t.payload)].  The simulator sizers use this so simulated byte
+    counts equal real socket bytes. *)
+
+val size : t -> int
+
+val make : ?version:int -> kind:kind -> sender:int -> round:int -> string -> t
+(** @raise Invalid_argument on out-of-range fields. *)
+
+val encode : t -> string
+(** @raise Invalid_argument on out-of-range fields. *)
+
+val decode : string -> t option
+(** Exact-length decode: trailing bytes after the payload are rejected. *)
+
+type header = {
+  h_version : int;
+  h_kind : kind;
+  h_sender : int;
+  h_round : int;
+  h_payload_bytes : int;
+}
+
+val decode_header : ?pos:int -> string -> header option
+(** Validate the 16 header bytes at [pos] (magic, version, tag, field
+    ranges) and return the parsed header — the socket read loop's first
+    step before reading [h_payload_bytes] more. *)
+
+val of_header : header -> payload:string -> t option
+(** Rejects a payload whose length differs from the header claim. *)
+
+val pp : Format.formatter -> t -> unit

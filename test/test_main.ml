@@ -24,4 +24,5 @@ let () =
          Test_rs.suites;
          Test_parallel.suites;
          Test_obs.suites;
+         Test_transport.suites;
        ])

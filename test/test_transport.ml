@@ -1,0 +1,507 @@
+(* Transport subsystem: frame codec round-trips and fuzzing, strict
+   wire decoders, sim-sizer = real-wire-bytes equality, loopback
+   transport behavior, node runtime fault payloads, and end-to-end
+   cluster runs — including loopback-vs-socket equivalence through the
+   csm_cluster binary. *)
+
+module Frame = Csm_wire.Frame
+module F = Csm_field.Fp.Default
+module W = Csm_core.Wire.Make (F)
+module Params = Csm_core.Params
+module Transport = Csm_transport.Transport
+module Loopback = Csm_transport.Loopback
+module Node = Csm_transport.Node
+module N = Node.Make (F)
+module Cluster = Csm_transport.Cluster
+module C = Cluster.Make (F)
+
+let check = Alcotest.check
+let checkb = Alcotest.(check bool)
+
+let all_kinds =
+  [ Frame.Command; Frame.Commit; Frame.Result; Frame.Output; Frame.Stats;
+    Frame.Shutdown ]
+
+(* ----- frame codec ----- *)
+
+let frame_round_trip () =
+  List.iter
+    (fun kind ->
+      List.iter
+        (fun (sender, round, payload) ->
+          let f = Frame.make ~kind ~sender ~round payload in
+          let bytes = Frame.encode f in
+          check Alcotest.int "encoded size"
+            (Frame.encoded_size ~payload_bytes:(String.length payload))
+            (String.length bytes);
+          match Frame.decode bytes with
+          | None -> Alcotest.fail "round trip decode failed"
+          | Some g ->
+            checkb "kind" true (g.Frame.kind = kind);
+            check Alcotest.int "sender" sender g.Frame.sender;
+            check Alcotest.int "round" round g.Frame.round;
+            check Alcotest.string "payload" payload g.Frame.payload)
+        [
+          (0, 0, "");
+          (1, 7, "x");
+          (41, 1000000, String.make 257 '\xAB');
+          (0x7FFFFFFF, 0x7FFFFFFF, "payload\x00with\xFFbytes");
+        ])
+    all_kinds
+
+let frame_header_round_trip () =
+  let f = Frame.make ~kind:Frame.Result ~sender:3 ~round:9 "abcdef" in
+  let bytes = Frame.encode f in
+  match Frame.decode_header bytes with
+  | None -> Alcotest.fail "header decode failed"
+  | Some h ->
+    checkb "kind" true (h.Frame.h_kind = Frame.Result);
+    check Alcotest.int "sender" 3 h.Frame.h_sender;
+    check Alcotest.int "round" 9 h.Frame.h_round;
+    check Alcotest.int "payload bytes" 6 h.Frame.h_payload_bytes;
+    (match
+       Frame.of_header h
+         ~payload:(String.sub bytes Frame.header_bytes 6)
+     with
+    | Some g -> checkb "of_header" true (g = f)
+    | None -> Alcotest.fail "of_header failed");
+    checkb "of_header wrong length" true
+      (Frame.of_header h ~payload:"abc" = None)
+
+(* Truncations, extensions and byte flips of valid encodings must never
+   raise; truncations and extensions must decode to None (exact-length
+   decoding). *)
+let frame_fuzz () =
+  let rng = Csm_rng.create 0xF4A2E in
+  for _ = 1 to 200 do
+    let kind = List.nth all_kinds (Csm_rng.int rng 6) in
+    let payload =
+      String.init (Csm_rng.int rng 40) (fun _ -> Char.chr (Csm_rng.int rng 256))
+    in
+    let f =
+      Frame.make ~kind
+        ~sender:(Csm_rng.int rng 1000)
+        ~round:(Csm_rng.int rng 100000)
+        payload
+    in
+    let bytes = Frame.encode f in
+    let len = String.length bytes in
+    (* every truncation *)
+    for cut = 0 to len - 1 do
+      checkb "truncated -> None" true (Frame.decode (String.sub bytes 0 cut) = None)
+    done;
+    (* extension *)
+    checkb "extended -> None" true (Frame.decode (bytes ^ "\x00") = None);
+    checkb "extended -> None" true (Frame.decode (bytes ^ bytes) = None);
+    (* random single-byte flips: must not raise, may or may not decode *)
+    for _ = 1 to 16 do
+      let pos = Csm_rng.int rng len in
+      let b = Bytes.of_string bytes in
+      Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor (1 + Csm_rng.int rng 255)));
+      ignore (Frame.decode (Bytes.to_string b))
+    done
+  done;
+  (* garbage of every small length *)
+  for l = 0 to 64 do
+    let s = String.init l (fun _ -> Char.chr (Csm_rng.int rng 256)) in
+    ignore (Frame.decode s)
+  done
+
+let frame_rejects_bad_fields () =
+  let f = Frame.make ~kind:Frame.Commit ~sender:5 ~round:2 "hello" in
+  let bytes = Bytes.of_string (Frame.encode f) in
+  let flip pos v =
+    let b = Bytes.copy bytes in
+    Bytes.set b pos (Char.chr v);
+    Frame.decode (Bytes.to_string b)
+  in
+  checkb "bad magic 0" true (flip 0 (Char.code 'X') = None);
+  checkb "bad magic 1" true (flip 1 (Char.code 'X') = None);
+  checkb "bad version" true (flip 2 99 = None);
+  checkb "bad kind tag" true (flip 3 0 = None);
+  checkb "bad kind tag" true (flip 3 200 = None);
+  (* a length claim larger than the body *)
+  let b = Bytes.copy bytes in
+  Bytes.set_int32_be b 12 1000l;
+  checkb "overlong claim" true (Frame.decode (Bytes.to_string b) = None);
+  checkb "make rejects negative sender" true
+    (try
+       ignore (Frame.make ~kind:Frame.Commit ~sender:(-1) ~round:0 "");
+       false
+     with Invalid_argument _ -> true);
+  checkb "make rejects huge payload" true
+    (try
+       ignore
+         (Frame.make ~kind:Frame.Commit ~sender:0 ~round:0
+            (String.make (Frame.max_payload_bytes + 1) 'x'));
+       false
+     with Invalid_argument _ -> true)
+
+(* ----- strict wire decoders ----- *)
+
+let decimal_strictness () =
+  let dim = 3 in
+  let ok s = W.decode_vector ~dim s <> None in
+  checkb "canonical accepted" true (ok "1,2,3");
+  checkb "zero accepted" true (ok "0,0,0");
+  checkb "trailing underscore" false (ok "1,2,3_");
+  checkb "leading zero" false (ok "01,2,3");
+  checkb "hex prefix" false (ok "0x1,2,3");
+  checkb "trailing comma" false (ok "1,2,3,");
+  checkb "leading space" false (ok " 1,2,3");
+  checkb "negative" false (ok "-1,2,3");
+  checkb "too few" false (ok "1,2");
+  checkb "too many" false (ok "1,2,3,4");
+  checkb "empty part" false (ok "1,,3");
+  checkb "19 digits" false (ok "1234567890123456789,2,3");
+  checkb "empty dim 0" true (W.decode_vector ~dim:0 "" = Some [||]);
+  checkb "nonempty dim 0" true (W.decode_vector ~dim:0 "1" = None);
+  (* round trip *)
+  let rng = Csm_rng.create 0xDEC1 in
+  for _ = 1 to 50 do
+    let v = Array.init dim (fun _ -> F.random rng) in
+    match W.decode_vector ~dim (W.encode_vector v) with
+    | None -> Alcotest.fail "decimal round trip"
+    | Some w -> Array.iteri (fun i x -> checkb "elt" true (F.equal x w.(i))) v
+  done
+
+let binary_round_trips () =
+  let rng = Csm_rng.create 0xB14 in
+  for _ = 1 to 50 do
+    let dim = 1 + Csm_rng.int rng 6 in
+    let v = Array.init dim (fun _ -> F.random rng) in
+    let s = W.encode_vector_bin v in
+    check Alcotest.int "vector_bytes" (W.vector_bytes ~dim) (String.length s);
+    (match W.decode_vector_bin ~dim s with
+    | None -> Alcotest.fail "vector bin round trip"
+    | Some w -> Array.iteri (fun i x -> checkb "elt" true (F.equal x w.(i))) v);
+    let k = 1 + Csm_rng.int rng 4 in
+    let cs = Array.init k (fun _ -> Array.init dim (fun _ -> F.random rng)) in
+    let sc = W.encode_commands_bin cs in
+    check Alcotest.int "commands_bytes"
+      (W.commands_bytes ~k ~dim)
+      (String.length sc);
+    (match W.decode_commands_bin ~k ~dim sc with
+    | None -> Alcotest.fail "commands bin round trip"
+    | Some ds ->
+      Array.iteri
+        (fun i row ->
+          Array.iteri (fun j x -> checkb "elt" true (F.equal x ds.(i).(j))) row)
+        cs);
+    (* matrix with mixed row widths *)
+    let rows =
+      Array.init (1 + Csm_rng.int rng 5) (fun _ ->
+          Array.init (Csm_rng.int rng 5) (fun _ -> F.random rng))
+    in
+    match W.decode_matrix_bin (W.encode_matrix_bin rows) with
+    | None -> Alcotest.fail "matrix bin round trip"
+    | Some ds ->
+      check Alcotest.int "rows" (Array.length rows) (Array.length ds);
+      Array.iteri
+        (fun i row ->
+          check Alcotest.int "row dim" (Array.length row) (Array.length ds.(i));
+          Array.iteri (fun j x -> checkb "elt" true (F.equal x ds.(i).(j))) row)
+        rows
+  done
+
+(* Every binary decoder is exact: truncated and extended bodies are
+   rejected, and the node's Corrupt mangling is always detected. *)
+let binary_strictness () =
+  let rng = Csm_rng.create 0xB57 in
+  for _ = 1 to 50 do
+    let dim = 1 + Csm_rng.int rng 5 in
+    let v = Array.init dim (fun _ -> F.random rng) in
+    let s = W.encode_vector_bin v in
+    checkb "vec truncated" true
+      (W.decode_vector_bin ~dim (String.sub s 0 (String.length s - 1)) = None);
+    checkb "vec extended" true (W.decode_vector_bin ~dim (s ^ "\x00") = None);
+    checkb "vec corrupt fault" true
+      (W.decode_vector_bin ~dim (N.corrupt_payload s) = None);
+    let k = 2 in
+    let cs = Array.init k (fun _ -> v) in
+    let sc = W.encode_commands_bin cs in
+    checkb "cmds truncated" true
+      (W.decode_commands_bin ~k ~dim (String.sub sc 0 (String.length sc - 1))
+      = None);
+    checkb "cmds corrupt fault" true
+      (W.decode_commands_bin ~k ~dim (N.corrupt_payload sc) = None);
+    let m = W.encode_matrix_bin [| v; v |] in
+    checkb "matrix truncated" true
+      (W.decode_matrix_bin (String.sub m 0 (String.length m - 1)) = None);
+    checkb "matrix extended" true (W.decode_matrix_bin (m ^ "\x01") = None);
+    checkb "matrix corrupt fault" true
+      (W.decode_matrix_bin (N.corrupt_payload m) = None)
+  done;
+  (* fuzz: random garbage never raises *)
+  for _ = 1 to 500 do
+    let s =
+      String.init (Csm_rng.int rng 64) (fun _ -> Char.chr (Csm_rng.int rng 256))
+    in
+    ignore (W.decode_vector_bin ~dim:(Csm_rng.int rng 6) s);
+    ignore (W.decode_commands_bin ~k:(Csm_rng.int rng 4) ~dim:(Csm_rng.int rng 4) s);
+    ignore (W.decode_matrix_bin s)
+  done
+
+(* ----- the sim's sizers equal real wire bytes ----- *)
+
+let sim_sizes_equal_wire_bytes () =
+  let rng = Csm_rng.create 0x512E in
+  for _ = 1 to 30 do
+    let dim = 1 + Csm_rng.int rng 8 in
+    let g = Array.init dim (fun _ -> F.random rng) in
+    (* the execution-phase sizer in lib/core/protocol.ml computes
+       [Frame.encoded_size ~payload_bytes:(W.vector_bytes ~dim)]; a real
+       Result frame carrying the same vector must measure exactly that *)
+    let sim_size =
+      Frame.encoded_size ~payload_bytes:(W.vector_bytes ~dim:(Array.length g))
+    in
+    let real_frame =
+      Frame.make ~kind:Frame.Result ~sender:0 ~round:0 (W.encode_vector_bin g)
+    in
+    check Alcotest.int "sim size = socket bytes" sim_size
+      (String.length (Frame.encode real_frame))
+  done
+
+(* ----- loopback transport ----- *)
+
+let loopback_send_recv () =
+  let net = Loopback.create ~endpoints:3 in
+  let a = Loopback.endpoint net ~id:0 in
+  let b = Loopback.endpoint net ~id:1 in
+  let f1 = Frame.make ~kind:Frame.Commit ~sender:0 ~round:1 "one" in
+  let f2 = Frame.make ~kind:Frame.Result ~sender:0 ~round:1 "two" in
+  a.Transport.send ~dst:1 f1;
+  a.Transport.send ~dst:1 f2;
+  (match b.Transport.recv ~timeout:1.0 with
+  | Some g -> checkb "first frame" true (g = f1)
+  | None -> Alcotest.fail "no first frame");
+  (match b.Transport.recv ~timeout:1.0 with
+  | Some g -> checkb "second frame" true (g = f2)
+  | None -> Alcotest.fail "no second frame");
+  (* deadline on an empty mailbox *)
+  let t0 = Unix.gettimeofday () in
+  checkb "deadline None" true (b.Transport.recv ~timeout:0.05 = None);
+  checkb "deadline waited" true (Unix.gettimeofday () -. t0 >= 0.04);
+  (* stats: counted at hand-off and delivery, full frame bytes *)
+  let sa = Transport.snapshot a and sb = Transport.snapshot b in
+  check Alcotest.int "a sent" 2 sa.Transport.frames_sent;
+  check Alcotest.int "b received" 2 sb.Transport.frames_received;
+  check Alcotest.int "a bytes" (Frame.size f1 + Frame.size f2)
+    sa.Transport.bytes_sent;
+  check Alcotest.int "b bytes" sa.Transport.bytes_sent
+    sb.Transport.bytes_received;
+  a.Transport.close ();
+  b.Transport.close ()
+
+(* ----- node runtime pieces ----- *)
+
+let stats_payload_round_trip () =
+  let s =
+    {
+      Transport.frames_sent = 12;
+      frames_received = 34;
+      bytes_sent = 5678;
+      bytes_received = 91011;
+      frame_errors = 3;
+    }
+  in
+  let p = N.stats_payload s in
+  check Alcotest.int "payload size" 40 (String.length p);
+  (match N.decode_stats_payload p with
+  | Some t -> checkb "round trip" true (t = s)
+  | None -> Alcotest.fail "stats decode failed");
+  checkb "wrong length" true (N.decode_stats_payload (p ^ "\x00") = None);
+  checkb "truncated" true (N.decode_stats_payload (String.sub p 0 39) = None)
+
+(* ----- end-to-end cluster runs (loopback, in-process) ----- *)
+
+let cluster_cfg ?(faults = []) ?(rounds = 2) ?(seed = 42) () =
+  {
+    C.params = Params.make ~network:Params.Sync ~n:3 ~k:1 ~d:1 ~b:1;
+    rounds;
+    seed;
+    mode = Cluster.Loopback;
+    faults;
+    deadline = 10.0;
+  }
+
+let total_frame_errors (r : C.result) =
+  Array.fold_left
+    (fun acc s ->
+      match s with Some s -> acc + s.Transport.frame_errors | None -> acc)
+    0 r.C.stats
+
+let cluster_loopback_fault_free () =
+  let r = C.run (cluster_cfg ()) in
+  checkb "verified" true r.C.ok;
+  Array.iter (fun c -> check Alcotest.int "all outputs" 3 c) r.C.outputs_received;
+  check Alcotest.int "no frame errors" 0 (total_frame_errors r);
+  Array.iteri
+    (fun i s ->
+      match s with
+      | Some _ -> ()
+      | None -> Alcotest.failf "endpoint %d sent no stats" i)
+    r.C.stats
+
+let cluster_loopback_drop_fault () =
+  let r = C.run (cluster_cfg ~faults:[ (1, Node.Drop) ] ()) in
+  checkb "verified with dropping node" true r.C.ok;
+  Array.iter (fun c -> check Alcotest.int "honest outputs" 2 c) r.C.outputs_received;
+  check Alcotest.int "no frame errors" 0 (total_frame_errors r);
+  (match r.C.stats.(1) with
+  | Some s ->
+    (* the snapshot precedes the Stats reply, so a dropper reports 0 *)
+    check Alcotest.int "dropper sent nothing" 0 s.Transport.frames_sent
+  | None -> Alcotest.fail "dropper sent no stats")
+
+let cluster_loopback_corrupt_fault () =
+  let r = C.run (cluster_cfg ~faults:[ (2, Node.Corrupt) ] ()) in
+  checkb "verified with corrupting node" true r.C.ok;
+  checkb "corruption detected" true (total_frame_errors r > 0)
+
+let cluster_loopback_delay_fault () =
+  let r = C.run (cluster_cfg ~faults:[ (0, Node.Delay 0.01) ] ()) in
+  checkb "verified with delaying node" true r.C.ok;
+  Array.iter (fun c -> check Alcotest.int "all outputs" 3 c) r.C.outputs_received
+
+(* Determinism: two loopback runs at one seed produce identical ledgers
+   and identical per-endpoint counters. *)
+let cluster_loopback_deterministic () =
+  let a = C.run (cluster_cfg ()) and b = C.run (cluster_cfg ()) in
+  checkb "ledgers equal" true (a.C.ledger = b.C.ledger);
+  checkb "stats equal" true (a.C.stats = b.C.stats)
+
+(* ----- loopback vs socket equivalence through the binary ----- *)
+
+(* The driver is a declared dune dep living next to this executable's
+   directory; resolve it relative to the test binary so the test works
+   from any cwd (dune runtest, dune exec, direct invocation). *)
+let cluster_exe =
+  Filename.concat
+    (Filename.concat (Filename.dirname Sys.executable_name) "../bin")
+    "csm_cluster.exe"
+
+let run_cluster_exe args out =
+  let cmd =
+    Printf.sprintf "%s %s --out %s > /dev/null 2>&1" (Filename.quote cluster_exe)
+      args (Filename.quote out)
+  in
+  Sys.command cmd
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* The reports differ only in config.transport (and nothing else: same
+   host, same ledgers, same per-endpoint counters). *)
+let normalize s =
+  let re_sub ~from ~to_ s =
+    let b = Buffer.create (String.length s) in
+    let fl = String.length from in
+    let i = ref 0 in
+    while !i < String.length s do
+      if
+        !i + fl <= String.length s
+        && String.sub s !i fl = from
+      then begin
+        Buffer.add_string b to_;
+        i := !i + fl
+      end
+      else begin
+        Buffer.add_char b s.[!i];
+        incr i
+      end
+    done;
+    Buffer.contents b
+  in
+  re_sub ~from:"\"transport\":\"loopback\"" ~to_:"\"transport\":\"X\""
+    (re_sub ~from:"\"transport\":\"socket\"" ~to_:"\"transport\":\"X\"" s)
+
+let equivalence args =
+  let out_loop = Filename.temp_file "csm_cluster_loop" ".json" in
+  let out_sock = Filename.temp_file "csm_cluster_sock" ".json" in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Sys.remove out_loop with Sys_error _ -> ());
+      try Sys.remove out_sock with Sys_error _ -> ())
+    (fun () ->
+      let rc1 = run_cluster_exe ("--transport loopback " ^ args) out_loop in
+      check Alcotest.int "loopback exit" 0 rc1;
+      let rc2 = run_cluster_exe ("--transport socket " ^ args) out_sock in
+      check Alcotest.int "socket exit" 0 rc2;
+      check Alcotest.string "identical reports"
+        (normalize (read_file out_loop))
+        (normalize (read_file out_sock)))
+
+let loopback_socket_equivalent () =
+  equivalence "-n 3 -k 1 -d 1 -b 1 --rounds 2 --seed 42"
+
+let loopback_socket_equivalent_drop () =
+  equivalence "-n 3 -k 1 -d 1 -b 1 --rounds 2 --seed 7 --faults 1:drop"
+
+let socket_corrupt_detected () =
+  let out = Filename.temp_file "csm_cluster_corrupt" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove out with Sys_error _ -> ())
+    (fun () ->
+      let rc =
+        run_cluster_exe
+          "--transport socket -n 3 -k 1 -d 1 -b 1 --rounds 2 --faults \
+           2:corrupt --expect-frame-errors"
+          out
+      in
+      check Alcotest.int "corrupt run exit" 0 rc;
+      let report = read_file out in
+      checkb "report says ok" true
+        (let needle = "\"ok\":true" in
+         let nl = String.length needle in
+         let found = ref false in
+         for i = 0 to String.length report - nl do
+           if String.sub report i nl = needle then found := true
+         done;
+         !found))
+
+let suites =
+  [
+    ( "transport",
+      [
+        Alcotest.test_case "frame round trip, all kinds" `Quick
+          frame_round_trip;
+        Alcotest.test_case "frame header round trip" `Quick
+          frame_header_round_trip;
+        Alcotest.test_case "frame fuzz: total decoding" `Quick frame_fuzz;
+        Alcotest.test_case "frame rejects bad fields" `Quick
+          frame_rejects_bad_fields;
+        Alcotest.test_case "decimal decoder strictness" `Quick
+          decimal_strictness;
+        Alcotest.test_case "binary codec round trips" `Quick
+          binary_round_trips;
+        Alcotest.test_case "binary decoder strictness + fuzz" `Quick
+          binary_strictness;
+        Alcotest.test_case "sim sizers equal real wire bytes" `Quick
+          sim_sizes_equal_wire_bytes;
+        Alcotest.test_case "loopback send/recv/deadline/stats" `Quick
+          loopback_send_recv;
+        Alcotest.test_case "stats payload round trip" `Quick
+          stats_payload_round_trip;
+        Alcotest.test_case "cluster loopback fault-free" `Quick
+          cluster_loopback_fault_free;
+        Alcotest.test_case "cluster loopback drop fault" `Quick
+          cluster_loopback_drop_fault;
+        Alcotest.test_case "cluster loopback corrupt fault" `Quick
+          cluster_loopback_corrupt_fault;
+        Alcotest.test_case "cluster loopback delay fault" `Quick
+          cluster_loopback_delay_fault;
+        Alcotest.test_case "cluster loopback deterministic" `Quick
+          cluster_loopback_deterministic;
+        Alcotest.test_case "loopback = socket (binary, fault-free)" `Quick
+          loopback_socket_equivalent;
+        Alcotest.test_case "loopback = socket (binary, drop fault)" `Quick
+          loopback_socket_equivalent_drop;
+        Alcotest.test_case "socket corrupt fault detected" `Quick
+          socket_corrupt_detected;
+      ] );
+  ]
