@@ -1,6 +1,6 @@
 # Convenience wrappers around dune; `make ci` is the full local gate.
 
-.PHONY: all build test bench-smoke bench-gate metrics-smoke cluster-smoke ci clean
+.PHONY: all build test lint lint-update bench-smoke bench-gate metrics-smoke cluster-smoke ci clean
 
 all: build
 
@@ -9,6 +9,19 @@ build:
 
 test:
 	dune runtest
+
+# Repo-invariant static analysis (bin/csm_lint.ml): determinism
+# boundary, polymorphic comparison, mutex discipline, shared-state
+# registry (lint/shared_state.allow), decoder totality.  Fails on any
+# finding not justified in lint/baseline.json.
+lint:
+	dune exec bin/csm_lint.exe -- --root . --baseline lint/baseline.json
+
+# Refresh lint/baseline.json from the current findings, keeping
+# existing reasons; new entries get a TODO reason to fill in.
+lint-update:
+	dune exec bin/csm_lint.exe -- --root . --baseline lint/baseline.json \
+	  --update-baseline
 
 bench-smoke:
 	dune build @bench-smoke
@@ -47,13 +60,15 @@ cluster-smoke:
 	grep -q '^csm_messages_total{.*layer="transport"' /tmp/csm_cluster_metrics.prom
 	@echo "cluster-smoke: ok"
 
-# CI gate: type-check everything (tests and benches included),
-# regenerate the parallel smoke benchmark, run the test suite, then
-# exercise the observability layer end-to-end — a CSM_TRACE'd demo run,
-# a traced + gated smoke bench, and a metrics exposition check — so
-# tracing, metrics and the bench gate are driven on every commit.
+# CI gate: type-check everything (tests and benches included), lint
+# the repo against its invariants, regenerate the parallel smoke
+# benchmark, run the test suite, then exercise the observability layer
+# end-to-end — a CSM_TRACE'd demo run, a traced + gated smoke bench,
+# and a metrics exposition check — so linting, tracing, metrics and
+# the bench gate are driven on every commit.
 ci:
 	dune build @check @bench-smoke
+	$(MAKE) lint
 	dune runtest
 	CSM_TRACE=/tmp/csm_ci_trace.json CSM_REPORT=/tmp/csm_ci_report.json \
 	  CSM_TICKER=0 dune exec bin/csm_run.exe -- --trace --report --rounds 2

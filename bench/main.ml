@@ -353,7 +353,7 @@ let smoke_time ~width ~reps =
             ignore (par_round engine commands);
             Unix.gettimeofday () -. t0)
       in
-      let sorted = List.sort compare samples in
+      let sorted = List.sort Float.compare samples in
       List.nth sorted (reps / 2) *. 1e9)
 
 (* decoded output of two rounds at a given width (fresh engine, same seed) *)
@@ -555,7 +555,7 @@ let run_benchmarks () =
         in
         (name, ns) :: acc)
       results []
-    |> List.sort compare
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
   in
   Format.printf "@[<v>== wall-clock (ns/run, OLS on monotonic clock) ==@,";
   List.iter (fun (name, ns) -> Format.printf "%-44s %14.0f ns@," name ns) rows;

@@ -1,0 +1,97 @@
+(* csm-lint: the repo-invariant static analyzer (rules R1–R5, see
+   lib/analysis/rules.ml and DESIGN.md §5.9).
+
+   Exit codes: 0 clean, 1 findings, 2 usage/IO errors (cmdliner).
+
+     csm_lint --root . --baseline lint/baseline.json
+     csm_lint --root . --baseline lint/baseline.json --update-baseline
+     csm_lint --format json *)
+
+module Json = Csm_obs.Json
+module Finding = Csm_analysis.Finding
+module Baseline = Csm_analysis.Baseline
+module Driver = Csm_analysis.Driver
+
+let json_of_finding (f : Finding.t) =
+  Json.Obj
+    [
+      ("rule", Json.Str f.Finding.rule);
+      ("severity", Json.Str (Finding.severity_name f.Finding.severity));
+      ("file", Json.Str f.Finding.file);
+      ("line", Json.Int f.Finding.line);
+      ("col", Json.Int f.Finding.col);
+      ("message", Json.Str f.Finding.message);
+    ]
+
+let run root baseline_path update format =
+  let baseline_path =
+    if Filename.is_relative baseline_path then
+      Filename.concat root baseline_path
+    else baseline_path
+  in
+  let r = Driver.lint_tree ~root ~baseline_path in
+  if update then begin
+    let old = Baseline.load baseline_path in
+    Baseline.save baseline_path (Baseline.of_findings ~old r.Driver.pairs);
+    Printf.printf "csm-lint: wrote %s (%d entr%s)\n" baseline_path
+      (List.length r.Driver.pairs)
+      (if List.length r.Driver.pairs = 1 then "y" else "ies");
+    0
+  end
+  else begin
+    (match format with
+    | `Text ->
+      List.iter
+        (fun f -> print_endline (Finding.to_line f))
+        r.Driver.fresh;
+      Printf.printf
+        "csm-lint: %d file(s) scanned, %d finding(s), %d baselined\n"
+        r.Driver.files_scanned
+        (List.length r.Driver.fresh)
+        (List.length r.Driver.baselined)
+    | `Json ->
+      print_endline
+        (Json.to_string
+           (Json.Obj
+              [
+                ("files_scanned", Json.Int r.Driver.files_scanned);
+                ( "findings",
+                  Json.List (List.map json_of_finding r.Driver.fresh) );
+                ("baselined", Json.Int (List.length r.Driver.baselined));
+              ])));
+    if r.Driver.fresh = [] then 0 else 1
+  end
+
+open Cmdliner
+
+let root =
+  Arg.(
+    value & opt string "."
+    & info [ "root" ] ~docv:"DIR" ~doc:"Repository root to scan.")
+
+let baseline =
+  Arg.(
+    value
+    & opt string "lint/baseline.json"
+    & info [ "baseline" ] ~docv:"FILE"
+        ~doc:"Baseline of accepted findings (relative to --root).")
+
+let update =
+  Arg.(
+    value & flag
+    & info [ "update-baseline" ]
+        ~doc:"Rewrite the baseline from the current findings and exit 0.")
+
+let format =
+  Arg.(
+    value
+    & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+    & info [ "format" ] ~docv:"FMT" ~doc:"Output format: text or json.")
+
+let cmd =
+  let doc = "static analyzer for the CSM repo invariants (R1-R5)" in
+  Cmd.v
+    (Cmd.info "csm_lint" ~doc)
+    Term.(const run $ root $ baseline $ update $ format)
+
+let () = exit (Cmd.eval' cmd)

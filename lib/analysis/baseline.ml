@@ -1,0 +1,129 @@
+(* Accepted-findings baseline.
+
+   An entry is keyed by (rule, file, trimmed source line text) rather
+   than by line number, so unrelated edits that shift lines do not
+   invalidate it; [count] bounds how many findings the entry may
+   absorb, so a *new* violation on an already-baselined line still
+   fails the gate.  Every entry carries a human reason — the baseline
+   is a reviewed allowlist, not a dumping ground. *)
+
+module Json = Csm_obs.Json
+
+type entry = {
+  rule : string;
+  file : string;
+  text : string;  (* trimmed source line at the finding *)
+  count : int;
+  reason : string;
+}
+
+let key e = (e.rule, e.file, e.text)
+
+let entry_of_json j =
+  let str name = Option.bind (Json.member name j) Json.to_string_opt in
+  let int name = Option.bind (Json.member name j) Json.to_int_opt in
+  match (str "rule", str "file", str "text") with
+  | Some rule, Some file, Some text ->
+    Some
+      {
+        rule;
+        file;
+        text;
+        count = Option.value ~default:1 (int "count");
+        reason = Option.value ~default:"" (str "reason");
+      }
+  | _ -> None
+
+let load path : entry list =
+  if not (Sys.file_exists path) then []
+  else
+    match Json.parse_file path with
+    | exception Json.Parse_error _ -> []
+    | j -> (
+      match Json.member "entries" j with
+      | Some (Json.List items) -> List.filter_map entry_of_json items
+      | _ -> [])
+
+let json_of_entry e =
+  Json.Obj
+    [
+      ("rule", Json.Str e.rule);
+      ("file", Json.Str e.file);
+      ("text", Json.Str e.text);
+      ("count", Json.Int e.count);
+      ("reason", Json.Str e.reason);
+    ]
+
+let save path entries =
+  let entries =
+    List.sort
+      (fun a b ->
+        match String.compare a.file b.file with
+        | 0 -> (
+          match String.compare a.rule b.rule with
+          | 0 -> String.compare a.text b.text
+          | c -> c)
+        | c -> c)
+      entries
+  in
+  Json.write ~path
+    (Json.Obj
+       [
+         ("version", Json.Int 1);
+         ("entries", Json.List (List.map json_of_entry entries));
+       ])
+
+(* Partition findings into (new, baselined).  Each finding arrives with
+   the trimmed text of its source line. *)
+let apply entries (pairs : (Finding.t * string) list) =
+  let budget : (string * string * string, int ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  List.iter
+    (fun e ->
+      let k = key e in
+      match Hashtbl.find_opt budget k with
+      | Some r -> r := !r + e.count
+      | None -> Hashtbl.add budget k (ref e.count))
+    entries;
+  List.partition_map
+    (fun ((f : Finding.t), text) ->
+      let k = (f.Finding.rule, f.Finding.file, text) in
+      match Hashtbl.find_opt budget k with
+      | Some r when !r > 0 ->
+        decr r;
+        Right f
+      | _ -> Left f)
+    pairs
+
+(* Entries for the current findings, carrying reasons over from [old]
+   where the key survives. *)
+let of_findings ~old (pairs : (Finding.t * string) list) =
+  let reasons = Hashtbl.create 16 in
+  List.iter (fun e -> Hashtbl.replace reasons (key e) e.reason) old;
+  let counts : (string * string * string, int ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let order = ref [] in
+  List.iter
+    (fun ((f : Finding.t), text) ->
+      let k = (f.Finding.rule, f.Finding.file, text) in
+      match Hashtbl.find_opt counts k with
+      | Some r -> incr r
+      | None ->
+        Hashtbl.add counts k (ref 1);
+        order := k :: !order)
+    pairs;
+  List.rev_map
+    (fun ((rule, file, text) as k) ->
+      {
+        rule;
+        file;
+        text;
+        count = !(Hashtbl.find counts k);
+        reason =
+          (match Hashtbl.find_opt reasons k with
+          | Some r when r <> "" -> r
+          | _ -> "TODO: justify or fix");
+      })
+    !order

@@ -1,0 +1,127 @@
+(* File discovery, parsing, and the lint pipeline:
+
+     parse -> rules -> in-source suppressions -> baseline
+
+   [lint_string] is the test-facing entry point (fixtures are inline
+   strings); [lint_tree] walks lib/ bin/ bench/ test/ under a root and
+   is what bin/csm_lint runs. *)
+
+let scan_dirs = [ "lib"; "bin"; "bench"; "test" ]
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let line_texts src = Array.of_list (String.split_on_char '\n' src)
+
+let text_at lines n =
+  if n >= 1 && n <= Array.length lines then String.trim lines.(n - 1) else ""
+
+(* Findings for one source string, with in-source suppressions already
+   applied.  [path] decides which rules and scopes apply and must be
+   repo-relative ("lib/core/wire.ml"). *)
+let lint_string ?registry ~path src : Finding.t list =
+  let ctx = Rules.make_ctx ?registry ~path () in
+  let lb = Lexing.from_string src in
+  Lexing.set_filename lb path;
+  let findings =
+    try
+      if Filename.check_suffix path ".mli" then
+        Rules.run_signature ctx (Parse.interface lb)
+      else Rules.run ctx (Parse.implementation lb)
+    with exn ->
+      let line, col =
+        match exn with
+        | Syntaxerr.Error err ->
+          let p = (Syntaxerr.location_of_error err).Location.loc_start in
+          (p.Lexing.pos_lnum, p.Lexing.pos_cnum - p.Lexing.pos_bol)
+        | _ -> (1, 0)
+      in
+      [
+        Finding.make ~rule:"parse" ~severity:Finding.Error ~file:path ~line
+          ~col "source does not parse";
+      ]
+  in
+  let sup = Suppress.scan src in
+  let findings =
+    List.filter
+      (fun (f : Finding.t) ->
+        not (Suppress.active sup ~rule:f.Finding.rule ~line:f.Finding.line))
+      findings
+  in
+  (* nested-binding scans can report one site twice; keep one *)
+  List.sort_uniq Finding.order findings
+
+(* The R4 registry: one "<file>:<name>" token per line, '#' comments,
+   free-text reason after the token. *)
+let load_registry path =
+  let t = Hashtbl.create 32 in
+  if Sys.file_exists path then
+    String.split_on_char '\n' (read_file path)
+    |> List.iter (fun line ->
+           let line = String.trim line in
+           if line <> "" && line.[0] <> '#' then
+             let tok =
+               match String.index_opt line ' ' with
+               | Some i -> String.sub line 0 i
+               | None -> line
+             in
+             Hashtbl.replace t tok ());
+  t
+
+let is_source f =
+  Filename.check_suffix f ".ml" || Filename.check_suffix f ".mli"
+
+let skip_dir name =
+  name = "" || name.[0] = '.' || name.[0] = '_' (* _build and friends *)
+
+(* All source files under root's scan dirs, as repo-relative paths in
+   deterministic order. *)
+let source_files ~root =
+  let out = ref [] in
+  let rec walk rel =
+    let abs = Filename.concat root rel in
+    let entries = Sys.readdir abs in
+    Array.sort String.compare entries;
+    Array.iter
+      (fun name ->
+        let rel' = rel ^ "/" ^ name in
+        let abs' = Filename.concat root rel' in
+        if Sys.is_directory abs' then begin
+          if not (skip_dir name) then walk rel'
+        end
+        else if is_source name then out := rel' :: !out)
+      entries
+  in
+  List.iter
+    (fun d -> if Sys.file_exists (Filename.concat root d) then walk d)
+    scan_dirs;
+  List.rev !out
+
+type result = {
+  files_scanned : int;
+  fresh : Finding.t list;  (* not baselined, not suppressed *)
+  baselined : Finding.t list;
+  pairs : (Finding.t * string) list;  (* every finding with its line text *)
+}
+
+let lint_tree ~root ~baseline_path =
+  let registry =
+    load_registry (Filename.concat root "lint/shared_state.allow")
+  in
+  let files = source_files ~root in
+  let pairs =
+    List.concat_map
+      (fun rel ->
+        let src = read_file (Filename.concat root rel) in
+        let lines = line_texts src in
+        lint_string ~registry ~path:rel src
+        |> List.map (fun (f : Finding.t) -> (f, text_at lines f.Finding.line)))
+      files
+  in
+  let baseline = Baseline.load baseline_path in
+  let fresh, baselined = Baseline.apply baseline pairs in
+  {
+    files_scanned = List.length files;
+    fresh = List.sort Finding.order fresh;
+    baselined = List.sort Finding.order baselined;
+    pairs;
+  }

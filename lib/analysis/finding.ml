@@ -1,0 +1,36 @@
+(* A single rule violation: where, which rule, how severe, and a
+   message a reader can act on without opening the rule catalogue. *)
+
+type severity = Error | Warning
+
+type t = {
+  rule : string;  (* "R1" .. "R5", or "parse" for unreadable sources *)
+  severity : severity;
+  file : string;  (* repo-relative path, '/'-separated *)
+  line : int;  (* 1-based *)
+  col : int;  (* 0-based, matching compiler locations *)
+  message : string;
+}
+
+let severity_name = function Error -> "error" | Warning -> "warning"
+
+let make ~rule ~severity ~file ~line ~col message =
+  { rule; severity; file; line; col; message }
+
+(* Stable report order: file, then position, then rule. *)
+let order a b =
+  match String.compare a.file b.file with
+  | 0 -> (
+    match Int.compare a.line b.line with
+    | 0 -> (
+      match Int.compare a.col b.col with
+      | 0 -> String.compare a.rule b.rule
+      | c -> c)
+    | c -> c)
+  | c -> c
+
+let to_line f =
+  Printf.sprintf "%s:%d:%d: [%s/%s] %s" f.file f.line f.col f.rule
+    (severity_name f.severity) f.message
+
+let pp ppf f = Format.pp_print_string ppf (to_line f)

@@ -1,0 +1,55 @@
+(* In-source suppressions: a comment of the form
+
+     (* csm-lint: allow R2 — reason *)
+
+   silences findings of the named rule(s) on the comment's own line and
+   on the line directly below it (so the comment can sit above the
+   flagged expression).  A reason is required by convention — the
+   marker is grepped, not parsed, so the analyzer only extracts the
+   rule ids. *)
+
+type t = (string * int, unit) Hashtbl.t
+
+let marker = "csm-lint: allow"
+
+let contains_marker line =
+  let n = String.length line and m = String.length marker in
+  let rec go i = i + m <= n && (String.sub line i m = marker || go (i + 1)) in
+  go 0
+
+(* All "R<digits>" tokens in [line]. *)
+let rule_ids line =
+  let n = String.length line in
+  let out = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    if
+      line.[!i] = 'R'
+      && !i + 1 < n
+      && (match line.[!i + 1] with '0' .. '9' -> true | _ -> false)
+    then begin
+      let j = ref (!i + 1) in
+      while
+        !j < n && match line.[!j] with '0' .. '9' -> true | _ -> false
+      do
+        incr j
+      done;
+      out := String.sub line !i (!j - !i) :: !out;
+      i := !j
+    end
+    else incr i
+  done;
+  !out
+
+let scan src : t =
+  let t = Hashtbl.create 8 in
+  let lines = String.split_on_char '\n' src in
+  List.iteri
+    (fun i line ->
+      if contains_marker line then
+        List.iter (fun r -> Hashtbl.replace t (r, i + 1) ()) (rule_ids line))
+    lines;
+  t
+
+let active (t : t) ~rule ~line =
+  Hashtbl.mem t (rule, line) || Hashtbl.mem t (rule, line - 1)

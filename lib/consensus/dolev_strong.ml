@@ -38,6 +38,12 @@ type config = {
 
 type decision = Decided of string | Bot
 
+let decision_eq a b =
+  match (a, b) with
+  | Bot, Bot -> true
+  | Decided x, Decided y -> String.equal x y
+  | Bot, Decided _ | Decided _, Bot -> false
+
 type node_state = {
   mutable extracted : string list;  (* values extracted so far (≤ 2 kept) *)
   mutable decision : decision option;

@@ -20,6 +20,9 @@ type config = {
 
 type decision = Decided of string | Bot
 
+val decision_eq : decision -> decision -> bool
+(** Structural equality on decisions without polymorphic compare. *)
+
 val signed_payload : config -> string -> string
 
 val valid_chain : config -> string -> (int * Auth.signature) list -> bool

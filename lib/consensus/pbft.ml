@@ -110,7 +110,7 @@ let valid_cert cfg (pc : prepared_cert) =
     payload_string cfg
       (Prepare { view = pc.pc_view; digest = digest_of pc.pc_value })
   in
-  let signers = List.sort_uniq compare (List.map fst pc.pc_prepares) in
+  let signers = List.sort_uniq Int.compare (List.map fst pc.pc_prepares) in
   List.length signers >= quorum cfg
   && List.for_all
        (fun (id, sg) -> Auth.verify cfg.keyring ~id payload sg)
@@ -164,7 +164,9 @@ let honest cfg ~me ?proposal ~(on_decide : int -> string -> unit) () :
           let vc_payload =
             payload_string cfg (View_change { new_view = view; prepared = None })
           in
-          let signers = List.sort_uniq compare (List.map fst justification) in
+          let signers =
+            List.sort_uniq Int.compare (List.map fst justification)
+          in
           let ok =
             List.length signers >= quorum cfg
             && List.for_all

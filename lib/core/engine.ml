@@ -131,7 +131,8 @@ module Make (F : Field_intf.S) = struct
                   if not (List.mem node !errors) then errors := node :: !errors)
                 idxs)
             coord_errors;
-          Some { next_states; outputs; error_nodes = List.sort compare !errors }
+          Some
+            { next_states; outputs; error_nodes = List.sort Int.compare !errors }
         end
         else None))
 

@@ -151,7 +151,7 @@ module Make (F : Field_intf.S) = struct
     match honest with
     | [] -> Skipped
     | first :: rest ->
-      if not (List.for_all (fun d -> d = first) rest) then Disagreement
+      if not (List.for_all (DS.decision_eq first) rest) then Disagreement
       else begin
         match first with
         | DS.Bot -> Skipped

@@ -107,14 +107,18 @@ module Make (F : Field_intf.S) = struct
 
   let decode_commands_bin ~k ~dim s =
     if k < 0 || dim < 0 || String.length s <> commands_bytes ~k ~dim then None
-    else
-      let rows =
-        Array.init k (fun i ->
-            decode_vector_bin_at s ~pos:(i * vector_bytes ~dim) ~dim)
-      in
-      if Array.for_all Option.is_some rows then
-        Some (Array.map Option.get rows)
-      else None
+    else begin
+      (* total: a single bad row aborts the whole decode with [None]
+         without ever forcing an option (R5) *)
+      let rows = Array.make k [||] in
+      let ok = ref true in
+      for i = 0 to k - 1 do
+        match decode_vector_bin_at s ~pos:(i * vector_bytes ~dim) ~dim with
+        | Some row -> rows.(i) <- row
+        | None -> ok := false
+      done;
+      if !ok then Some rows else None
+    end
 
   (* Self-describing matrix (rows of possibly different widths): u32
      row count, then per row a u32 width followed by the elements.

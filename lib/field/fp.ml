@@ -51,7 +51,7 @@ module Make (P : PRIME) : Field_intf.S = struct
   let mul a b = a * b mod p
 
   let equal (a : int) b = a = b
-  let compare (a : int) b = Stdlib.compare a b
+  let compare (a : int) b = Int.compare a b
   let is_zero a = a = 0
 
   let rec pow_pos base e acc =

@@ -206,7 +206,7 @@ end = struct
     | None -> mul_slow a b
 
   let equal (a : int) b = a = b
-  let compare (a : int) b = Stdlib.compare a b
+  let compare (a : int) b = Int.compare a b
   let is_zero a = a = 0
 
   let rec pow_pos base e acc =

@@ -1,0 +1,19 @@
+(** Consensus/execution pipelining experiment (paper §6): with coded
+    execution an epoch's consensus runs concurrently with the previous
+    epoch's execution, so the makespan of R rounds drops from
+    R·(Tc + Te) to Tc + R·max(Tc, Te). *)
+
+type result = {
+  rounds : int;
+  consensus_time : int;  (** per-round consensus cost, simulated ticks *)
+  execution_time : int;  (** per-round execution cost, simulated ticks *)
+  sequential_makespan : int;
+  pipelined_makespan : int;
+  speedup : float;
+}
+
+val run : ?rounds:int -> ?n:int -> ?k:int -> ?d:int -> ?b:int -> unit -> result
+(** Measure both schedules on a synchronous simulated cluster.
+    Deterministic: all randomness comes from a fixed [Csm_rng] seed. *)
+
+val pp : Format.formatter -> result -> unit

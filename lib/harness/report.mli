@@ -1,0 +1,23 @@
+(** CSV export of every experiment sweep: one file per experiment,
+    stable headers, deterministic contents. *)
+
+val write_file : dir:string -> name:string -> string list -> string
+(** Write [lines] to [dir/name]; returns the path. *)
+
+val table1_csv : Table1.setup * Table1.row list -> string list
+val table2_csv : Table2.check list -> string list
+val scaling_csv : Scaling.scaling_point list -> string list
+val growth_csv : Scaling.growth_point list -> string list
+val coding_csv : Scaling.coding_cost list -> string list
+val stragglers_csv : Stragglers.point list -> string list
+
+val allocation_csv :
+  Csm_smr.Random_allocation.experiment_result list -> string list
+
+val spans_csv : unit -> string list
+(** Per-span-name latency/op summary of the currently buffered trace;
+    only meaningful while tracing is enabled. *)
+
+val write_all : dir:string -> unit -> string list
+(** Run every experiment and write the full result set into [dir]
+    (created if missing); returns the written paths. *)

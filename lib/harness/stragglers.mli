@@ -1,0 +1,39 @@
+(** Straggler tolerance experiment (paper §5.3): early decoding needs
+    only m_min = deg·(K−1) + 2b + 1 of the N results, so up to
+    N − m_min slow nodes cost nothing; one straggler past that slack
+    and decode latency cliffs to the tail of the latency
+    distribution. *)
+
+type point = {
+  n : int;
+  stragglers : int;  (** slow nodes in this run *)
+  slack : int;  (** N − m_min: stragglers CSM can ignore *)
+  t_wait_all : float;  (** mean honest decode time, early_decode = false *)
+  t_early : float;  (** mean honest decode time, early_decode = true *)
+  correct : bool;  (** early decoding still produced correct results *)
+}
+
+val run_point :
+  seed:int ->
+  n:int ->
+  k:int ->
+  d:int ->
+  b:int ->
+  stragglers:int ->
+  tail:int ->
+  point
+(** One simulated run at a fixed straggler count; [tail] is the slow
+    nodes' extra latency in ticks. *)
+
+val sweep :
+  ?seed:int ->
+  ?n:int ->
+  ?k:int ->
+  ?d:int ->
+  ?b:int ->
+  ?tail:int ->
+  unit ->
+  point list
+(** Straggler counts 0 .. slack+3 (capped at N−1), one run each. *)
+
+val pp_point : Format.formatter -> point -> unit

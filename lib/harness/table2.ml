@@ -138,7 +138,7 @@ let consensus_sync ~n =
     let honest = Array.to_list (Array.sub decisions 0 (n - faults)) in
     match honest with
     | [] -> false
-    | first :: rest -> List.for_all (fun d -> d = first) rest
+    | first :: rest -> List.for_all (DS.decision_eq first) rest
   in
   {
     label = Printf.sprintf "consensus sync (N=%d)" n;

@@ -1,0 +1,16 @@
+(** Table 2 of the paper: each bound (decoding, output delivery, input
+    consensus; synchronous and partially-synchronous) validated
+    empirically — the protocol succeeds exactly at the bound and a
+    matched adversary breaks it one step beyond. *)
+
+type check = {
+  label : string;
+  bound : string;  (** the paper's inequality *)
+  at_bound_ok : bool;  (** holds exactly at the bound *)
+  beyond_fails : bool;  (** breaks one step past it *)
+}
+
+val run_all : unit -> check list
+
+val pp_check : Format.formatter -> check -> unit
+val pp_table : Format.formatter -> check list -> unit

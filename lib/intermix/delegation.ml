@@ -285,7 +285,7 @@ module Make (F : Field_intf.S) = struct
               engine.E.round_index <- engine.E.round_index + 1;
               (* derive error set for reporting: nodes outside every τ *)
               let all_errors =
-                List.sort_uniq compare
+                List.sort_uniq Int.compare
                   (Array.to_list per_coord
                   |> List.concat_map (fun (_, tau) ->
                          List.filter

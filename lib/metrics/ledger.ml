@@ -7,24 +7,20 @@
 
    Role lookup is mutex-protected: the parallel engine resolves roles
    from worker domains concurrently (counter increments themselves are
-   atomic, see [Counter]). *)
+   atomic, see [Counter]).  The mutex is a [Lockdep] checked lock so a
+   CSM_LOCKDEP=1 run folds ledger acquisitions into the global lock
+   order graph. *)
+
+module Lockdep = Csm_parallel.Lockdep
 
 type t = {
   table : (string, Counter.t) Hashtbl.t;
-  lock : Mutex.t;
+  lock : Lockdep.t;
 }
 
-let create () = { table = Hashtbl.create 16; lock = Mutex.create () }
+let create () = { table = Hashtbl.create 16; lock = Lockdep.create "ledger" }
 
-let locked t f =
-  Mutex.lock t.lock;
-  match f () with
-  | v ->
-    Mutex.unlock t.lock;
-    v
-  | exception e ->
-    Mutex.unlock t.lock;
-    raise e
+let locked t f = Lockdep.with_lock t.lock f
 
 (* Unlocked lookup-or-create, for use inside [locked] sections. *)
 let counter_unlocked t role =
@@ -43,7 +39,7 @@ let node t i = counter t (node_role i)
 
 let roles t =
   locked t (fun () -> Hashtbl.fold (fun k _ acc -> k :: acc) t.table [])
-  |> List.sort compare
+  |> List.sort String.compare
 
 let total t role =
   match locked t (fun () -> Hashtbl.find_opt t.table role) with

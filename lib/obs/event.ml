@@ -58,15 +58,18 @@ let ring_lock = Mutex.create ()
 let next_seq = ref 0  (* guarded by ring_lock *)
 let emitted = Atomic.make 0
 
+let locked f =
+  Mutex.lock ring_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock ring_lock) f
+
 let emit ?(attrs = []) level name =
   let th = Atomic.get threshold in
   if th <> 0 && level_value level >= th then begin
     let ts = Unix.gettimeofday () in
-    Mutex.lock ring_lock;
-    let seq = !next_seq in
-    next_seq := seq + 1;
-    ring.(seq mod capacity) <- Some { seq; ts; level; name; attrs };
-    Mutex.unlock ring_lock;
+    locked (fun () ->
+        let seq = !next_seq in
+        next_seq := seq + 1;
+        ring.(seq mod capacity) <- Some { seq; ts; level; name; attrs });
     Atomic.incr emitted
   end
 
@@ -74,18 +77,15 @@ let total () = Atomic.get emitted
 
 (* Oldest-first chronological view of the surviving events. *)
 let recent () =
-  Mutex.lock ring_lock;
   let items =
-    Array.to_list ring |> List.filter_map (fun x -> x)
+    locked (fun () -> Array.to_list ring |> List.filter_map (fun x -> x))
   in
-  Mutex.unlock ring_lock;
-  List.sort (fun a b -> compare a.seq b.seq) items
+  List.sort (fun a b -> Int.compare a.seq b.seq) items
 
 let reset () =
-  Mutex.lock ring_lock;
-  Array.fill ring 0 capacity None;
-  next_seq := 0;
-  Mutex.unlock ring_lock;
+  locked (fun () ->
+      Array.fill ring 0 capacity None;
+      next_seq := 0);
   Atomic.set emitted 0
 
 let installed = ref false

@@ -27,6 +27,11 @@ let enabled () = Atomic.get on
 let enable () = Atomic.set on true
 let disable () = Atomic.set on false
 
+(* Run [f] with [m] held; exception-safe (R3). *)
+let locked m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
 (* ----- histograms ----- *)
 
 (* [bounds] are strictly increasing bucket upper bounds; an observation
@@ -77,9 +82,7 @@ let make_hist bounds =
           Domain.DLS.new_key (fun () ->
               let s = { counts = Array.make (n + 1) 0; sum = 0.0; cnt = 0 } in
               let h = Lazy.force h in
-              Mutex.lock h.h_lock;
-              h.shards <- s :: h.shards;
-              Mutex.unlock h.h_lock;
+              locked h.h_lock (fun () -> h.shards <- s :: h.shards);
               s);
       }
   in
@@ -120,9 +123,7 @@ let merge a b =
   }
 
 let snapshot_hist h =
-  Mutex.lock h.h_lock;
-  let shards = h.shards in
-  Mutex.unlock h.h_lock;
+  let shards = locked h.h_lock (fun () -> h.shards) in
   List.fold_left
     (fun acc s ->
       merge acc
@@ -191,32 +192,27 @@ let intern ~name ~help ~kind ~labels make =
         invalid_arg (Printf.sprintf "Metric: invalid label name %S" k))
     labels;
   let labels = canon labels in
-  Mutex.lock reg_lock;
-  let fam =
-    match Hashtbl.find_opt registry name with
-    | Some f ->
-      if f.fam_kind <> kind then begin
-        Mutex.unlock reg_lock;
-        invalid_arg (Printf.sprintf "Metric: %s re-registered as a different kind" name)
-      end;
-      f
-    | None ->
-      let f =
-        { fam_name = name; fam_help = help; fam_kind = kind; fam_instances = [] }
+  locked reg_lock (fun () ->
+      let fam =
+        match Hashtbl.find_opt registry name with
+        | Some f ->
+          if f.fam_kind <> kind then
+            invalid_arg
+              (Printf.sprintf "Metric: %s re-registered as a different kind" name);
+          f
+        | None ->
+          let f =
+            { fam_name = name; fam_help = help; fam_kind = kind; fam_instances = [] }
+          in
+          Hashtbl.add registry name f;
+          f
       in
-      Hashtbl.add registry name f;
-      f
-  in
-  let inst =
-    match List.assoc_opt labels fam.fam_instances with
-    | Some i -> i
-    | None ->
-      let i = make () in
-      fam.fam_instances <- (labels, i) :: fam.fam_instances;
-      i
-  in
-  Mutex.unlock reg_lock;
-  inst
+      match List.assoc_opt labels fam.fam_instances with
+      | Some i -> i
+      | None ->
+        let i = make () in
+        fam.fam_instances <- (labels, i) :: fam.fam_instances;
+        i)
 
 type counter = int Atomic.t
 type gauge = float Atomic.t
@@ -293,24 +289,25 @@ let read_instrument = function
   | Gauge g -> V_gauge (Atomic.get g)
   | Histogram h -> V_histogram (snapshot_hist h)
 
+let compare_labels =
+  List.compare (fun (a, av) (b, bv) ->
+      match String.compare a b with 0 -> String.compare av bv | c -> c)
+
 let families () =
-  Mutex.lock reg_lock;
-  let fams = Hashtbl.fold (fun _ f acc -> f :: acc) registry [] in
   let fams =
-    List.map (fun f -> (f.fam_name, f.fam_help, f.fam_kind, f.fam_instances)) fams
+    locked reg_lock (fun () ->
+        Hashtbl.fold (fun _ f acc -> f :: acc) registry []
+        |> List.map (fun f ->
+               (f.fam_name, f.fam_help, f.fam_kind, f.fam_instances)))
   in
-  Mutex.unlock reg_lock;
   List.sort (fun (a, _, _, _) (b, _, _, _) -> String.compare a b) fams
   |> List.map (fun (name, help, kind, instances) ->
          let samples =
            List.map
              (fun (labels, inst) -> { labels; value = read_instrument inst })
              instances
-           |> List.sort (fun a b -> compare a.labels b.labels)
+           |> List.sort (fun a b -> compare_labels a.labels b.labels)
          in
          { name; help; kind; samples })
 
-let reset () =
-  Mutex.lock reg_lock;
-  Hashtbl.reset registry;
-  Mutex.unlock reg_lock
+let reset () = locked reg_lock (fun () -> Hashtbl.reset registry)

@@ -48,12 +48,17 @@ type buf = {
 let registry : buf list ref = ref []
 let reg_lock = Mutex.create ()
 
+(* Run [f] with the registry lock held; exception-safe (R3). *)
+let locked f =
+  Mutex.lock reg_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock reg_lock) f
+
 let key =
   Domain.DLS.new_key (fun () ->
+      (* csm-lint: allow R1 — the buffer is tagged with the physical
+         domain id for trace attribution, not used for scheduling. *)
       let b = { dom = (Domain.self () :> int); items = []; stack = [] } in
-      Mutex.lock reg_lock;
-      registry := b :: !registry;
-      Mutex.unlock reg_lock;
+      locked (fun () -> registry := b :: !registry);
       b)
 
 let with_ ?(attrs = []) ?ops ~name f =
@@ -100,22 +105,21 @@ let with_ ?(attrs = []) ?ops ~name f =
    (ids are monotone within a domain, so one domain's spans keep their
    emission order even at equal timestamps). *)
 let order a b =
-  match compare a.start_s b.start_s with 0 -> compare a.id b.id | c -> c
+  match Float.compare a.start_s b.start_s with
+  | 0 -> Int.compare a.id b.id
+  | c -> c
 
 let records () =
-  Mutex.lock reg_lock;
-  let bufs = !registry in
-  Mutex.unlock reg_lock;
+  let bufs = locked (fun () -> !registry) in
   List.sort order (List.concat_map (fun b -> b.items) bufs)
 
 let reset () =
-  Mutex.lock reg_lock;
-  List.iter
-    (fun b ->
-      b.items <- [];
-      b.stack <- [])
-    !registry;
-  Mutex.unlock reg_lock
+  locked (fun () ->
+      List.iter
+        (fun b ->
+          b.items <- [];
+          b.stack <- [])
+        !registry)
 
 let flush () =
   let rs = records () in

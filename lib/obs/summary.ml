@@ -52,7 +52,7 @@ let by_name (records : Span.record list) : stat list =
       }
       :: acc)
     tbl []
-  |> List.sort (fun a b -> compare a.s_name b.s_name)
+  |> List.sort (fun a b -> String.compare a.s_name b.s_name)
 
 let pp_stat ppf s =
   Format.fprintf ppf

@@ -36,7 +36,7 @@ type job = {
   failed : exn option Atomic.t;  (* first failure, re-raised at join *)
 }
 
-let lock = Mutex.create ()
+let lock = Lockdep.create "pool"
 let work_cond = Condition.create ()
 let done_cond = Condition.create ()
 
@@ -91,22 +91,19 @@ let rec work_chunks j =
     (if Atomic.get j.failed = None then
        try j.run c
        with e -> ignore (Atomic.compare_and_set j.failed None (Some e)));
-    if Atomic.fetch_and_add j.completed 1 + 1 = j.chunks then begin
-      Mutex.lock lock;
-      Condition.broadcast done_cond;
-      Mutex.unlock lock
-    end;
+    if Atomic.fetch_and_add j.completed 1 + 1 = j.chunks then
+      Lockdep.with_lock lock (fun () -> Condition.broadcast done_cond);
     work_chunks j
   end
 
 let rec worker_loop id last_seq =
-  Mutex.lock lock;
-  while !seq = last_seq do
-    Condition.wait work_cond lock
-  done;
-  let s = !seq in
-  let j = !job_slot in
-  Mutex.unlock lock;
+  let s, j =
+    Lockdep.with_lock lock (fun () ->
+        while !seq = last_seq do
+          Lockdep.wait work_cond lock
+        done;
+        (!seq, !job_slot))
+  in
   (match j with
   | Some j when id + 1 < j.width ->
     List.iter (fun install -> install ()) j.installs;
@@ -115,19 +112,17 @@ let rec worker_loop id last_seq =
   worker_loop id s
 
 let ensure_workers count =
-  if !spawned < count then begin
-    Mutex.lock lock;
-    let s0 = !seq in
-    while !spawned < count do
-      let id = !spawned in
-      ignore
-        (Domain.spawn (fun () ->
-             Domain.DLS.set engaged true;
-             worker_loop id s0));
-      incr spawned
-    done;
-    Mutex.unlock lock
-  end
+  if !spawned < count then
+    Lockdep.with_lock lock (fun () ->
+        let s0 = !seq in
+        while !spawned < count do
+          let id = !spawned in
+          ignore
+            (Domain.spawn (fun () ->
+                 Domain.DLS.set engaged true;
+                 worker_loop id s0));
+          incr spawned
+        done)
 
 let run_job ~width ~chunks run =
   ensure_workers (width - 1);
@@ -144,18 +139,16 @@ let run_job ~width ~chunks run =
     }
   in
   Domain.DLS.set engaged true;
-  Mutex.lock lock;
-  job_slot := Some j;
-  incr seq;
-  Condition.broadcast work_cond;
-  Mutex.unlock lock;
+  Lockdep.with_lock lock (fun () ->
+      job_slot := Some j;
+      incr seq;
+      Condition.broadcast work_cond);
   work_chunks j;
-  Mutex.lock lock;
-  while Atomic.get j.completed < j.chunks do
-    Condition.wait done_cond lock
-  done;
-  job_slot := None;
-  Mutex.unlock lock;
+  Lockdep.with_lock lock (fun () ->
+      while Atomic.get j.completed < j.chunks do
+        Lockdep.wait done_cond lock
+      done;
+      job_slot := None);
   Domain.DLS.set engaged false;
   match Atomic.get j.failed with Some e -> raise e | None -> ()
 

@@ -117,7 +117,8 @@ module Make (F : Field_intf.S) = struct
   }
 
   let decode inst ~k (received : F.t array) : decoded option =
-    if Array.length received <> inst.n then invalid_arg "Bm.decode: length";
+    if Array.length received <> inst.n then None
+    else begin
     let t_cap = (inst.n - k) / 2 in
     let s = syndromes inst ~k received in
     if Array.for_all F.is_zero s then begin
@@ -169,5 +170,6 @@ module Make (F : Field_intf.S) = struct
             end
         end
       end
+    end
     end
 end

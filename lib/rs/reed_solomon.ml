@@ -179,5 +179,5 @@ module Make (F : Field_intf.S) = struct
         in
         word.(i) <- fresh ())
       idx;
-    (word, Array.to_list idx |> List.sort compare)
+    (word, Array.to_list idx |> List.sort Int.compare)
 end

@@ -119,7 +119,8 @@ let check ?(msg_equal = ( = )) (t : 'm t) : violation list =
         ())
     evs;
   List.sort
-    (fun (t1, s1, _) (t2, s2, _) -> compare (t1, s1) (t2, s2))
+    (fun (t1, s1, _) (t2, s2, _) ->
+      match Int.compare t1 t2 with 0 -> Int.compare s1 s2 | c -> c)
     !violations
   |> List.map (fun (_, _, s) -> s)
 

@@ -118,14 +118,14 @@ module Make (F : Field_intf.S) = struct
         if (not (finished ())) && Unix.gettimeofday () < limit then begin
           (match tr.Transport.recv ~timeout:0.05 with
           | Some fr
-            when fr.Frame.kind = Frame.Output
+            when Frame.kind_eq fr.Frame.kind Frame.Output
                  && fr.Frame.round = r
                  && fr.Frame.sender >= 0
                  && fr.Frame.sender < n -> (
             match W.decode_matrix_bin fr.Frame.payload with
             | Some _ -> Hashtbl.replace got fr.Frame.sender fr.Frame.payload
             | None -> Transport.record_error tr)
-          | Some fr when fr.Frame.kind = Frame.Stats -> ()
+          | Some fr when Frame.kind_eq fr.Frame.kind Frame.Stats -> ()
             (* late stats cannot occur before shutdown; ignore *)
           | Some _ -> Transport.record_error tr
           | None -> ());
@@ -142,7 +142,8 @@ module Make (F : Field_intf.S) = struct
             (1 + Option.value ~default:0 (Hashtbl.find_opt tally p)))
         got;
       Hashtbl.iter
-        (fun p c -> if c >= b + 1 && ledger.(r) = None then ledger.(r) <- Some p)
+        (fun p c ->
+          if c >= b + 1 && Option.is_none ledger.(r) then ledger.(r) <- Some p)
         tally
     done;
     (* shutdown: every node answers with its transport counters *)
@@ -155,7 +156,7 @@ module Make (F : Field_intf.S) = struct
     let have_all () =
       let c = ref 0 in
       for i = 0 to n - 1 do
-        if stats.(i) <> None then incr c
+        if Option.is_some stats.(i) then incr c
       done;
       !c = n
     in
@@ -163,7 +164,7 @@ module Make (F : Field_intf.S) = struct
       if (not (have_all ())) && Unix.gettimeofday () < limit then begin
         (match tr.Transport.recv ~timeout:0.05 with
         | Some fr
-          when fr.Frame.kind = Frame.Stats
+          when Frame.kind_eq fr.Frame.kind Frame.Stats
                && fr.Frame.sender >= 0
                && fr.Frame.sender < n -> (
           match N.decode_stats_payload fr.Frame.payload with

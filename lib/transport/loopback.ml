@@ -16,12 +16,13 @@
    for the same protocol run. *)
 
 module Frame = Csm_wire.Frame
+module Lockdep = Csm_parallel.Lockdep
 
 type slot = {
   q : string Queue.t;
-  m : Mutex.t;
+  m : Lockdep.t;
   stats : Transport.stats;
-  sm : Mutex.t;
+  sm : Lockdep.t;
 }
 
 type net = { slots : slot array }
@@ -33,9 +34,9 @@ let create ~endpoints =
       Array.init endpoints (fun _ ->
           {
             q = Queue.create ();
-            m = Mutex.create ();
+            m = Lockdep.create "loopback.mailbox";
             stats = Transport.zero_stats ();
-            sm = Mutex.create ();
+            sm = Lockdep.create "loopback.stats";
           });
   }
 
@@ -63,13 +64,10 @@ let endpoint net ~id =
       let len = String.length bytes in
       Transport.record_sent t len;
       let peer = net.slots.(dst) in
-      Mutex.lock peer.sm;
-      peer.stats.frames_received <- peer.stats.frames_received + 1;
-      peer.stats.bytes_received <- peer.stats.bytes_received + len;
-      Mutex.unlock peer.sm;
-      Mutex.lock peer.m;
-      Queue.push bytes peer.q;
-      Mutex.unlock peer.m
+      Lockdep.with_lock peer.sm (fun () ->
+          peer.stats.frames_received <- peer.stats.frames_received + 1;
+          peer.stats.bytes_received <- peer.stats.bytes_received + len);
+      Lockdep.with_lock peer.m (fun () -> Queue.push bytes peer.q)
     end
   in
   let recv ~timeout =
@@ -77,9 +75,10 @@ let endpoint net ~id =
     let rec loop () =
       if !closed then None
       else begin
-        Mutex.lock me.m;
-        let item = if Queue.is_empty me.q then None else Some (Queue.pop me.q) in
-        Mutex.unlock me.m;
+        let item =
+          Lockdep.with_lock me.m (fun () ->
+              if Queue.is_empty me.q then None else Some (Queue.pop me.q))
+        in
         match item with
         | Some bytes -> (
           match Frame.decode bytes with

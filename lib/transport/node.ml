@@ -235,7 +235,8 @@ module Make (F : Field_intf.S) = struct
       ignore
         (wait_until cfg tr inbox (fun () -> results_in () >= expected_results));
       let received =
-        List.sort compare
+        List.sort
+          (fun (a, _) (b, _) -> Int.compare a b)
           (Hashtbl.fold
              (fun (r', j) g acc -> if r' = r then (j, g) :: acc else acc)
              inbox.results [])

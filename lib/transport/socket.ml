@@ -21,6 +21,7 @@
    mailbox, the receiver-side defence against withholding peers. *)
 
 module Frame = Csm_wire.Frame
+module Lockdep = Csm_parallel.Lockdep
 
 type addr =
   | Uds of string  (* directory holding ep-<id>.sock *)
@@ -52,7 +53,7 @@ let rec really_write fd buf pos len =
 
 type peer = {
   pq : string Queue.t;
-  pm : Mutex.t;
+  pm : Lockdep.t;
   pc : Condition.t;
   mutable fd : Unix.file_descr option;
   mutable started : bool;
@@ -62,9 +63,9 @@ let endpoint ~addr ~id ~endpoints =
   if id < 0 || id >= endpoints then invalid_arg "Socket.endpoint: bad id";
   let closed = ref false in
   let incoming : Frame.t Queue.t = Queue.create () in
-  let im = Mutex.create () in
+  let im = Lockdep.create "socket.incoming" in
   let conns : Unix.file_descr list ref = ref [] in
-  let cm = Mutex.create () in
+  let cm = Lockdep.create "socket.conns" in
   (* --- listener --- *)
   let domain =
     match addr with Uds _ -> Unix.PF_UNIX | Tcp _ -> Unix.PF_INET
@@ -86,7 +87,7 @@ let endpoint ~addr ~id ~endpoints =
       recv = (fun ~timeout:_ -> None);
       close = (fun () -> ());
       stats = Transport.zero_stats ();
-      stats_mutex = Mutex.create ();
+      stats_mutex = Lockdep.create "socket.stats";
     }
   in
   (* --- readers --- *)
@@ -108,18 +109,14 @@ let endpoint ~addr ~id ~endpoints =
            (match
               Frame.of_header h ~payload:(Bytes.unsafe_to_string payload)
             with
-           | Some fr ->
-             Mutex.lock im;
-             Queue.push fr incoming;
-             Mutex.unlock im
+           | Some fr -> Lockdep.with_lock im (fun () -> Queue.push fr incoming)
            | None -> Transport.record_error t)
        done
      with
     | End_of_file | Exit | Unix.Unix_error _ -> ()
     | _ -> ());
-    Mutex.lock cm;
-    conns := List.filter (fun fd -> fd != conn) !conns;
-    Mutex.unlock cm;
+    Lockdep.with_lock cm (fun () ->
+        conns := List.filter (fun fd -> fd != conn) !conns);
     try Unix.close conn with Unix.Unix_error _ -> ()
   in
   let _accept_thread =
@@ -128,9 +125,7 @@ let endpoint ~addr ~id ~endpoints =
         try
           while not !closed do
             let conn, _ = Unix.accept listener in
-            Mutex.lock cm;
-            conns := conn :: !conns;
-            Mutex.unlock cm;
+            Lockdep.with_lock cm (fun () -> conns := conn :: !conns);
             ignore (Thread.create reader conn)
           done
         with Unix.Unix_error _ | Invalid_argument _ -> ())
@@ -141,7 +136,7 @@ let endpoint ~addr ~id ~endpoints =
     Array.init endpoints (fun _ ->
         {
           pq = Queue.create ();
-          pm = Mutex.create ();
+          pm = Lockdep.create "socket.peer";
           pc = Condition.create ();
           fd = None;
           started = false;
@@ -192,14 +187,13 @@ let endpoint ~addr ~id ~endpoints =
           | None -> ())
     in
     let rec loop () =
-      Mutex.lock peer.pm;
-      while Queue.is_empty peer.pq && not !closed do
-        Condition.wait peer.pc peer.pm
-      done;
       let item =
-        if Queue.is_empty peer.pq then None else Some (Queue.pop peer.pq)
+        Lockdep.with_lock peer.pm (fun () ->
+            while Queue.is_empty peer.pq && not !closed do
+              Lockdep.wait peer.pc peer.pm
+            done;
+            if Queue.is_empty peer.pq then None else Some (Queue.pop peer.pq))
       in
-      Mutex.unlock peer.pm;
       match item with
       | Some bytes ->
         write_frame bytes;
@@ -213,14 +207,13 @@ let endpoint ~addr ~id ~endpoints =
       let bytes = Frame.encode frame in
       Transport.record_sent t (String.length bytes);
       let peer = peers.(dst) in
-      Mutex.lock peer.pm;
-      if not peer.started then begin
-        peer.started <- true;
-        ignore (Thread.create sender_loop dst)
-      end;
-      Queue.push bytes peer.pq;
-      Condition.signal peer.pc;
-      Mutex.unlock peer.pm
+      Lockdep.with_lock peer.pm (fun () ->
+          if not peer.started then begin
+            peer.started <- true;
+            ignore (Thread.create sender_loop dst)
+          end;
+          Queue.push bytes peer.pq;
+          Condition.signal peer.pc)
     end
   in
   let recv ~timeout =
@@ -228,11 +221,11 @@ let endpoint ~addr ~id ~endpoints =
     let rec loop () =
       if !closed then None
       else begin
-        Mutex.lock im;
         let item =
-          if Queue.is_empty incoming then None else Some (Queue.pop incoming)
+          Lockdep.with_lock im (fun () ->
+              if Queue.is_empty incoming then None
+              else Some (Queue.pop incoming))
         in
-        Mutex.unlock im;
         match item with
         | Some fr -> Some fr
         | None ->
@@ -252,10 +245,7 @@ let endpoint ~addr ~id ~endpoints =
       let pending () =
         Array.exists
           (fun p ->
-            Mutex.lock p.pm;
-            let nonempty = not (Queue.is_empty p.pq) in
-            Mutex.unlock p.pm;
-            nonempty)
+            Lockdep.with_lock p.pm (fun () -> not (Queue.is_empty p.pq)))
           peers
       in
       while pending () && Unix.gettimeofday () < flush_deadline do
@@ -264,9 +254,7 @@ let endpoint ~addr ~id ~endpoints =
       closed := true;
       Array.iter
         (fun p ->
-          Mutex.lock p.pm;
-          Condition.broadcast p.pc;
-          Mutex.unlock p.pm)
+          Lockdep.with_lock p.pm (fun () -> Condition.broadcast p.pc))
         peers;
       (try Unix.close listener with Unix.Unix_error _ -> ());
       Array.iter
@@ -277,10 +265,12 @@ let endpoint ~addr ~id ~endpoints =
             try Unix.close fd with Unix.Unix_error _ -> ())
           | None -> ())
         peers;
-      Mutex.lock cm;
-      let cs = !conns in
-      conns := [];
-      Mutex.unlock cm;
+      let cs =
+        Lockdep.with_lock cm (fun () ->
+            let cs = !conns in
+            conns := [];
+            cs)
+      in
       List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) cs;
       match addr with
       | Uds dir -> (

@@ -19,6 +19,7 @@
      counts. *)
 
 module Frame = Csm_wire.Frame
+module Lockdep = Csm_parallel.Lockdep
 
 type stats = {
   mutable frames_sent : int;
@@ -44,12 +45,10 @@ type t = {
   recv : timeout:float -> Frame.t option;
   close : unit -> unit;
   stats : stats;
-  stats_mutex : Mutex.t;
+  stats_mutex : Lockdep.t;
 }
 
-let locked t f =
-  Mutex.lock t.stats_mutex;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.stats_mutex) f
+let locked t f = Lockdep.with_lock t.stats_mutex f
 
 let record_sent t bytes =
   locked t (fun () ->

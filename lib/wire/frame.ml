@@ -36,6 +36,8 @@ let tag_of_kind = function
   | Stats -> 5
   | Shutdown -> 6
 
+let kind_eq a b = tag_of_kind a = tag_of_kind b
+
 let kind_of_tag = function
   | 1 -> Some Command
   | 2 -> Some Commit

@@ -17,6 +17,10 @@ type kind =
 
 val tag_of_kind : kind -> int
 val kind_of_tag : int -> kind option
+
+(** [kind_eq a b]: structural kind equality without polymorphic
+    compare. *)
+val kind_eq : kind -> kind -> bool
 val kind_name : kind -> string
 
 type t = {

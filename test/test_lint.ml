@@ -1,0 +1,231 @@
+(* csm-lint analyzer tests: per-rule inline fixtures (a bad snippet
+   that must fire, a good twin that must stay silent), the suppression
+   and baseline machinery, the lockdep order checker, and a self-check
+   that the repo itself lints clean against the committed baseline. *)
+
+module Finding = Csm_analysis.Finding
+module Driver = Csm_analysis.Driver
+module Baseline = Csm_analysis.Baseline
+module Lockdep = Csm_parallel.Lockdep
+
+let rules fs = List.map (fun (f : Finding.t) -> f.Finding.rule) fs
+
+let fires rule ?registry ~path src =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s fires in %s" rule path)
+    true
+    (List.mem rule (rules (Driver.lint_string ?registry ~path src)))
+
+let silent rule ?registry ~path src =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s silent in %s" rule path)
+    false
+    (List.mem rule (rules (Driver.lint_string ?registry ~path src)))
+
+(* ----- R1: determinism boundary ----- *)
+
+let r1 () =
+  fires "R1" ~path:"lib/core/x.ml" "let r () = Random.int 7";
+  fires "R1" ~path:"lib/core/x.ml" "let t () = Unix.gettimeofday ()";
+  fires "R1" ~path:"lib/core/x.ml" "let t () = Sys.time ()";
+  fires "R1" ~path:"lib/core/x.ml" "let d () = (Domain.self () :> int)";
+  (* Csm_rng is the sanctioned source *)
+  silent "R1" ~path:"lib/core/x.ml" "let r g = Csm_rng.int g 7";
+  (* the nondeterministic layers are allowlisted *)
+  silent "R1" ~path:"lib/obs/x.ml" "let t () = Unix.gettimeofday ()";
+  silent "R1" ~path:"lib/transport/x.ml" "let t () = Unix.gettimeofday ()";
+  silent "R1" ~path:"lib/sim/net.ml" "let t () = Unix.gettimeofday ()"
+
+(* ----- R2: polymorphic comparison ----- *)
+
+let r2 () =
+  fires "R2" ~path:"lib/core/x.ml" "let f a b = a.Frame.kind = b.Frame.kind";
+  fires "R2" ~path:"lib/core/x.ml" "let f x = x = F.zero";
+  fires "R2" ~path:"lib/core/x.ml" "let f x = compare x Fp.one";
+  fires "R2" ~path:"lib/core/x.ml" "let f x = Hashtbl.hash (Gf2m.mul x x)";
+  fires "R2" ~path:"lib/core/x.ml" "let f l = List.sort compare l";
+  fires "R2" ~path:"lib/rs/x.ml" "let f l = List.map compare l";
+  silent "R2" ~path:"lib/core/x.ml" "let f a b = F.equal a b";
+  (* int-returning accessors compare fine *)
+  silent "R2" ~path:"lib/core/x.ml" "let f x y = F.to_int x = F.to_int y";
+  silent "R2" ~path:"lib/core/x.ml" "let f l = List.sort Int.compare l";
+  (* bare compare is only banned wholesale in the algebra layers *)
+  silent "R2" ~path:"lib/core/x.ml" "let f = compare"
+
+(* ----- R3: mutex discipline ----- *)
+
+let r3 () =
+  fires "R3" ~path:"lib/core/x.ml"
+    "let m = Mutex.create ()\nlet f () = Mutex.lock m; work (); Mutex.unlock m";
+  silent "R3" ~path:"lib/core/x.ml"
+    "let m = Mutex.create ()\n\
+     let f () =\n\
+    \  Mutex.lock m;\n\
+    \  Fun.protect ~finally:(fun () -> Mutex.unlock m) work";
+  (* unlock in an exception-handler position also counts *)
+  silent "R3" ~path:"lib/core/x.ml"
+    "let m = Mutex.create ()\n\
+     let f () =\n\
+    \  Mutex.lock m;\n\
+    \  (try work () with e -> Mutex.unlock m; raise e);\n\
+    \  Mutex.unlock m";
+  (* Lockdep.lock is held to the same standard *)
+  fires "R3" ~path:"lib/core/x.ml"
+    "let l = Lockdep.create \"x\"\n\
+     let f () = Lockdep.lock l; work (); Lockdep.unlock l";
+  silent "R3" ~path:"lib/core/x.ml"
+    "let l = Lockdep.create \"x\"\nlet f () = Lockdep.with_lock l work"
+
+(* ----- R4: shared mutable state registry ----- *)
+
+let r4 () =
+  fires "R4" ~path:"lib/core/x.ml" "let total = ref 0";
+  fires "R4" ~path:"lib/core/x.ml" "let tbl = Hashtbl.create 16";
+  fires "R4" ~path:"lib/core/x.ml" "let buf = Array.make 8 0";
+  (* registered state is fine *)
+  (let registry = Hashtbl.create 4 in
+   Hashtbl.replace registry "lib/core/x.ml:total" ();
+   silent "R4" ~registry ~path:"lib/core/x.ml" "let total = ref 0");
+  (* atomics and locks are the sanctioned primitives *)
+  silent "R4" ~path:"lib/core/x.ml" "let total = Atomic.make 0";
+  silent "R4" ~path:"lib/core/x.ml" "let m = Mutex.create ()";
+  (* function-local state is not shared *)
+  silent "R4" ~path:"lib/core/x.ml" "let f () = let c = ref 0 in incr c; !c";
+  (* out of scope: tests may keep local toplevel state *)
+  silent "R4" ~path:"test/x.ml" "let total = ref 0"
+
+(* ----- R5: decoder totality ----- *)
+
+let r5 () =
+  fires "R5" ~path:"lib/wire/x.ml"
+    "let decode s = if String.length s < 4 then failwith \"short\" else s";
+  fires "R5" ~path:"lib/wire/x.ml" "let decode_header s = Option.get (parse s)";
+  fires "R5" ~path:"lib/core/x.ml" "let decode_row l = List.hd l";
+  fires "R5" ~path:"lib/wire/x.ml"
+    "let of_header h = if bad h then raise Exit else h";
+  silent "R5" ~path:"lib/wire/x.ml"
+    "let decode s = if String.length s < 4 then None else Some s";
+  (* encoders may validate caller input *)
+  silent "R5" ~path:"lib/wire/x.ml"
+    "let encode v = if v < 0 then invalid_arg \"encode\" else string_of_int v";
+  (* outside lib/ the rule does not apply *)
+  silent "R5" ~path:"test/x.ml" "let decode s = failwith s"
+
+(* ----- suppressions ----- *)
+
+let suppressions () =
+  silent "R1" ~path:"lib/core/x.ml"
+    "(* csm-lint: allow R1 — fixture *)\nlet t () = Unix.gettimeofday ()";
+  (* same-line comments work too *)
+  silent "R4" ~path:"lib/core/x.ml"
+    "let total = ref 0 (* csm-lint: allow R4 — fixture *)";
+  (* a suppression for one rule does not silence another *)
+  fires "R1" ~path:"lib/core/x.ml"
+    "(* csm-lint: allow R2 — wrong rule *)\nlet t () = Unix.gettimeofday ()";
+  (* two lines below the comment is out of range *)
+  fires "R1" ~path:"lib/core/x.ml"
+    "(* csm-lint: allow R1 — too far *)\nlet a = 1\nlet t () = Sys.time ()"
+
+(* ----- parse failures are findings, not crashes ----- *)
+
+let parse_failure () =
+  let fs = Driver.lint_string ~path:"lib/core/x.ml" "let let let" in
+  Alcotest.(check (list string)) "parse finding" [ "parse" ] (rules fs)
+
+(* ----- baseline ----- *)
+
+let baseline () =
+  let f text =
+    ( Finding.make ~rule:"R1" ~severity:Finding.Error ~file:"lib/x.ml" ~line:3
+        ~col:0 "msg",
+      text )
+  in
+  let entries =
+    [
+      {
+        Baseline.rule = "R1";
+        file = "lib/x.ml";
+        text = "let t = Sys.time ()";
+        count = 1;
+        reason = "r";
+      };
+    ]
+  in
+  (* matching (rule, file, text) absorbs exactly [count] findings *)
+  let fresh, baselined =
+    Baseline.apply entries [ f "let t = Sys.time ()"; f "let t = Sys.time ()" ]
+  in
+  Alcotest.(check int) "one absorbed" 1 (List.length baselined);
+  Alcotest.(check int) "one fresh" 1 (List.length fresh);
+  (* a different line text does not match *)
+  let fresh, baselined = Baseline.apply entries [ f "let other = 1" ] in
+  Alcotest.(check int) "no match absorbed" 0 (List.length baselined);
+  Alcotest.(check int) "no match fresh" 1 (List.length fresh)
+
+(* ----- the repo itself lints clean ----- *)
+
+(* dune runs tests from _build/default/test; the repo root is one up.
+   The baseline and registry are declared as test deps so they are
+   present in the sandbox. *)
+let self_check () =
+  let r = Driver.lint_tree ~root:".." ~baseline_path:"../lint/baseline.json" in
+  Alcotest.(check bool) "scanned a real tree" true (r.Driver.files_scanned > 50);
+  Alcotest.(check (list string))
+    "repo lints clean (fix the finding or justify it in lint/baseline.json)"
+    []
+    (List.map Finding.to_line r.Driver.fresh)
+
+(* ----- lockdep: the runtime lock-order checker ----- *)
+
+(* Take a and b in opposite orders: the second order closes a cycle in
+   the global order graph and must surface as a violation. *)
+let lockdep_inversion () =
+  Lockdep.reset ();
+  Lockdep.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Lockdep.disable ();
+      Lockdep.reset ())
+    (fun () ->
+      let a = Lockdep.create "test.a" in
+      let b = Lockdep.create "test.b" in
+      Lockdep.with_lock a (fun () -> Lockdep.with_lock b (fun () -> ()));
+      Alcotest.(check (list string)) "a->b is fine" [] (Lockdep.violations ());
+      let raised = ref false in
+      (try Lockdep.with_lock b (fun () -> Lockdep.with_lock a (fun () -> ()))
+       with Lockdep.Order_violation _ -> raised := true);
+      Alcotest.(check bool) "b->a raises Order_violation" true !raised;
+      Alcotest.(check bool)
+        "violation recorded" true
+        (Lockdep.violations () <> []))
+
+let lockdep_disabled_is_silent () =
+  Lockdep.reset ();
+  Lockdep.disable ();
+  let a = Lockdep.create "test.c" in
+  let b = Lockdep.create "test.d" in
+  Lockdep.with_lock a (fun () -> Lockdep.with_lock b (fun () -> ()));
+  Lockdep.with_lock b (fun () -> Lockdep.with_lock a (fun () -> ()));
+  Alcotest.(check (list string)) "no tracking when off" []
+    (Lockdep.violations ())
+
+let suites =
+  [
+    ( "lint",
+      [
+        Alcotest.test_case "R1 determinism boundary" `Quick r1;
+        Alcotest.test_case "R2 polymorphic comparison" `Quick r2;
+        Alcotest.test_case "R3 mutex discipline" `Quick r3;
+        Alcotest.test_case "R4 shared state registry" `Quick r4;
+        Alcotest.test_case "R5 decoder totality" `Quick r5;
+        Alcotest.test_case "suppression comments" `Quick suppressions;
+        Alcotest.test_case "parse failure is a finding" `Quick parse_failure;
+        Alcotest.test_case "baseline keying" `Quick baseline;
+        Alcotest.test_case "repo self-check" `Quick self_check;
+      ] );
+    ( "lockdep",
+      [
+        Alcotest.test_case "inverted pair detected" `Quick lockdep_inversion;
+        Alcotest.test_case "disabled is silent" `Quick lockdep_disabled_is_silent;
+      ] );
+  ]

@@ -25,4 +25,5 @@ let () =
          Test_parallel.suites;
          Test_obs.suites;
          Test_transport.suites;
+         Test_lint.suites;
        ])

@@ -71,7 +71,7 @@ let nesting_deterministic () =
       records
   in
   let name_counts records =
-    List.sort compare
+    List.sort String.compare
       (List.map (fun (r : Span.record) -> r.Span.name) records)
   in
   let seq = capture 1 in
@@ -97,7 +97,7 @@ let nesting_deterministic () =
   in
   Alcotest.(check bool)
     "sorted by (start, id)" true
-    (List.sort compare ids = ids)
+    (List.sort Int.compare ids = ids)
 
 (* ----- a minimal JSON parser, enough to round-trip the exporter ----- *)
 
@@ -630,7 +630,7 @@ let prom_exposition_well_formed () =
           lines
       in
       Alcotest.(check bool) "cumulative buckets non-decreasing" true
-        (List.sort compare bucket_counts = bucket_counts);
+        (List.sort Int.compare bucket_counts = bucket_counts);
       (* the checker actually rejects malformed documents *)
       List.iter
         (fun bad ->

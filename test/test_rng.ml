@@ -39,7 +39,7 @@ let sample_distinct () =
     let s = Csm_rng.sample r ~n ~k in
     Alcotest.(check int) "size" k (Array.length s);
     let sorted = Array.copy s in
-    Array.sort compare sorted;
+    Array.sort Int.compare sorted;
     for i = 0 to k - 2 do
       if sorted.(i) = sorted.(i + 1) then Alcotest.fail "duplicate sample"
     done;

@@ -81,7 +81,7 @@ let agreement_set_certificate () =
     Alcotest.(check bool)
       "|tau| >= n - e" true
       (List.length d.RS.agreement >= n - e_max);
-    let all = List.sort compare (d.RS.agreement @ d.RS.errors) in
+    let all = List.sort Int.compare (d.RS.agreement @ d.RS.errors) in
     Alcotest.(check (list int)) "partition" (List.init n (fun i -> i)) all
 
 let fails_beyond_radius () =
@@ -240,7 +240,7 @@ let bm_roundtrip_and_errors () =
         | Some d ->
           if not (BM.P.equal d.BM.message msg) then Alcotest.fail "bm wrong poly";
           Alcotest.(check (list int)) "positions" positions
-            (List.sort compare d.BM.error_positions)
+            (List.sort Int.compare d.BM.error_positions)
       done)
     [ (15, 5); (16, 4); (32, 8); (30, 10); (60, 20) ]
 
@@ -290,6 +290,21 @@ let bm_zero_codeword () =
   | Some _ -> Alcotest.fail "bm wrong poly for zero codeword"
   | None -> Alcotest.fail "bm failed on zero codeword"
 
+(* Regression: a received word of the wrong length (a Byzantine node
+   truncating or padding its share) must yield None, not an exception. *)
+let bm_wrong_length_is_none () =
+  let n = 16 and k = 4 in
+  let inst = BM.instance ~n in
+  let word = BM.encode inst ~message:(BM.P.random rng ~degree:(k - 1)) in
+  List.iter
+    (fun len ->
+      Alcotest.(check bool)
+        (Printf.sprintf "len %d -> None" len)
+        true
+        (Option.is_none
+           (BM.decode inst ~k (Array.sub (Array.append word word) 0 len))))
+    [ 0; 1; n - 1; n + 1; 2 * n ]
+
 let suites =
   [
     ( "reed-solomon",
@@ -317,5 +332,7 @@ let suites =
         Alcotest.test_case "BM agrees with BW" `Quick bm_agrees_with_bw;
         Alcotest.test_case "BM beyond radius" `Quick bm_beyond_radius_fails;
         Alcotest.test_case "BM zero codeword" `Quick bm_zero_codeword;
+        Alcotest.test_case "BM wrong-length word is None (regression)" `Quick
+          bm_wrong_length_is_none;
       ] );
   ]

@@ -37,7 +37,7 @@ let frame_round_trip () =
           match Frame.decode bytes with
           | None -> Alcotest.fail "round trip decode failed"
           | Some g ->
-            checkb "kind" true (g.Frame.kind = kind);
+            checkb "kind" true (Frame.kind_eq g.Frame.kind kind);
             check Alcotest.int "sender" sender g.Frame.sender;
             check Alcotest.int "round" round g.Frame.round;
             check Alcotest.string "payload" payload g.Frame.payload)
@@ -55,7 +55,7 @@ let frame_header_round_trip () =
   match Frame.decode_header bytes with
   | None -> Alcotest.fail "header decode failed"
   | Some h ->
-    checkb "kind" true (h.Frame.h_kind = Frame.Result);
+    checkb "kind" true (Frame.kind_eq h.Frame.h_kind Frame.Result);
     check Alcotest.int "sender" 3 h.Frame.h_sender;
     check Alcotest.int "round" 9 h.Frame.h_round;
     check Alcotest.int "payload bytes" 6 h.Frame.h_payload_bytes;
@@ -66,7 +66,7 @@ let frame_header_round_trip () =
     | Some g -> checkb "of_header" true (g = f)
     | None -> Alcotest.fail "of_header failed");
     checkb "of_header wrong length" true
-      (Frame.of_header h ~payload:"abc" = None)
+      (Option.is_none (Frame.of_header h ~payload:"abc"))
 
 (* Truncations, extensions and byte flips of valid encodings must never
    raise; truncations and extensions must decode to None (exact-length
@@ -88,11 +88,12 @@ let frame_fuzz () =
     let len = String.length bytes in
     (* every truncation *)
     for cut = 0 to len - 1 do
-      checkb "truncated -> None" true (Frame.decode (String.sub bytes 0 cut) = None)
+      checkb "truncated -> None" true
+        (Option.is_none (Frame.decode (String.sub bytes 0 cut)))
     done;
     (* extension *)
-    checkb "extended -> None" true (Frame.decode (bytes ^ "\x00") = None);
-    checkb "extended -> None" true (Frame.decode (bytes ^ bytes) = None);
+    checkb "extended -> None" true (Option.is_none (Frame.decode (bytes ^ "\x00")));
+    checkb "extended -> None" true (Option.is_none (Frame.decode (bytes ^ bytes)));
     (* random single-byte flips: must not raise, may or may not decode *)
     for _ = 1 to 16 do
       let pos = Csm_rng.int rng len in
@@ -123,7 +124,7 @@ let frame_rejects_bad_fields () =
   (* a length claim larger than the body *)
   let b = Bytes.copy bytes in
   Bytes.set_int32_be b 12 1000l;
-  checkb "overlong claim" true (Frame.decode (Bytes.to_string b) = None);
+  checkb "overlong claim" true (Option.is_none (Frame.decode (Bytes.to_string b)));
   checkb "make rejects negative sender" true
     (try
        ignore (Frame.make ~kind:Frame.Commit ~sender:(-1) ~round:0 "");
