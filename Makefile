@@ -1,6 +1,6 @@
 # Convenience wrappers around dune; `make ci` is the full local gate.
 
-.PHONY: all build test lint lint-update bench-smoke bench-gate metrics-smoke cluster-smoke ci clean
+.PHONY: all build test lint lint-update bench-smoke bench-gate rs-smoke metrics-smoke cluster-smoke ci clean
 
 all: build
 
@@ -34,6 +34,16 @@ bench-gate:
 	dune exec bench/main.exe -- --smoke --out /tmp/csm_ci_bench.json
 	dune exec bin/bench_gate.exe -- --current /tmp/csm_ci_bench.json \
 	  --previous BENCH_parallel.json --baseline bench/baseline.json
+
+# Optimistic-decode fast-path smoke: regenerate the GF(2^8) rs bench
+# (modes on / off / force-fallback) and gate its determinism, exact
+# warm decode op count and on-vs-off speedups against
+# bench/rs_baseline.json.  The last committed BENCH_rs.json is the
+# informational "previous" point.
+rs-smoke:
+	dune exec bench/main.exe -- --rs-smoke --out /tmp/csm_ci_rs_bench.json
+	dune exec bin/bench_gate.exe -- --current /tmp/csm_ci_rs_bench.json \
+	  --previous BENCH_rs.json --baseline bench/rs_baseline.json
 
 # Drive the metrics registry end-to-end: a --metrics run must emit a
 # well-formed Prometheus exposition with the per-node protocol signals.
@@ -76,6 +86,7 @@ ci:
 	  dune exec bench/main.exe -- --smoke --out /tmp/csm_ci_bench.json
 	dune exec bin/bench_gate.exe -- --current /tmp/csm_ci_bench.json \
 	  --previous BENCH_parallel.json --baseline bench/baseline.json
+	$(MAKE) rs-smoke
 	$(MAKE) metrics-smoke
 	$(MAKE) cluster-smoke
 

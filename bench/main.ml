@@ -19,7 +19,9 @@
 
    `main.exe --smoke [--out FILE]` skips bechamel and runs only the
    parallel smoke benchmark, writing a JSON report (BENCH_parallel.json
-   via the `bench-smoke` alias). *)
+   via the `bench-smoke` alias).  `main.exe --rs-smoke [--out FILE]`
+   does the same for the optimistic-decode fast path over GF(2^8)
+   (BENCH_rs.json, gated against bench/rs_baseline.json). *)
 
 open Bechamel
 open Toolkit
@@ -240,8 +242,21 @@ let bench_rs_bm =
       let corrupted, _ = RS.corrupt rng ~count:((n - k) / 2) word in
       Staged.stage (fun () -> assert (BMD.decode inst ~k corrupted <> None)))
 
+(* fault-free word through a prepared context: the optimistic hit path *)
+let bench_rs_optimistic =
+  Test.make_indexed ~name:"optimistic-fastpath" ~args:[ 16; 32; 64 ] (fun n ->
+      let k = n / 3 in
+      let rng = Csm_rng.create (0x0F + n) in
+      let msg = RS.P.random rng ~degree:(k - 1) in
+      let points = Array.init n (fun i -> F.of_int (i + 1)) in
+      let word = RS.encode ~message:msg ~points in
+      let pairs = Array.map2 (fun x y -> (x, y)) points word in
+      let ctx = RS.prepare_fast ~k points in
+      Staged.stage (fun () -> assert (RS.decode_optimistic ~ctx ~k pairs <> None)))
+
 let rs_group =
-  Test.make_grouped ~name:"rs" [ bench_rs_bw; bench_rs_gao; bench_rs_bm ]
+  Test.make_grouped ~name:"rs"
+    [ bench_rs_bw; bench_rs_gao; bench_rs_bm; bench_rs_optimistic ]
 
 (* ----- INTERMIX (Figure 5) ----- *)
 
@@ -451,6 +466,248 @@ let run_smoke ~out =
     host_cores deterministic ledger_identical;
   if not (deterministic && ledger_identical) then exit 1
 
+(* ----- rs-smoke mode: optimistic fast path on the round hot loop ----- *)
+
+(* A counted GF(2^8) engine at N=64: byte-packed batch kernels under
+   the encoder, per-coordinate RS decoding over the received results.
+   Each mode pins the decode algorithm explicitly — the CSM_RS_FASTPATH
+   env default is deliberately not consulted — so the report compares
+   on / off / force-fallback on equal footing:
+
+     on             Optimistic (verify-first fast path, warm ctx)
+     off            Gao (the full error decoder on every round)
+     force_fallback Optimistic_fallback_only (fast path disabled at the
+                    decode call: measures the fallback's overhead)
+
+   Op counts come from the decoder role of a per-call ledger, so they
+   are exact and hardware-independent; wall-clock medians are measured
+   on the CI host and only compared against each other (same process,
+   same host) in the gate's speedup ratio. *)
+
+module G8 = Csm_field.Gf2m.Gf256
+module C8 = Csm_field.Counted.Make (G8)
+module E8 = Csm_core.Engine.Make (C8)
+
+let rs_smoke_n = 64
+let rs_smoke_d = 2
+let rs_smoke_slots = 8
+let rs_smoke_machine = E8.M.register_bank ~slots:rs_smoke_slots
+
+let rs_smoke_k =
+  Params.max_machines ~network:Params.Sync ~n:rs_smoke_n ~b:16 ~d:rs_smoke_d
+
+let rs_smoke_b =
+  Params.max_faults ~network:Params.Sync ~n:rs_smoke_n ~k:rs_smoke_k
+    ~d:rs_smoke_d
+
+let rs_smoke_kdim = (rs_smoke_d * (rs_smoke_k - 1)) + 1
+let rs_smoke_seed = 0x0F57
+
+let rs_engine () =
+  let params =
+    Params.make ~network:Params.Sync ~n:rs_smoke_n ~k:rs_smoke_k ~d:rs_smoke_d
+      ~b:rs_smoke_b
+  in
+  let rng = Csm_rng.create rs_smoke_seed in
+  let init =
+    Array.init rs_smoke_k (fun _ ->
+        Array.init rs_smoke_machine.E8.M.state_dim (fun _ -> C8.random rng))
+  in
+  let commands =
+    Array.init rs_smoke_k (fun _ ->
+        Array.init rs_smoke_machine.E8.M.input_dim (fun _ -> C8.random rng))
+  in
+  (E8.create ~machine:rs_smoke_machine ~params ~init, commands)
+
+(* per-node results with the first [faults] nodes lying (off-by-one in
+   every coordinate: in GF(2^8) adding one always changes the value) *)
+let rs_results engine commands ~faults =
+  List.init rs_smoke_n (fun i ->
+      let xc = E8.node_encode_command engine ~node:i ~commands in
+      let g = E8.node_compute engine ~node:i ~coded_command:xc in
+      let g =
+        if i < faults then Array.map (fun v -> C8.add v C8.one) g else g
+      in
+      (i, g))
+
+(* exact field-op count of one decode call, decoder role only *)
+let rs_decode_ops ~algorithm engine received =
+  let ledger = Ledger.create () in
+  let scope = Scope.of_ledger (module C8) ledger in
+  let d = E8.decode_results ~scope ~algorithm engine received in
+  assert (d <> None);
+  Ledger.total ledger "decoder"
+
+let median samples =
+  let sorted = List.sort Float.compare samples in
+  List.nth sorted (List.length sorted / 2)
+
+let rs_mode_stats ~algorithm =
+  let reps = 9 in
+  let engine, commands = rs_engine () in
+  let received = rs_results engine commands ~faults:0 in
+  (* first decode on a fresh engine builds the prepared trees (cold);
+     the second reuses the engine-cached ctx (warm, the steady state) *)
+  let ops_cold = rs_decode_ops ~algorithm engine received in
+  let ops_warm = rs_decode_ops ~algorithm engine received in
+  let decode_ns =
+    median
+      (List.init reps (fun _ ->
+           let t0 = Unix.gettimeofday () in
+           ignore (E8.decode_results ~algorithm engine received);
+           Unix.gettimeofday () -. t0))
+    *. 1e9
+  in
+  let round_ns =
+    let engine, commands = rs_engine () in
+    let run () =
+      let r = E8.round ~algorithm engine ~commands ~byzantine:(fun _ -> false) () in
+      assert (r.E8.decoded <> None)
+    in
+    run ();
+    (* warmup *)
+    median
+      (List.init reps (fun _ ->
+           let t0 = Unix.gettimeofday () in
+           run ();
+           Unix.gettimeofday () -. t0))
+    *. 1e9
+  in
+  (ops_cold, ops_warm, decode_ns, round_ns)
+
+let rs_smoke_modes =
+  [
+    ("on", E8.RS.Optimistic);
+    ("off", E8.RS.Gao);
+    ("force_fallback", E8.RS.Optimistic_fallback_only);
+  ]
+
+(* decoded output of one decode at a given mode / domain width / fault
+   count — must be identical everywhere within the radius *)
+let rs_observe ~algorithm ~width ~faults =
+  Pool.with_domain_limit width (fun () ->
+      let engine, commands = rs_engine () in
+      let received = rs_results engine commands ~faults in
+      E8.decode_results ~algorithm engine received)
+
+let rs_ops_at ~algorithm ~width ~faults =
+  Pool.with_domain_limit width (fun () ->
+      let engine, commands = rs_engine () in
+      let received = rs_results engine commands ~faults in
+      ignore (rs_decode_ops ~algorithm engine received);
+      (* warm ctx *)
+      rs_decode_ops ~algorithm engine received)
+
+let run_rs_smoke ~out =
+  Csm_obs.Exporter.install ();
+  let widths = [ 1; 4 ] in
+  let fault_points = [ 0; 4; 8; rs_smoke_b ] in
+  let stats =
+    List.map (fun (name, alg) -> (name, rs_mode_stats ~algorithm:alg))
+      rs_smoke_modes
+  in
+  (* all modes, widths and admissible fault counts agree with the
+     reference decoder (Gao at width 1) *)
+  let deterministic =
+    List.for_all
+      (fun faults ->
+        let base = rs_observe ~algorithm:E8.RS.Gao ~width:1 ~faults in
+        base <> None
+        && List.for_all
+             (fun (_, alg) ->
+               List.for_all
+                 (fun width -> rs_observe ~algorithm:alg ~width ~faults = base)
+                 widths)
+             rs_smoke_modes)
+      [ 0; rs_smoke_b ]
+  in
+  (* per-mode decode op counts are width-independent *)
+  let ledger_identical =
+    List.for_all
+      (fun (_, alg) ->
+        let base = rs_ops_at ~algorithm:alg ~width:1 ~faults:0 in
+        List.for_all
+          (fun width -> rs_ops_at ~algorithm:alg ~width ~faults:0 = base)
+          widths)
+      rs_smoke_modes
+  in
+  let fault_curve =
+    List.map
+      (fun faults ->
+        ( faults,
+          List.map
+            (fun (name, alg) ->
+              (name, rs_ops_at ~algorithm:alg ~width:1 ~faults))
+            rs_smoke_modes ))
+      fault_points
+  in
+  let ops_warm name =
+    let _, w, _, _ = List.assoc name stats in
+    w
+  in
+  let decode_ns name =
+    let _, _, ns, _ = List.assoc name stats in
+    ns
+  in
+  let speedup_ops =
+    float_of_int (ops_warm "off") /. float_of_int (ops_warm "on")
+  in
+  let speedup_wall = decode_ns "off" /. decode_ns "on" in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n";
+  Printf.bprintf buf "  \"schema\": \"csm-bench-rs/1\",\n";
+  Printf.bprintf buf "  \"bench\": \"rs/optimistic-fastpath-n64\",\n";
+  Printf.bprintf buf
+    "  \"host\": {\"ocaml_version\": %S, \"word_size\": %d, \
+     \"recommended_domains\": %d},\n"
+    Sys.ocaml_version Sys.word_size
+    (Domain.recommended_domain_count ());
+  Printf.bprintf buf "  \"field\": \"gf2m-8\",\n";
+  Printf.bprintf buf "  \"machine\": %S,\n" rs_smoke_machine.E8.M.name;
+  Printf.bprintf buf
+    "  \"n\": %d, \"k\": %d, \"d\": %d, \"b\": %d, \"kdim\": %d,\n" rs_smoke_n
+    rs_smoke_k rs_smoke_d rs_smoke_b rs_smoke_kdim;
+  Printf.bprintf buf "  \"modes\": {\n";
+  Printf.bprintf buf "%s\n"
+    (String.concat ",\n"
+       (List.map
+          (fun (name, (cold, warm, dns, rns)) ->
+            Printf.sprintf
+              "    %S: {\"decode_ops_cold\": %d, \"decode_ops_warm\": %d, \
+               \"decode_ns\": %.0f, \"round_ns\": %.0f}"
+              name cold warm dns rns)
+          stats));
+  Printf.bprintf buf "  },\n";
+  Printf.bprintf buf "  \"fault_curve\": [\n";
+  Printf.bprintf buf "%s\n"
+    (String.concat ",\n"
+       (List.map
+          (fun (faults, per_mode) ->
+            Printf.sprintf "    {\"faults\": %d, %s}" faults
+              (String.concat ", "
+                 (List.map
+                    (fun (name, ops) ->
+                      Printf.sprintf "\"decode_ops_%s\": %d" name ops)
+                    per_mode)))
+          fault_curve));
+  Printf.bprintf buf "  ],\n";
+  Printf.bprintf buf "  \"deterministic\": %b,\n" deterministic;
+  Printf.bprintf buf "  \"ledger_identical\": %b,\n" ledger_identical;
+  Printf.bprintf buf "  \"speedup_ops_on_vs_off\": %.2f,\n" speedup_ops;
+  Printf.bprintf buf "  \"speedup_wall_on_vs_off\": %.2f,\n" speedup_wall;
+  Printf.bprintf buf
+    "  \"note\": \"decode op counts are exact per-call ledger totals \
+     (decoder role, hardware-independent); wall-clock medians are \
+     same-host and only meaningful as the on/off ratio\"\n";
+  Buffer.add_string buf "}\n";
+  let oc = open_out out in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Format.printf
+    "wrote %s (deterministic=%b, ledger=%b, ops x%.2f, wall x%.2f)@." out
+    deterministic ledger_identical speedup_ops speedup_wall;
+  if not (deterministic && ledger_identical) then exit 1
+
 (* ----- Consensus phase ----- *)
 
 module DS = Csm_consensus.Dolev_strong
@@ -561,10 +818,10 @@ let run_benchmarks () =
   List.iter (fun (name, ns) -> Format.printf "%-44s %14.0f ns@," name ns) rows;
   Format.printf "@]@."
 
-let rec out_arg = function
+let rec out_arg ~default = function
   | "--out" :: path :: _ -> path
-  | _ :: rest -> out_arg rest
-  | [] -> "BENCH_parallel.json"
+  | _ :: rest -> out_arg ~default rest
+  | [] -> default
 
 let run_all () =
   run_benchmarks ();
@@ -590,5 +847,8 @@ let run_all () =
 
 let () =
   let argv = Array.to_list Sys.argv in
-  if List.mem "--smoke" argv then run_smoke ~out:(out_arg argv)
+  if List.mem "--smoke" argv then
+    run_smoke ~out:(out_arg ~default:"BENCH_parallel.json" argv)
+  else if List.mem "--rs-smoke" argv then
+    run_rs_smoke ~out:(out_arg ~default:"BENCH_rs.json" argv)
   else run_all ()

@@ -3,9 +3,10 @@
      bench_gate --current BENCH.json --baseline bench/baseline.json
                 [--previous OLD_BENCH.json] [--tolerance PCT]
 
-   Reads the smoke-bench report just produced (csm-bench-parallel/2),
-   the committed baseline, and optionally the previous run's report,
-   then enforces the hardware-independent invariants:
+   Dispatches on the report's "schema" field.
+
+   csm-bench-parallel/2 (the parallel smoke bench, vs
+   bench/baseline.json):
 
    - the current run must be deterministic across domain widths and its
      operation ledger identical at every width (these are boolean
@@ -16,10 +17,23 @@
      baseline's (the counts are exact, so the default tolerance exists
      only to allow deliberate, reviewed drift via a baseline update).
 
-   Wall-clock timings are deliberately NOT gated: they measure the CI
-   host, not the code.  The previous report, when given, is compared
-   informationally (printed, never fatal) so gradual drift is visible
-   in CI logs.
+   csm-bench-rs/1 (the optimistic-decode smoke bench, vs
+   bench/rs_baseline.json):
+
+   - deterministic / ledger_identical booleans as above (here: decoded
+     output and decode op counts agree across modes and domain widths);
+   - config n/k/d/b must match the baseline;
+   - the warm fault-free optimistic decode must cost at most the
+     committed decode_ops_warm_max field operations (exact count);
+   - the on-vs-off speedups (op-count and same-host wall-clock ratios)
+     must clear the committed min_speedup_ops / min_speedup_wall
+     floors.
+
+   Absolute wall-clock timings are deliberately NOT gated: they measure
+   the CI host, not the code (the rs speedup is a same-process ratio,
+   which is host-independent to first order).  The previous report,
+   when given, is compared informationally (printed, never fatal) so
+   gradual drift is visible in CI logs.
 
    Exit codes: 0 ok, 1 regression, 2 usage/IO/parse error. *)
 
@@ -48,13 +62,12 @@ let bool_field j key =
   | Some b -> b
   | None -> fail_usage "bench_gate: missing boolean field %S" key
 
-let run current baseline previous tolerance =
-  let cur = load current in
-  let base = load baseline in
-  let schema = str_field cur "schema" in
-  if not (String.equal schema "csm-bench-parallel/2") then
-    fail_usage "bench_gate: %s has schema %s (need csm-bench-parallel/2)"
-      current schema;
+let float_field j key =
+  match Option.bind (Json.member key j) Json.to_float_opt with
+  | Some f -> f
+  | None -> fail_usage "bench_gate: missing number field %S" key
+
+let with_checks f =
   let failures = ref [] in
   let check name ok detail =
     if ok then Printf.printf "ok    %-24s %s\n" name detail
@@ -63,49 +76,7 @@ let run current baseline previous tolerance =
       failures := name :: !failures
     end
   in
-  (* 1. invariants of the current run *)
-  check "deterministic"
-    (bool_field cur "deterministic")
-    "identical decode across domain widths";
-  check "ledger_identical"
-    (bool_field cur "ledger_identical")
-    "identical op ledger across domain widths";
-  (* 2. config must match the baseline *)
-  List.iter
-    (fun key ->
-      let c = int_field cur key and b = int_field base key in
-      check (Printf.sprintf "config.%s" key) (c = b)
-        (Printf.sprintf "current=%d baseline=%d" c b))
-    [ "n"; "k"; "d"; "b" ];
-  (* 3. op total vs baseline, within tolerance *)
-  let cur_ops = int_field cur "ledger_grand_total" in
-  let base_ops = int_field base "ledger_grand_total" in
-  let drift_pct =
-    if base_ops = 0 then if cur_ops = 0 then 0.0 else infinity
-    else
-      100.0
-      *. Float.abs (float_of_int (cur_ops - base_ops))
-      /. float_of_int base_ops
-  in
-  check "ledger_grand_total"
-    (drift_pct <= tolerance)
-    (Printf.sprintf "current=%d baseline=%d drift=%.2f%% (tolerance %.2f%%)"
-       cur_ops base_ops drift_pct tolerance);
-  (* 4. informational comparison with the previous run *)
-  (match previous with
-  | None -> ()
-  | Some path when not (Sys.file_exists path) ->
-    Printf.printf "note  previous report %s not found (first run?)\n" path
-  | Some path -> (
-    let prev = load path in
-    match Option.bind (Json.member "ledger_grand_total" prev) Json.to_int_opt with
-    | None ->
-      (* pre-/2 report without the op total: nothing to compare *)
-      Printf.printf "note  previous report %s predates ledger_grand_total\n"
-        path
-    | Some prev_ops ->
-      Printf.printf "note  ops vs previous run: current=%d previous=%d (%+d)\n"
-        cur_ops prev_ops (cur_ops - prev_ops)));
+  f check;
   if !failures = [] then begin
     Printf.printf "bench_gate: all checks passed\n";
     0
@@ -115,6 +86,110 @@ let run current baseline previous tolerance =
       (String.concat ", " (List.rev !failures));
     1
   end
+
+let check_config check cur base =
+  List.iter
+    (fun key ->
+      let c = int_field cur key and b = int_field base key in
+      check (Printf.sprintf "config.%s" key) (c = b)
+        (Printf.sprintf "current=%d baseline=%d" c b))
+    [ "n"; "k"; "d"; "b" ]
+
+(* ----- csm-bench-rs/1: the optimistic fast-path smoke bench ----- *)
+
+let run_rs cur base =
+  with_checks (fun check ->
+      check "deterministic"
+        (bool_field cur "deterministic")
+        "identical decode across modes, widths and fault counts";
+      check "ledger_identical"
+        (bool_field cur "ledger_identical")
+        "per-mode decode op counts identical across domain widths";
+      check_config check cur base;
+      let warm =
+        match
+          Option.bind (Json.member "modes" cur) (fun m ->
+              Option.bind (Json.member "on" m) (fun on ->
+                  Option.bind
+                    (Json.member "decode_ops_warm" on)
+                    Json.to_int_opt))
+        with
+        | Some i -> i
+        | None -> fail_usage "bench_gate: missing field modes.on.decode_ops_warm"
+      in
+      let warm_max = int_field base "decode_ops_warm_max" in
+      check "decode_ops_warm"
+        (warm <= warm_max)
+        (Printf.sprintf "current=%d max=%d (warm fault-free optimistic decode)"
+           warm warm_max);
+      List.iter
+        (fun (key, floor_key) ->
+          let v = float_field cur key and floor = float_field base floor_key in
+          check key (v >= floor)
+            (Printf.sprintf "current=%.2fx floor=%.2fx" v floor))
+        [
+          ("speedup_ops_on_vs_off", "min_speedup_ops");
+          ("speedup_wall_on_vs_off", "min_speedup_wall");
+        ])
+
+(* ----- csm-bench-parallel/2: the parallel smoke bench ----- *)
+
+let run_parallel cur base previous tolerance =
+  with_checks (fun check ->
+      (* 1. invariants of the current run *)
+      check "deterministic"
+        (bool_field cur "deterministic")
+        "identical decode across domain widths";
+      check "ledger_identical"
+        (bool_field cur "ledger_identical")
+        "identical op ledger across domain widths";
+      (* 2. config must match the baseline *)
+      check_config check cur base;
+      (* 3. op total vs baseline, within tolerance *)
+      let cur_ops = int_field cur "ledger_grand_total" in
+      let base_ops = int_field base "ledger_grand_total" in
+      let drift_pct =
+        if base_ops = 0 then if cur_ops = 0 then 0.0 else infinity
+        else
+          100.0
+          *. Float.abs (float_of_int (cur_ops - base_ops))
+          /. float_of_int base_ops
+      in
+      check "ledger_grand_total"
+        (drift_pct <= tolerance)
+        (Printf.sprintf
+           "current=%d baseline=%d drift=%.2f%% (tolerance %.2f%%)" cur_ops
+           base_ops drift_pct tolerance);
+      (* 4. informational comparison with the previous run *)
+      match previous with
+      | None -> ()
+      | Some path when not (Sys.file_exists path) ->
+        Printf.printf "note  previous report %s not found (first run?)\n" path
+      | Some path -> (
+        let prev = load path in
+        match
+          Option.bind (Json.member "ledger_grand_total" prev) Json.to_int_opt
+        with
+        | None ->
+          (* pre-/2 report without the op total: nothing to compare *)
+          Printf.printf "note  previous report %s predates ledger_grand_total\n"
+            path
+        | Some prev_ops ->
+          Printf.printf
+            "note  ops vs previous run: current=%d previous=%d (%+d)\n" cur_ops
+            prev_ops (cur_ops - prev_ops)))
+
+let run current baseline previous tolerance =
+  let cur = load current in
+  let base = load baseline in
+  match str_field cur "schema" with
+  | "csm-bench-parallel/2" -> run_parallel cur base previous tolerance
+  | "csm-bench-rs/1" -> run_rs cur base
+  | schema ->
+    fail_usage
+      "bench_gate: %s has schema %s (need csm-bench-parallel/2 or \
+       csm-bench-rs/1)"
+      current schema
 
 let () =
   let current =
@@ -148,7 +223,7 @@ let () =
   let cmd =
     Cmd.v
       (Cmd.info "bench_gate"
-         ~doc:"Gate CI on the parallel smoke bench's invariants")
+         ~doc:"Gate CI on the smoke benches' invariants (parallel or rs)")
       Term.(const run $ current $ baseline $ previous $ tolerance)
   in
   exit (Cmd.eval' cmd)

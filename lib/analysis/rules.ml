@@ -211,7 +211,13 @@ let r4_watched = function
   | [ "Buffer"; "create" ]
   | [ "Array"; "make" ]
   | [ "Bytes"; "create" ]
-  | [ "Csm_rng"; "create" ] -> true
+  | [ "Csm_rng"; "create" ]
+  (* atomics and op-counters are mutable too: lock-free, but their
+     write discipline (who publishes, who may reset) still belongs in
+     the registry *)
+  | [ "Atomic"; "make" ]
+  | [ "Counter"; "create" ]
+  | [ "Csm_metrics"; "Counter"; "create" ] -> true
   | _ -> false
 
 let rec rhs_head e =

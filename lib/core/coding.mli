@@ -17,6 +17,7 @@ module Make (F : Field_intf.S) : sig
     omega_weights : F.t array;
     omega_prepared : Sub.prepared Lazy.t;
     alpha_prepared : Sub.prepared Lazy.t;
+    omega_packed : Bytes.t option Lazy.t;
   }
 
   val create : n:int -> k:int -> t
@@ -38,6 +39,11 @@ module Make (F : Field_intf.S) : sig
   val encode_vectors_fast : t -> F.t array array -> F.t array array
   (** Quasi-linear path (fast interpolation + multipoint evaluation) used
       by the centralized worker of Section 6.2. *)
+
+  val eval_at_omegas : t -> P.t -> F.t array
+  (** Evaluate a recovered round polynomial at every ω (the decode-side
+      inner loop); runs on the byte-packed batch kernels when the field
+      has them, with identical operation counts to per-point Horner. *)
 
   val interpolant_at : t -> F.t array -> F.t -> F.t
   (** Evaluate the degree-(K−1) interpolant of the machine values at any

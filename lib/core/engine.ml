@@ -34,6 +34,10 @@ module Make (F : Field_intf.S) = struct
     coding : Coding.t;
     mutable coded_states : F.t array array;  (* n × state_dim *)
     mutable round_index : int;
+    mutable rs_ctx : (F.t array * RS.fast_ctx) option;
+        (* optimistic-decode precomputation, keyed by the received-point
+           set it was prepared for; reused while the same nodes report
+           (the common case round after round — Remark 4) *)
   }
 
   let result_dim t = t.machine.M.state_dim + t.machine.M.output_dim
@@ -52,6 +56,7 @@ module Make (F : Field_intf.S) = struct
       coding;
       coded_states = Coding.encode_vectors coding init;
       round_index = 0;
+      rs_ctx = None;
     }
 
   let coded_state t ~node = t.coded_states.(node)
@@ -75,8 +80,33 @@ module Make (F : Field_intf.S) = struct
     error_nodes : int list;  (* nodes whose reported results were wrong *)
   }
 
+  (* Suspected-Byzantine positions in a received-result list, from the
+     accumulated csm_node_suspicion gauge (error locations attributed by
+     earlier decodes).  Feeds the optimistic decoder's erasure-assisted
+     last resort; empty when metrics are off — suspicion only ever
+     *adds* decoding power beyond the plain error radius, so honest
+     results are identical either way. *)
+  let suspect_positions (recv : (int * F.t array) array) =
+    let module Metric = Csm_obs.Metric in
+    let module Tel = Csm_obs.Telemetry in
+    if not (Metric.enabled ()) then []
+    else begin
+      let sus = ref [] in
+      Array.iteri
+        (fun idx (node, _) ->
+          if Metric.gauge_value (Tel.node_suspicion ~node) > 0.0 then
+            sus := idx :: !sus)
+        recv;
+      List.rev !sus
+    end
+
   (* Step 4: decode from the received results ((node, vector) pairs;
      missing nodes model withholding).  Attributed to [role].
+
+     The algorithm defaults to [RS.default_algorithm] (CSM_RS_FASTPATH):
+     the optimistic modes share one [RS.fast_ctx] across all coordinates
+     and rounds, cached on the engine and rebuilt only when the set of
+     reporting nodes changes.
 
      The [dim] coordinates are independent Reed–Solomon instances, so
      they decode across the domain pool (chunk 1: one decode is the
@@ -85,14 +115,41 @@ module Make (F : Field_intf.S) = struct
      the decoded record is bit-identical for any domain count.  All
      coordinates are decoded even after one fails, keeping the work (and
      the operation counts) independent of scheduling. *)
-  let decode_results ?(scope = Scope.null) ?(role = "decoder")
-      ?(algorithm = RS.Gao) t (received : (int * F.t array) list) :
-      decoded option =
+  let decode_results ?(scope = Scope.null) ?(role = "decoder") ?algorithm t
+      (received : (int * F.t array) list) : decoded option =
+    let algorithm =
+      match algorithm with Some a -> a | None -> RS.default_algorithm ()
+    in
     Span.with_ ~ops:scope.Scope.ops ~name:"engine.decode" (fun () ->
     scope.Scope.run ~role (fun () ->
         let dim = result_dim t in
         let kdim = Params.code_dimension ~k:t.params.Params.k ~d:t.params.Params.d in
         let sd = t.machine.M.state_dim in
+        let recv = Array.of_list received in
+        let xs =
+          Array.map (fun (node, _) -> t.coding.Coding.alphas.(node)) recv
+        in
+        let xs_equal a b =
+          Array.length a = Array.length b
+          && (let ok = ref true in
+              Array.iteri
+                (fun i x -> if not (F.equal x b.(i)) then ok := false)
+                a;
+              !ok)
+        in
+        let ctx =
+          match algorithm with
+          | RS.Optimistic | RS.Optimistic_fallback_only
+            when Array.length xs >= kdim -> (
+            match t.rs_ctx with
+            | Some (pxs, c) when xs_equal pxs xs -> Some c
+            | _ ->
+              let c = RS.prepare_fast ~k:kdim xs in
+              t.rs_ctx <- Some (xs, c);
+              Some c)
+          | _ -> None
+        in
+        let suspects = suspect_positions recv in
         let next_states =
           Array.init t.params.Params.k (fun _ -> Array.make sd F.zero)
         in
@@ -104,30 +161,27 @@ module Make (F : Field_intf.S) = struct
         let coord_errors = Array.make dim [] in
         Pool.parallel_for ~chunk:1 dim (fun j ->
             let pairs =
-              Array.of_list
-                (List.map
-                   (fun (node, g) -> (t.coding.Coding.alphas.(node), g.(j)))
-                   received)
+              Array.init (Array.length recv) (fun i ->
+                  (xs.(i), (snd recv.(i)).(j)))
             in
-            match RS.decode ~algorithm ~k:kdim pairs with
+            match RS.decode ~algorithm ?ctx ~suspects ~k:kdim pairs with
             | None -> coord_ok.(j) <- false
             | Some d ->
               (* error positions (indices into [received]) *)
               coord_errors.(j) <- d.RS.errors;
               (* evaluate h_j at each ω *)
               Array.iteri
-                (fun k w ->
-                  let v = RS.P.eval d.RS.poly w in
+                (fun k v ->
                   if j < sd then next_states.(k).(j) <- v
                   else outputs.(k).(j - sd) <- v)
-                t.coding.Coding.omegas);
+                (Coding.eval_at_omegas t.coding d.RS.poly));
         if Array.for_all (fun x -> x) coord_ok then begin
           let errors = ref [] in
           Array.iter
             (fun idxs ->
               List.iter
                 (fun idx ->
-                  let node, _ = List.nth received idx in
+                  let node, _ = recv.(idx) in
                   if not (List.mem node !errors) then errors := node :: !errors)
                 idxs)
             coord_errors;
@@ -159,7 +213,7 @@ module Make (F : Field_intf.S) = struct
      polynomials).  On success the engine advances every node's coded
      state (Byzantine nodes' storage doesn't matter: their future lies
      are arbitrary anyway). *)
-  let round ?(scope = Scope.null) ?(algorithm = RS.Gao)
+  let round ?(scope = Scope.null) ?algorithm
       ?(corruption = default_corruption) ?(withheld = fun _ -> false)
       ?(decode_role = "decoder") t ~commands ~byzantine () : round_report =
     let n = t.params.Params.n in
@@ -192,7 +246,7 @@ module Make (F : Field_intf.S) = struct
         (fun i -> if withheld i then None else Some (i, computed.(i)))
         (List.init n (fun i -> i))
     in
-    let decoded = decode_results ~scope ~role:decode_role ~algorithm t received in
+    let decoded = decode_results ~scope ~role:decode_role ?algorithm t received in
     (* step 5: per-node re-encodes are independent (each writes its own
        coded-state slot) *)
     (match decoded with

@@ -15,6 +15,10 @@ module Make (F : Field_intf.S) : sig
     coding : Coding.t;
     mutable coded_states : F.t array array;
     mutable round_index : int;
+    mutable rs_ctx : (F.t array * RS.fast_ctx) option;
+        (** cached optimistic-decode precomputation (prepared subproduct
+            trees), keyed by the received-point set — rebuilt only when
+            the set of reporting nodes changes *)
   }
 
   val result_dim : t -> int
@@ -46,7 +50,12 @@ module Make (F : Field_intf.S) : sig
     (int * F.t array) list ->
     decoded option
   (** Noisy-interpolation decoding of received (node, gᵢ) results;
-      [None] when any coordinate exceeds the decoding radius. *)
+      [None] when any coordinate exceeds the decoding radius.  The
+      algorithm defaults to [RS.default_algorithm ()] (CSM_RS_FASTPATH):
+      optimistic modes reuse the engine-cached [rs_ctx] across
+      coordinates and rounds and pass nodes with accumulated
+      csm_node_suspicion as erasure candidates for the decoder's last
+      resort. *)
 
   val node_update_state :
     ?scope:Scope.t -> t -> node:int -> next_states:F.t array array -> unit

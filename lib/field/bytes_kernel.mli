@@ -1,0 +1,15 @@
+(** Byte-packed batch kernels backing {!Field_intf.S.batch} for the
+    table-backed binary fields: elements packed one byte (GF(2^8)) or two
+    bytes little-endian (GF(2^16)) each, with axpy / dot / scale / Horner
+    running at the byte level.  Each kernel performs exactly the field
+    operations of the scalar loop it replaces, so bulk op accounting
+    stays exact. *)
+
+val make8 : modulus:int -> mul:(int -> int -> int) -> int Field_intf.batch
+(** GF(2^8) kernels over a sliced 256×256 product table (built from
+    [mul] once per reduction [modulus] and shared across
+    instantiations). *)
+
+val make16 : mul:(int -> int -> int) -> int Field_intf.batch
+(** GF(2^16) kernels; products go through the field's own O(1)
+    table-backed [mul]. *)

@@ -4,6 +4,32 @@
     CSM engine, INTERMIX) is a functor over [S] so that the same code runs
     over prime fields and over binary extension fields (Appendix A). *)
 
+type 'a batch = {
+  width : int;  (** bytes per packed element *)
+  pack : 'a array -> Bytes.t;
+  unpack : Bytes.t -> 'a array;
+  axpy : acc:Bytes.t -> c:'a -> x:Bytes.t -> unit;
+      (** [acc.(i) <- acc.(i) + c·x.(i)] for every packed element; exactly
+          one multiplication and one addition per element, like the scalar
+          loop it replaces. *)
+  dot : Bytes.t -> Bytes.t -> 'a;
+      (** Σᵢ a.(i)·b.(i); one multiplication and one addition per
+          element. *)
+  scale : c:'a -> x:Bytes.t -> Bytes.t;
+      (** Fresh packed vector c·x; one multiplication per element. *)
+  eval_many : coeffs:'a array -> xs:Bytes.t -> Bytes.t;
+      (** Horner evaluation of the (little-endian) coefficient vector at
+          every packed point: |coeffs| multiplications and additions per
+          point — the same count as [Poly.eval] per point. *)
+}
+(** A byte-packed batch backend: vectors of field elements stored [width]
+    bytes each in a [Bytes.t], with the inner loops of the coding layer
+    (axpy / dot / scale / Horner) running at the byte level instead of
+    one boxed closure call per element.  Operation-count semantics are
+    part of the contract: each function performs exactly the field
+    operations of the scalar reference loop, so a counting wrapper can
+    charge them in bulk and stay exact. *)
+
 module type S = sig
   type t
 
@@ -52,4 +78,10 @@ module type S = sig
 
   val pp : Format.formatter -> t -> unit
   val to_string : t -> string
+
+  val batch : unit -> t batch option
+  (** Byte-packed batch kernels for this field, when it has them (the
+      table-backed GF(2^8)/GF(2^16) instances); [None] falls back to the
+      scalar functor path.  The result is memoized — calling repeatedly
+      is cheap. *)
 end

@@ -117,6 +117,11 @@ module Make (P : PRIME) : Field_intf.S = struct
   let random_nonzero rng =
     if p = 2 then 1 else 1 + Csm_rng.int rng (p - 1)
 
+  (* No packed representation for prime fields: elements span up to 31
+     bits and products need the generic modular path, so the scalar
+     functor interface is already the right shape. *)
+  let batch () = None
+
   let pp ppf x = Format.pp_print_int ppf x
   let to_string = string_of_int
 end

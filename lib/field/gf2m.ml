@@ -7,8 +7,15 @@
 
    Multiplication is carry-less (Russian peasant) with modular reduction
    by an irreducible polynomial; for m <= 16 we additionally build
-   exp/log tables when the reduction polynomial is primitive, giving
-   O(1) multiplication and inversion. *)
+   exp/log tables over a multiplicative generator, giving O(1)
+   multiplication and inversion.  The generator is found by search (the
+   multiplicative group of a finite field is cyclic, so one always
+   exists), which makes the tables independent of whether x itself is
+   primitive — the AES polynomial 0x11B, where x has order 51, gets the
+   same O(1) arithmetic as the primitive defaults.  Table construction
+   is forced at functor instantiation so a silently table-less small
+   field (the old behavior when x was not primitive: every mul fell back
+   to the bit loop) cannot exist. *)
 
 module type PARAMS = sig
   val m : int
@@ -128,6 +135,9 @@ module Make (P : PARAMS) : sig
   val m : int
   val embed_bit : int -> t
   (** Appendix-A embedding of a bit: 0 ↦ 00…0, 1 ↦ 00…01. *)
+
+  val table_backed : bool
+  (** Whether mul/inv run on exp/log tables (always true for m ≤ 16). *)
 end = struct
   let m = P.m
 
@@ -168,36 +178,58 @@ end = struct
     done;
     !r
 
-  (* exp/log tables over the generator x (= 2) when it is primitive,
-     i.e. its powers enumerate all 2^m - 1 nonzero elements. *)
+  (* exp/log tables over a multiplicative generator, found by search:
+     g generates iff its powers enumerate all 2^m − 1 nonzero elements,
+     which the filling loop itself detects (a repeat before the end, or
+     not returning to 1, rejects g). *)
   let tables =
     lazy
       (if m > 16 then None
        else begin
          let exp = Array.make (2 * (order - 1)) 0 in
          let log = Array.make order (-1) in
-         let x = ref 1 in
-         let ok = ref true in
-         (try
-            for i = 0 to order - 2 do
-              if log.(!x) >= 0 then begin
-                ok := false;
-                raise Exit
-              end;
-              exp.(i) <- !x;
-              log.(!x) <- i;
-              x := mul_slow !x 2
-            done
-          with Exit -> ());
-         if !ok && !x = 1 then begin
-           (* Duplicate the exp table so that exp.(i+j) needs no mod. *)
-           for i = 0 to order - 2 do
-             exp.(i + order - 1) <- exp.(i)
-           done;
-           Some (exp, log)
-         end
-         else None
+         let try_generator g =
+           Array.fill log 0 order (-1);
+           let x = ref 1 in
+           let ok = ref true in
+           (try
+              for i = 0 to order - 2 do
+                if log.(!x) >= 0 then begin
+                  ok := false;
+                  raise Exit
+                end;
+                exp.(i) <- !x;
+                log.(!x) <- i;
+                x := mul_slow !x g
+              done
+            with Exit -> ());
+           !ok && !x = 1
+         in
+         let rec search g =
+           if g >= order then
+             (* unreachable: the multiplicative group is cyclic *)
+             invalid_arg "Gf2m.Make: no multiplicative generator found"
+           else if try_generator g then g
+           else search (g + 1)
+         in
+         ignore (search 2);
+         (* Duplicate the exp table so that exp.(i+j) needs no mod. *)
+         for i = 0 to order - 2 do
+           exp.(i + order - 1) <- exp.(i)
+         done;
+         Some (exp, log)
        end)
+
+  (* Fail fast: a small field must be table-backed.  [search] always
+     terminates before [order] because the group is cyclic, so this is a
+     pure safety net against table-construction bugs. *)
+  let () =
+    if m <= 16 then
+      match Lazy.force tables with
+      | Some _ -> ()
+      | None -> invalid_arg "Gf2m.Make: exp/log table construction failed"
+
+  let table_backed = m <= 16
 
   let mul a b =
     match Lazy.force tables with
@@ -237,6 +269,17 @@ end = struct
   let random_nonzero rng = 1 + Csm_rng.int rng (order - 1)
 
   let embed_bit b = b land 1
+
+  (* Byte-packed batch kernels for the one- and two-byte fields; [mul]
+     above is table-backed for these sizes, so the kernels inherit O(1)
+     products. *)
+  let batch_kernel =
+    lazy
+      (if m = 8 then Some (Bytes_kernel.make8 ~modulus ~mul)
+       else if m = 16 then Some (Bytes_kernel.make16 ~mul)
+       else None)
+
+  let batch () = Lazy.force batch_kernel
 
   let pp ppf x = Format.fprintf ppf "0x%x" x
   let to_string x = Printf.sprintf "0x%x" x

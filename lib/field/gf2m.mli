@@ -23,6 +23,12 @@ module Make (P : PARAMS) : sig
 
   val embed_bit : int -> t
   (** Appendix-A embedding: bit 0 ↦ 00…0, bit 1 ↦ 00…01 in GF(2^m). *)
+
+  val table_backed : bool
+  (** Whether mul/inv run on exp/log tables.  Always true for m ≤ 16:
+      the tables are built over a searched multiplicative generator (not
+      necessarily x) and forced at instantiation, so a silently slow
+      small field cannot exist. *)
 end
 
 module Gf256 : sig
@@ -30,6 +36,7 @@ module Gf256 : sig
 
   val m : int
   val embed_bit : int -> t
+  val table_backed : bool
 end
 
 module Gf1024 : sig
@@ -37,6 +44,7 @@ module Gf1024 : sig
 
   val m : int
   val embed_bit : int -> t
+  val table_backed : bool
 end
 
 module Gf65536 : sig
@@ -44,4 +52,5 @@ module Gf65536 : sig
 
   val m : int
   val embed_bit : int -> t
+  val table_backed : bool
 end

@@ -27,6 +27,14 @@ let add t = Atomic.incr t.adds
 let mul t = Atomic.incr t.muls
 let inv t = Atomic.incr t.invs
 
+(* Bulk charge for the byte-packed batch kernels: one fetch_and_add per
+   kind instead of one atomic increment per element, with identical
+   totals to the element-at-a-time path. *)
+let bulk t ~adds ~muls ~invs =
+  if adds > 0 then ignore (Atomic.fetch_and_add t.adds adds);
+  if muls > 0 then ignore (Atomic.fetch_and_add t.muls muls);
+  if invs > 0 then ignore (Atomic.fetch_and_add t.invs invs)
+
 let adds t = Atomic.get t.adds
 let muls t = Atomic.get t.muls
 let invs t = Atomic.get t.invs

@@ -20,6 +20,11 @@ val mul : t -> unit
 val inv : t -> unit
 (** Record one inversion / division. *)
 
+val bulk : t -> adds:int -> muls:int -> invs:int -> unit
+(** Record many operations at once (one atomic add per kind) — the batch
+    kernels' accounting path.  Totals are identical to issuing the same
+    number of single-op records. *)
+
 val adds : t -> int
 val muls : t -> int
 val invs : t -> int

@@ -77,6 +77,16 @@ let rs_decodes ~algorithm ~outcome =
     ~labels:[ ("algorithm", algorithm); ("outcome", outcome) ]
     "csm_rs_decodes_total"
 
+let rs_fastpath ~outcome =
+  Metric.counter
+    ~help:
+      "Optimistic Reed-Solomon decode attempts, by outcome (hit = \
+       candidate verified on every received point; fallback = full Gao \
+       decode ran; erasure = suspicion-guided erasure decode recovered \
+       after Gao failed)"
+    ~labels:[ ("outcome", outcome) ]
+    "csm_rs_fastpath_total"
+
 let rs_corrected_symbols =
   Metric.counter
     ~help:"Total erroneous symbols located and corrected by the RS decoder"

@@ -25,6 +25,12 @@ val consensus_latency : protocol:string -> Metric.hist
 val pbft_messages : phase:string -> Metric.counter
 val rounds_total : result:string -> Metric.counter
 val rs_decodes : algorithm:string -> outcome:string -> Metric.counter
+
+val rs_fastpath : outcome:string -> Metric.counter
+(** Optimistic-decode outcomes: ["hit"] (candidate verified everywhere),
+    ["fallback"] (full error decode ran), ["erasure"] (suspicion-guided
+    erasure decode recovered after the error decoder failed). *)
+
 val rs_corrected_symbols : Metric.counter
 val decode_errors : node:int -> Metric.counter
 val node_suspicion : node:int -> Metric.gauge

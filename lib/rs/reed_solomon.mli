@@ -32,11 +32,51 @@ module Make (F : Field_intf.S) : sig
   val decode_gao : k:int -> (F.t * F.t) array -> decoded option
   (** Gao's extended-Euclid decoder; same guarantee as [decode_bw]. *)
 
-  type algorithm = Berlekamp_welch | Gao
+  type fast_ctx
+  (** Round-independent precomputation for the optimistic decoder over a
+      fixed received-point set (prepared subproduct trees over the first
+      k points and over all points — the Remark-4 argument).  Safe to
+      share across domains once built. *)
+
+  val prepare_fast : k:int -> F.t array -> fast_ctx
+  (** @raise Invalid_argument when the point set is shorter than k. *)
+
+  val decode_optimistic :
+    ?ctx:fast_ctx ->
+    ?suspects:int list ->
+    ?force_fallback:bool ->
+    k:int ->
+    (F.t * F.t) array ->
+    decoded option
+  (** Optimistic fast path: interpolate the first k received points and
+      accept when the candidate explains {e every} point (the
+      certificate set τ of eq. (9) is everything — the fault-free
+      round), else fall back to [decode_gao], and finally — when
+      [suspects] (indices into the pair array) is nonempty — to
+      erasure-assisted decoding with the suspects pre-erased, always
+      re-validated against the full pair set.  Agrees with [decode_gao]
+      on every input within the unique-decoding radius.
+      [force_fallback] skips the candidate attempt (CI hook).  A [ctx]
+      that does not match the pairs' points is ignored (a fresh one is
+      built), so a stale cache can never corrupt a decode. *)
+
+  type algorithm = Berlekamp_welch | Gao | Optimistic | Optimistic_fallback_only
+
+  val default_algorithm : unit -> algorithm
+  (** Selected by CSM_RS_FASTPATH: unset/["on"] ↦ [Optimistic], ["off"]
+      ↦ [Gao], ["force-fallback"] ↦ [Optimistic_fallback_only] (read
+      once, then cached).
+      @raise Invalid_argument on any other value. *)
 
   val decode :
-    ?algorithm:algorithm -> k:int -> (F.t * F.t) array -> decoded option
-  (** Default algorithm is [Gao]. *)
+    ?algorithm:algorithm ->
+    ?ctx:fast_ctx ->
+    ?suspects:int list ->
+    k:int ->
+    (F.t * F.t) array ->
+    decoded option
+  (** Default algorithm is [default_algorithm ()]; [ctx]/[suspects] are
+      used by the optimistic modes and ignored otherwise. *)
 
   val decode_erasures : k:int -> (F.t * F.t) array -> decoded option
   (** Erasure-only (crash-fault) decoding: all received symbols trusted;

@@ -264,6 +264,98 @@ let all_extension_fields_instantiate () =
    with Invalid_argument _ -> exn := true);
   Alcotest.(check bool) "reducible modulus rejected" true !exn
 
+(* Regression: a modulus whose x is NOT a multiplicative generator (the
+   AES polynomial x^8+x^4+x^3+x+1 = 0x11B; ord(x) = 51) must still get
+   exp/log tables — the generator search tries 2, 3, ... — instead of
+   silently dropping to the shift-and-reduce mul. *)
+let gf2m_aes_modulus () =
+  let module A = Gf2m.Make (struct
+    let m = 8
+    let modulus = 0x11B
+  end) in
+  Alcotest.(check bool) "AES field is table-backed" true A.table_backed;
+  Alcotest.(check bool) "default gf256 is table-backed too" true
+    Gf2m.Gf256.table_backed;
+  let v = A.of_int in
+  (* FIPS-197 worked example and a known inverse pair *)
+  Alcotest.(check int) "57*83=C1" 0xC1 (A.to_int (A.mul (v 0x57) (v 0x83)));
+  Alcotest.(check int) "53*CA=01" 0x01 (A.to_int (A.mul (v 0x53) (v 0xCA)));
+  for a = 1 to 255 do
+    if not (A.equal (A.mul (v a) (A.inv (v a))) A.one) then
+      Alcotest.failf "AES field: inv broken at %d" a;
+    if A.to_int (A.div (A.mul (v a) (v 0x53)) (v 0x53)) <> a then
+      Alcotest.failf "AES field: div roundtrip broken at %d" a
+  done
+
+(* Byte-packed batch kernels must agree with the scalar ops, element by
+   element, for every kernel entry point. *)
+let batch_matches_scalar (type a) (module G : Field_intf.S with type t = a)
+    name =
+  match G.batch () with
+  | None -> Alcotest.failf "%s: expected batch kernels" name
+  | Some b ->
+    let rng = Csm_rng.create 0xB47C in
+    for _ = 1 to 20 do
+      let n = 1 + Csm_rng.int rng 40 in
+      let xs = Array.init n (fun _ -> G.random rng) in
+      let ys = Array.init n (fun _ -> G.random rng) in
+      let c = G.random rng in
+      let px = b.Field_intf.pack xs in
+      (* pack/unpack roundtrip *)
+      Array.iteri
+        (fun i x ->
+          if not (G.equal x (b.Field_intf.unpack px).(i)) then
+            Alcotest.failf "%s: pack/unpack mismatch" name)
+        xs;
+      (* dot *)
+      let expect_dot =
+        Array.fold_left G.add G.zero (Array.map2 G.mul xs ys)
+      in
+      if not (G.equal (b.Field_intf.dot px (b.Field_intf.pack ys)) expect_dot)
+      then Alcotest.failf "%s: dot mismatch" name;
+      (* axpy: acc <- acc + c*x *)
+      let acc = b.Field_intf.pack ys in
+      b.Field_intf.axpy ~acc ~c ~x:px;
+      let got = b.Field_intf.unpack acc in
+      Array.iteri
+        (fun i y ->
+          if not (G.equal (G.add y (G.mul c xs.(i))) got.(i)) then
+            Alcotest.failf "%s: axpy mismatch" name)
+        ys;
+      (* scale *)
+      let got = b.Field_intf.unpack (b.Field_intf.scale ~c ~x:px) in
+      Array.iteri
+        (fun i x ->
+          if not (G.equal (G.mul c x) got.(i)) then
+            Alcotest.failf "%s: scale mismatch" name)
+        xs;
+      (* eval_many = little-endian Horner at each point *)
+      let m = 1 + Csm_rng.int rng 6 in
+      let coeffs = Array.init m (fun _ -> G.random rng) in
+      let horner x =
+        let acc = ref G.zero in
+        for i = m - 1 downto 0 do
+          acc := G.add (G.mul !acc x) coeffs.(i)
+        done;
+        !acc
+      in
+      let got = b.Field_intf.unpack (b.Field_intf.eval_many ~coeffs ~xs:px) in
+      Array.iteri
+        (fun i x ->
+          if not (G.equal (horner x) got.(i)) then
+            Alcotest.failf "%s: eval_many mismatch" name)
+        xs
+    done
+
+let batch_kernels () =
+  batch_matches_scalar (module Gf2m.Gf256) "gf256";
+  batch_matches_scalar (module Gf2m.Gf65536) "gf65536";
+  (* prime fields and mid-size binary fields have no byte kernels *)
+  Alcotest.(check bool) "fp batch is None" true
+    (Option.is_none (Fp.Default.batch ()));
+  Alcotest.(check bool) "gf1024 batch is None" true
+    (Option.is_none (Gf2m.Gf1024.batch ()))
+
 let extra_suite =
   ( "field:extra",
     [
@@ -276,6 +368,10 @@ let extra_suite =
         `Quick default_modulus_in_range;
       Alcotest.test_case "gf2m instantiates for all m <= 31" `Quick
         all_extension_fields_instantiate;
+      Alcotest.test_case "AES modulus gets tables (regression)" `Quick
+        gf2m_aes_modulus;
+      Alcotest.test_case "byte-packed batch kernels match scalar" `Quick
+        batch_kernels;
     ] )
 
 let suites =

@@ -86,8 +86,14 @@ let r4 () =
   (let registry = Hashtbl.create 4 in
    Hashtbl.replace registry "lib/core/x.ml:total" ();
    silent "R4" ~registry ~path:"lib/core/x.ml" "let total = ref 0");
-  (* atomics and locks are the sanctioned primitives *)
-  silent "R4" ~path:"lib/core/x.ml" "let total = Atomic.make 0";
+  (* atomics are lock-free but still shared mutable state: registry *)
+  fires "R4" ~path:"lib/core/x.ml" "let total = Atomic.make 0";
+  (let registry = Hashtbl.create 4 in
+   Hashtbl.replace registry "lib/core/x.ml:total" ();
+   silent "R4" ~registry ~path:"lib/core/x.ml" "let total = Atomic.make 0");
+  (* op counters wrap atomics; same rule *)
+  fires "R4" ~path:"lib/core/x.ml" "let c = Csm_metrics.Counter.create ()";
+  (* a bare lock holds no data; it is the locking story, not the state *)
   silent "R4" ~path:"lib/core/x.ml" "let m = Mutex.create ()";
   (* function-local state is not shared *)
   silent "R4" ~path:"lib/core/x.ml" "let f () = let c = ref 0 in incr c; !c";

@@ -61,6 +61,66 @@ let counted_field_correct () =
     Alcotest.(check int) "div-mul" a (CF.to_int (CF.mul (CF.div x y) y))
   done
 
+(* A domain where no counter was ever installed runs on the null
+   sentinel: ops execute uncounted (the short-circuit), and a counter
+   installed afterwards sees exactly its own scope. *)
+let counted_unsampled_short_circuit () =
+  let d =
+    Domain.spawn (fun () ->
+        ignore (CF.mul (CF.of_int 3) (CF.of_int 5));
+        ignore (CF.add CF.one CF.one);
+        let c = Counter.create () in
+        CF.with_counter c (fun () -> ignore (CF.mul CF.one CF.one));
+        (Counter.muls c, Counter.adds c))
+  in
+  let muls, adds = Domain.join d in
+  Alcotest.(check int) "only the sampled mul" 1 muls;
+  Alcotest.(check int) "unsampled add not attributed" 0 adds
+
+(* The batch kernels must charge exactly the scalar loop's op counts:
+   len muls + len adds for dot and axpy, len muls for scale, and
+   |coeffs|·len of each for eval_many. *)
+module CG = Counted.Make (Gf2m.Gf256)
+
+let counted_batch_exact () =
+  let b =
+    match CG.batch () with
+    | Some b -> b
+    | None -> Alcotest.fail "counted gf256 has no batch kernels"
+  in
+  let rng = Csm_rng.create 0xBA7C in
+  let n = 13 in
+  let xs = Array.init n (fun _ -> CG.random rng) in
+  let ys = Array.init n (fun _ -> CG.random rng) in
+  let px = b.Field_intf.pack xs and py = b.Field_intf.pack ys in
+  let measure f =
+    let c = Counter.create () in
+    CG.with_counter c f;
+    (Counter.adds c, Counter.muls c)
+  in
+  Alcotest.(check (pair int int))
+    "dot" (n, n)
+    (measure (fun () -> ignore (b.Field_intf.dot px py)));
+  Alcotest.(check (pair int int))
+    "axpy" (n, n)
+    (measure (fun () ->
+         b.Field_intf.axpy ~acc:(Bytes.copy py) ~c:xs.(0) ~x:px));
+  Alcotest.(check (pair int int))
+    "scale" (0, n)
+    (measure (fun () -> ignore (b.Field_intf.scale ~c:xs.(0) ~x:px)));
+  let m = 5 in
+  let coeffs = Array.init m (fun _ -> CG.random rng) in
+  Alcotest.(check (pair int int))
+    "eval_many"
+    (m * n, m * n)
+    (measure (fun () -> ignore (b.Field_intf.eval_many ~coeffs ~xs:px)));
+  (* and the batch results equal the (counted) scalar loops *)
+  let scalar_dot =
+    Array.fold_left CG.add CG.zero (Array.map2 CG.mul xs ys)
+  in
+  Alcotest.(check bool) "dot value" true
+    (CG.equal (b.Field_intf.dot px py) scalar_dot)
+
 let with_counter_restores () =
   let outer = Counter.create () in
   let inner = Counter.create () in
@@ -108,6 +168,10 @@ let suites =
         Alcotest.test_case "counted field is transparent" `Quick
           counted_field_correct;
         Alcotest.test_case "with_counter restores" `Quick with_counter_restores;
+        Alcotest.test_case "unsampled domain short-circuits" `Quick
+          counted_unsampled_short_circuit;
+        Alcotest.test_case "batch kernels charge exact op counts" `Quick
+          counted_batch_exact;
         Alcotest.test_case "ledger roles" `Quick ledger_roles;
         Alcotest.test_case "throughput formula" `Quick throughput_formula;
       ] );

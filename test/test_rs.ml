@@ -220,6 +220,85 @@ let gf256_rs () =
       if not (PG.equal d.R.poly msg) then Alcotest.fail "gf256 wrong poly"
   done
 
+(* ----- optimistic fast path ----- *)
+
+let optimistic_hit () =
+  (* clean word through a prepared context: full agreement, no errors *)
+  for _ = 1 to 20 do
+    let k = 1 + Csm_rng.int rng 8 in
+    let n = k + 2 + Csm_rng.int rng 16 in
+    let msg = random_message k in
+    let pts = points n in
+    let word = RS.encode ~message:msg ~points:pts in
+    let pairs = Array.map2 (fun x y -> (x, y)) pts word in
+    let ctx = RS.prepare_fast ~k pts in
+    match RS.decode_optimistic ~ctx ~k pairs with
+    | None -> Alcotest.fail "hit path failed on clean word"
+    | Some d ->
+      if not (P.equal d.RS.poly msg) then Alcotest.fail "hit wrong poly";
+      Alcotest.(check (list int)) "no errors" [] d.RS.errors;
+      Alcotest.(check int) "full agreement" n (List.length d.RS.agreement)
+  done
+
+let optimistic_fallback_matches_gao () =
+  (* within the radius the optimistic decoder must equal Gao exactly,
+     whether the fast path was attempted (and missed) or disabled *)
+  for _ = 1 to 40 do
+    let k = 1 + Csm_rng.int rng 6 in
+    let n = k + 2 + Csm_rng.int rng 14 in
+    let e_max = RS.max_errors ~n ~k in
+    let e = if e_max = 0 then 0 else 1 + Csm_rng.int rng e_max in
+    let msg = random_message k in
+    let pts = points n in
+    let word = RS.encode ~message:msg ~points:pts in
+    let corrupted, positions = RS.corrupt rng ~count:e word in
+    let pairs = Array.map2 (fun x y -> (x, y)) pts corrupted in
+    (match RS.decode_optimistic ~k pairs with
+    | None -> Alcotest.fail "optimistic failed within radius"
+    | Some d ->
+      if not (P.equal d.RS.poly msg) then Alcotest.fail "optimistic wrong poly";
+      if e > 0 && d.RS.errors <> positions then
+        Alcotest.fail "optimistic wrong error positions");
+    match RS.decode ~algorithm:RS.Optimistic_fallback_only ~k pairs with
+    | None -> Alcotest.fail "fallback-only failed within radius"
+    | Some d ->
+      if not (P.equal d.RS.poly msg) then Alcotest.fail "fallback-only wrong poly"
+  done
+
+let optimistic_erasure_rescue () =
+  (* Corrupt beyond the full-code radius: every plain decoder fails,
+     but with the liars suspected the shortened decode recovers and the
+     reclassified error set names exactly the liars.  A wrongly added
+     honest suspect only shrinks the survivor set; the answer stands. *)
+  for _ = 1 to 20 do
+    let k = 2 + Csm_rng.int rng 4 in
+    let n = k + 8 + Csm_rng.int rng 8 in
+    let e_max = RS.max_errors ~n ~k in
+    let c = e_max + 1 in
+    let msg = random_message k in
+    let pts = points n in
+    let word = RS.encode ~message:msg ~points:pts in
+    let corrupted, positions = RS.corrupt rng ~count:c word in
+    let pairs = Array.map2 (fun x y -> (x, y)) pts corrupted in
+    Alcotest.(check bool)
+      "gao fails beyond radius" true
+      (Option.is_none (RS.decode_gao ~k pairs));
+    Alcotest.(check bool)
+      "optimistic w/o suspects fails too" true
+      (Option.is_none (RS.decode_optimistic ~k pairs));
+    (match RS.decode_optimistic ~suspects:positions ~k pairs with
+    | None -> Alcotest.fail "erasure-assisted decode failed"
+    | Some d ->
+      if not (P.equal d.RS.poly msg) then Alcotest.fail "erasure wrong poly";
+      Alcotest.(check (list int)) "errors = liars" positions d.RS.errors);
+    let honest = List.find (fun i -> not (List.mem i positions)) (List.init n Fun.id) in
+    match RS.decode_optimistic ~suspects:(honest :: positions) ~k pairs with
+    | None -> Alcotest.fail "erasure with one wrong suspicion failed"
+    | Some d ->
+      if not (P.equal d.RS.poly msg) then
+        Alcotest.fail "wrong-suspicion erasure wrong poly"
+  done
+
 (* ----- syndrome decoder (BM + Chien) on classical points ----- *)
 
 module BM = Bm.Make (F)
@@ -305,6 +384,74 @@ let bm_wrong_length_is_none () =
            (BM.decode inst ~k (Array.sub (Array.append word word) 0 len))))
     [ 0; 1; n - 1; n + 1; 2 * n ]
 
+(* ----- cross-decoder agreement (QCheck) ----- *)
+
+(* On classical points (powers of a primitive n-th root of unity, so the
+   syndrome decoder applies too), all five decode entry points must
+   agree: BW, Gao, BM, optimistic, and optimistic with the fast path
+   force-disabled.  Within the radius they must all return the original
+   message; beyond it they must still agree with each other (including
+   agreeing to fail). *)
+let qcheck_cross_decoder =
+  let n = 30 in
+  let inst = BM.instance ~n in
+  let alpha = Option.get (F.root_of_unity n) in
+  let pts = Array.init n (fun i -> F.pow alpha i) in
+  QCheck.Test.make ~name:"five decoders agree on classical points" ~count:120
+    QCheck.(triple (int_range 1 8) (int_range 0 15) (int_range 0 1_000_000))
+    (fun (k, e, seed) ->
+      let r = Csm_rng.create (0xC0DE + seed) in
+      let msg =
+        if k = 1 then P.constant (F.random r) else P.random r ~degree:(k - 1)
+      in
+      let word = Array.map (P.eval msg) pts in
+      let corrupted, _ = RS.corrupt r ~count:e word in
+      let pairs = Array.map2 (fun x y -> (x, y)) pts corrupted in
+      let rs_results =
+        [
+          RS.decode_bw ~k pairs;
+          RS.decode_gao ~k pairs;
+          RS.decode_optimistic ~k pairs;
+          RS.decode ~algorithm:RS.Optimistic_fallback_only ~k pairs;
+        ]
+      in
+      let polys =
+        List.map (Option.map (fun d -> d.RS.poly)) rs_results
+        @ [ Option.map (fun d -> d.BM.message) (BM.decode inst ~k corrupted) ]
+      in
+      let same a b =
+        match (a, b) with
+        | None, None -> true
+        | Some p, Some q -> P.equal p q
+        | _ -> false
+      in
+      let head = List.hd polys in
+      List.for_all (same head) polys
+      && (e > RS.max_errors ~n ~k || same head (Some msg)))
+
+let all_none_beyond_radius () =
+  (* Random corruption just past the radius: every decoder must refuse
+     (deterministic seeds — a coincidental nearby codeword would show up
+     as a stable failure here, not flakiness). *)
+  let n = 24 and k = 6 in
+  let inst = BM.instance ~n in
+  let alpha = Option.get (F.root_of_unity n) in
+  let pts = Array.init n (fun i -> F.pow alpha i) in
+  let e = RS.max_errors ~n ~k + 1 in
+  for _ = 1 to 20 do
+    let msg = random_message k in
+    let word = Array.map (P.eval msg) pts in
+    let corrupted, _ = RS.corrupt rng ~count:e word in
+    let pairs = Array.map2 (fun x y -> (x, y)) pts corrupted in
+    Alcotest.(check bool) "bw none" true (Option.is_none (RS.decode_bw ~k pairs));
+    Alcotest.(check bool) "gao none" true
+      (Option.is_none (RS.decode_gao ~k pairs));
+    Alcotest.(check bool) "optimistic none" true
+      (Option.is_none (RS.decode_optimistic ~k pairs));
+    Alcotest.(check bool) "bm none" true
+      (Option.is_none (BM.decode inst ~k corrupted))
+  done
+
 let suites =
   [
     ( "reed-solomon",
@@ -324,6 +471,17 @@ let suites =
         Alcotest.test_case "BW and Gao agree everywhere" `Quick decoders_agree;
         Alcotest.test_case "max_errors formula" `Quick max_errors_formula;
         Alcotest.test_case "GF(256) end to end" `Quick gf256_rs;
+      ] );
+    ( "reed-solomon:optimistic",
+      [
+        Alcotest.test_case "fast-path hit on clean words" `Quick optimistic_hit;
+        Alcotest.test_case "fallback equals Gao within radius" `Quick
+          optimistic_fallback_matches_gao;
+        Alcotest.test_case "suspicion-guided erasure rescue" `Quick
+          optimistic_erasure_rescue;
+        QCheck_alcotest.to_alcotest ~long:false qcheck_cross_decoder;
+        Alcotest.test_case "all decoders refuse beyond radius" `Quick
+          all_none_beyond_radius;
       ] );
     ( "reed-solomon:bm",
       [
