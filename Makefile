@@ -1,6 +1,6 @@
 # Convenience wrappers around dune; `make ci` is the full local gate.
 
-.PHONY: all build test lint lint-update bench-smoke bench-gate rs-smoke metrics-smoke cluster-smoke ci clean
+.PHONY: all build test lint lint-update bench-smoke bench-gate rs-smoke metrics-smoke cluster-smoke obs-smoke ci clean
 
 all: build
 
@@ -70,6 +70,26 @@ cluster-smoke:
 	grep -q '^csm_messages_total{.*layer="transport"' /tmp/csm_cluster_metrics.prom
 	@echo "cluster-smoke: ok"
 
+# Cluster observability smoke: gate the allocation-overhead bench
+# against bench/obs_baseline.json, then drive the whole causal pipeline
+# end to end — a 4-process socket cluster with frame-v2 trace stamping
+# whose merged Chrome trace must pair at least one cross-node
+# send→recv flow, a forced csm-flightrec/1 dump, and a --replay of
+# that dump proving the recorded rounds recompute byte-identically
+# from the embedded seed.
+obs-smoke:
+	dune exec bench/main.exe -- --obs-smoke --out /tmp/csm_ci_obs_bench.json
+	dune exec bin/bench_gate.exe -- --current /tmp/csm_ci_obs_bench.json \
+	  --baseline bench/obs_baseline.json
+	CSM_FLIGHTREC=/tmp/csm_obs_flightrec.json \
+	  dune exec bin/csm_cluster.exe -- --transport socket \
+	  -n 4 -k 1 -d 1 -b 1 --rounds 2 \
+	  --trace --trace-out /tmp/csm_obs_trace.json --expect-cross-flows 1
+	dune exec bin/csm_cluster.exe -- --replay /tmp/csm_obs_flightrec.json
+	grep -q '"ph":"s"' /tmp/csm_obs_trace.json
+	grep -q '"ph":"f"' /tmp/csm_obs_trace.json
+	@echo "obs-smoke: ok"
+
 # CI gate: type-check everything (tests and benches included), lint
 # the repo against its invariants, regenerate the parallel smoke
 # benchmark, run the test suite, then exercise the observability layer
@@ -89,6 +109,7 @@ ci:
 	$(MAKE) rs-smoke
 	$(MAKE) metrics-smoke
 	$(MAKE) cluster-smoke
+	$(MAKE) obs-smoke
 
 clean:
 	dune clean

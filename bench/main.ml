@@ -21,7 +21,10 @@
    parallel smoke benchmark, writing a JSON report (BENCH_parallel.json
    via the `bench-smoke` alias).  `main.exe --rs-smoke [--out FILE]`
    does the same for the optimistic-decode fast path over GF(2^8)
-   (BENCH_rs.json, gated against bench/rs_baseline.json). *)
+   (BENCH_rs.json, gated against bench/rs_baseline.json), and
+   `main.exe --obs-smoke [--out FILE]` for the observability layer's
+   allocation overhead (BENCH_obs.json, gated against
+   bench/obs_baseline.json). *)
 
 open Bechamel
 open Toolkit
@@ -776,6 +779,121 @@ let bench_loopback_rtt =
 let transport_group =
   Test.make_grouped ~name:"transport" [ bench_frame_codec; bench_loopback_rtt ]
 
+(* ----- obs-smoke mode: observability overhead (allocation-counted) -----
+
+   Wall clock would measure the CI host, so the gate runs on exact
+   allocation counts instead: words per operation are deterministic for
+   a fixed code path.  Two committed ceilings (bench/obs_baseline.json):
+
+   - disabled_overhead_words: what the observability layer adds to a
+     node run with tracing OFF — one HLC read plus one flight-recorder
+     append per frame (the frame bytes themselves are unchanged v1);
+   - v2_extra_words: the additional allocation of encoding + decoding
+     a trace-stamped v2 frame over the identical v1 frame.
+
+   Correctness booleans (v1 layout unchanged, v2 round trip, HLC
+   monotonicity, telemetry-bundle round trip) gate alongside. *)
+
+module Clock = Csm_obs.Clock
+module Flight = Csm_obs.Flight
+module Agg = Csm_obs.Agg
+
+let obs_words_per_op ~iters f =
+  ignore (Sys.opaque_identity (f ()));
+  let before = Gc.minor_words () in
+  for _ = 1 to iters do
+    ignore (Sys.opaque_identity (f ()))
+  done;
+  (Gc.minor_words () -. before) /. float_of_int iters
+
+let run_obs_smoke ~out =
+  let iters = 10_000 in
+  let payload = String.make 64 'p' in
+  let v1 = Frame.make ~kind:Frame.Output ~sender:3 ~round:17 payload in
+  let ext = { Frame.trace_id = 0xC0FFEEL; hlc = Clock.to_wire (Clock.now ()) } in
+  let v2 = Frame.make ~ext ~kind:Frame.Output ~sender:3 ~round:17 payload in
+  let frame_v1_words =
+    obs_words_per_op ~iters (fun () -> Frame.decode (Frame.encode v1))
+  in
+  let frame_v2_words =
+    obs_words_per_op ~iters (fun () -> Frame.decode (Frame.encode v2))
+  in
+  let hlc_now_words = obs_words_per_op ~iters Clock.now in
+  let flight = Flight.create ~node:0 () in
+  let attrs = [ ("dst", "1"); ("frame", "output") ] in
+  let flight_record_words =
+    obs_words_per_op ~iters (fun () ->
+        Flight.record flight ~attrs ~hlc:(Clock.now ()) ~round:17 "send")
+  in
+  let v2_extra_words = frame_v2_words -. frame_v1_words in
+  let disabled_overhead_words = hlc_now_words +. flight_record_words in
+  (* correctness booleans *)
+  let v1_bytes_unchanged =
+    let b = Frame.encode v1 in
+    String.length b = Frame.header_bytes + String.length payload
+    && (match Frame.decode b with
+       | Some f -> f.Frame.version = 1 && Option.is_none f.Frame.ext
+       | None -> false)
+  in
+  let v2_roundtrip_ok =
+    match Frame.decode (Frame.encode v2) with
+    | Some f -> (
+      Int.equal f.Frame.version Frame.ext_version
+      &&
+      match f.Frame.ext with
+      | Some e -> Int64.equal e.Frame.trace_id 0xC0FFEEL
+      | None -> false)
+    | None -> false
+  in
+  let hlc_monotone =
+    let rec go prev i =
+      if i = 0 then true
+      else
+        let s = Clock.now () in
+        Clock.compare prev s < 0 && go s (i - 1)
+    in
+    go (Clock.now ()) 1000
+  in
+  let bundle_roundtrip_ok =
+    match Agg.decode_bundle (Agg.bundle_payload ~node:0 ~flight ()) with
+    | Some b -> b.Agg.b_flight_recorded = Flight.recorded flight
+    | None -> false
+  in
+  let ok =
+    v1_bytes_unchanged && v2_roundtrip_ok && hlc_monotone && bundle_roundtrip_ok
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Printf.bprintf buf "  \"schema\": \"csm-bench-obs/1\",\n";
+  Printf.bprintf buf "  \"bench\": \"obs/wire-trace-overhead\",\n";
+  Printf.bprintf buf
+    "  \"host\": {\"ocaml_version\": %S, \"word_size\": %d},\n" Sys.ocaml_version
+    Sys.word_size;
+  Printf.bprintf buf "  \"iters\": %d,\n" iters;
+  Printf.bprintf buf "  \"frame_v1_words\": %.2f,\n" frame_v1_words;
+  Printf.bprintf buf "  \"frame_v2_words\": %.2f,\n" frame_v2_words;
+  Printf.bprintf buf "  \"v2_extra_words\": %.2f,\n" v2_extra_words;
+  Printf.bprintf buf "  \"hlc_now_words\": %.2f,\n" hlc_now_words;
+  Printf.bprintf buf "  \"flight_record_words\": %.2f,\n" flight_record_words;
+  Printf.bprintf buf "  \"disabled_overhead_words\": %.2f,\n"
+    disabled_overhead_words;
+  Printf.bprintf buf "  \"v1_bytes_unchanged\": %b,\n" v1_bytes_unchanged;
+  Printf.bprintf buf "  \"v2_roundtrip_ok\": %b,\n" v2_roundtrip_ok;
+  Printf.bprintf buf "  \"hlc_monotone\": %b,\n" hlc_monotone;
+  Printf.bprintf buf "  \"bundle_roundtrip_ok\": %b,\n" bundle_roundtrip_ok;
+  Printf.bprintf buf
+    "  \"note\": \"allocation counts (words/op, minor heap) are \
+     deterministic for a fixed code path and gate host-independently; \
+     there is deliberately no wall-clock field\"\n";
+  Buffer.add_string buf "}\n";
+  let oc = open_out out in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Format.printf
+    "wrote %s (v1=%.1fw v2=%.1fw extra=%.1fw disabled=%.1fw ok=%b)@." out
+    frame_v1_words frame_v2_words v2_extra_words disabled_overhead_words ok;
+  if not ok then exit 1
+
 (* ----- runner ----- *)
 
 let all_tests =
@@ -851,4 +969,6 @@ let () =
     run_smoke ~out:(out_arg ~default:"BENCH_parallel.json" argv)
   else if List.mem "--rs-smoke" argv then
     run_rs_smoke ~out:(out_arg ~default:"BENCH_rs.json" argv)
+  else if List.mem "--obs-smoke" argv then
+    run_obs_smoke ~out:(out_arg ~default:"BENCH_obs.json" argv)
   else run_all ()

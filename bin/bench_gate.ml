@@ -29,6 +29,17 @@
      must clear the committed min_speedup_ops / min_speedup_wall
      floors.
 
+   csm-bench-obs/1 (the observability overhead bench, vs
+   bench/obs_baseline.json):
+
+   - the wire/clock/bundle correctness booleans computed by the bench
+     must all hold (v1 layout unchanged, v2 round trip, HLC
+     monotonicity, telemetry-bundle round trip);
+   - the allocation counts — exact minor-heap words per operation,
+     deterministic for a fixed code path — must stay under the
+     committed disabled_overhead_words_max / v2_extra_words_max
+     ceilings.
+
    Absolute wall-clock timings are deliberately NOT gated: they measure
    the CI host, not the code (the rs speedup is a same-process ratio,
    which is host-independent to first order).  The previous report,
@@ -132,6 +143,34 @@ let run_rs cur base =
           ("speedup_wall_on_vs_off", "min_speedup_wall");
         ])
 
+(* ----- csm-bench-obs/1: observability allocation overhead ----- *)
+
+let run_obs cur base =
+  with_checks (fun check ->
+      List.iter
+        (fun (key, detail) -> check key (bool_field cur key) detail)
+        [
+          ( "v1_bytes_unchanged",
+            "untraced frames keep the pre-v2 wire layout byte-for-byte" );
+          ("v2_roundtrip_ok", "trace-stamped v2 frames decode totally");
+          ("hlc_monotone", "every HLC read is strictly larger than the last");
+          ( "bundle_roundtrip_ok",
+            "telemetry bundles survive an encode/decode cycle" );
+        ];
+      List.iter
+        (fun (key, max_key, detail) ->
+          let v = float_field cur key and m = float_field base max_key in
+          check key (v <= m)
+            (Printf.sprintf "current=%.2f max=%.2f words/op (%s)" v m detail))
+        [
+          ( "disabled_overhead_words",
+            "disabled_overhead_words_max",
+            "per-frame cost with tracing off: HLC read + flight append" );
+          ( "v2_extra_words",
+            "v2_extra_words_max",
+            "v2-over-v1 frame encode+decode allocation delta" );
+        ])
+
 (* ----- csm-bench-parallel/2: the parallel smoke bench ----- *)
 
 let run_parallel cur base previous tolerance =
@@ -185,10 +224,11 @@ let run current baseline previous tolerance =
   match str_field cur "schema" with
   | "csm-bench-parallel/2" -> run_parallel cur base previous tolerance
   | "csm-bench-rs/1" -> run_rs cur base
+  | "csm-bench-obs/1" -> run_obs cur base
   | schema ->
     fail_usage
-      "bench_gate: %s has schema %s (need csm-bench-parallel/2 or \
-       csm-bench-rs/1)"
+      "bench_gate: %s has schema %s (need csm-bench-parallel/2, \
+       csm-bench-rs/1 or csm-bench-obs/1)"
       current schema
 
 let () =

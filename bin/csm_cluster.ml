@@ -5,6 +5,9 @@
                  [--port-base P] [--faults "1:drop,2:corrupt,3:delay"]
                  [--deadline SEC] [--out FILE] [--no-verify]
                  [--expect-frame-errors]
+                 [--trace] [--trace-out FILE] [--prom-out FILE]
+                 [--flightrec] [--flightrec-out FILE]
+                 [--expect-cross-flows N] [--replay FILE]
 
    Runs N node runtimes plus a voting client over the chosen transport
    (loopback = threads in this process; socket = one forked process per
@@ -19,8 +22,20 @@
    receivers detect and drop it (visible as csm_transport_frame_errors_total
    when CSM_METRICS is set).
 
+   Observability: --trace (or CSM_CLUSTER_TRACE=1, or =PATH) stamps
+   every protocol frame with the frame-v2 trace extension, gathers each
+   process's end-of-run telemetry bundle and writes ONE merged Chrome
+   trace with cross-node flow arrows ordered by HLC.  --prom-out writes
+   the cluster-merged Prometheus exposition.  --flightrec (or
+   CSM_FLIGHTREC=1/PATH) arms the flight-recorder dump: a
+   csm-flightrec/1 document is written on ledger divergence, frame
+   errors, decoder suspicion, or on request.  --replay FILE recomputes
+   a dump's recorded rounds from its embedded seed and checks them
+   byte-identical.
+
    Exit status: 0 = verified (or --no-verify), 1 = ledger mismatch /
-   missing acceptance (or --expect-frame-errors unmet), 2 = usage. *)
+   missing acceptance (or --expect-frame-errors / --expect-cross-flows
+   unmet, or a --replay mismatch), 2 = usage. *)
 
 open Cmdliner
 module F = Csm_field.Fp.Default
@@ -34,6 +49,9 @@ module Tel = Csm_obs.Telemetry
 module Exporter = Csm_obs.Exporter
 module Json = Csm_obs.Json
 module Prom = Csm_obs.Prom
+module Agg = Csm_obs.Agg
+module Clock = Csm_obs.Clock
+module Flight = Csm_obs.Flight
 
 let parse_fault s =
   match String.index_opt s ':' with
@@ -84,33 +102,44 @@ let hex s =
   String.iter (fun c -> Buffer.add_string b (Printf.sprintf "%02x" (Char.code c))) s;
   Buffer.contents b
 
+let config_json ~n ~k ~d ~b ~rounds ~seed ~transport ~faults =
+  Json.Obj
+    [
+      ("n", Json.Int n);
+      ("k", Json.Int k);
+      ("d", Json.Int d);
+      ("b", Json.Int b);
+      ("rounds", Json.Int rounds);
+      ("seed", Json.Int seed);
+      ("transport", Json.Str transport);
+      ( "faults",
+        Json.List
+          (List.map
+             (fun (i, f) ->
+               Json.Obj
+                 [
+                   ("node", Json.Int i); ("fault", Json.Str (Node.fault_name f));
+                 ])
+             faults) );
+    ]
+
 let result_json ~n ~k ~d ~b ~rounds ~seed ~transport ~faults (r : C.result) =
   Json.Obj
     [
       ("schema", Json.Str "csm-cluster-report/1");
       ("host", Exporter.host ());
-      ( "config",
-        Json.Obj
-          [
-            ("n", Json.Int n);
-            ("k", Json.Int k);
-            ("d", Json.Int d);
-            ("b", Json.Int b);
-            ("rounds", Json.Int rounds);
-            ("seed", Json.Int seed);
-            ("transport", Json.Str transport);
-            ( "faults",
-              Json.List
-                (List.map
-                   (fun (i, f) ->
-                     Json.Obj
-                       [
-                         ("node", Json.Int i);
-                         ("fault", Json.Str (Node.fault_name f));
-                       ])
-                   faults) );
-          ] );
+      ("config", config_json ~n ~k ~d ~b ~rounds ~seed ~transport ~faults);
       ("ok", Json.Bool r.C.ok);
+      ( "telemetry",
+        match r.C.telemetry with
+        | [] -> Json.Null
+        | bundles ->
+          Json.Obj
+            [
+              ("bundles", Json.Int (List.length bundles));
+              ("cross_flows", Json.Int (Agg.cross_flows bundles));
+              ("hlc", Json.Int (Agg.max_hlc bundles));
+            ] );
       ( "ledger",
         Json.List
           (Array.to_list
@@ -136,8 +165,143 @@ let total_frame_errors (r : C.result) =
       match s with Some s -> acc + s.Transport.frame_errors | None -> acc)
     0 r.C.stats
 
+(* ---- flight-recorder dump (csm-flightrec/1) ---- *)
+
+let flightrec_json ~n ~k ~d ~b ~rounds ~seed ~transport ~faults ~reason
+    (r : C.result) =
+  Json.Obj
+    [
+      ("schema", Json.Str "csm-flightrec/1");
+      ("host", Exporter.host ());
+      ("reason", Json.Str reason);
+      ("hlc", Json.Int (Agg.max_hlc r.C.telemetry));
+      ("config", config_json ~n ~k ~d ~b ~rounds ~seed ~transport ~faults);
+      ( "rounds",
+        Json.List
+          (List.init rounds (fun i ->
+               Json.Obj
+                 [
+                   ("round", Json.Int i);
+                   ( "accepted",
+                     match r.C.ledger.(i) with
+                     | Some p -> Json.Str (hex p)
+                     | None -> Json.Null );
+                   ("reference", Json.Str (hex r.C.reference.(i)));
+                   ("outputs", Json.Int r.C.outputs_received.(i));
+                 ])) );
+      ( "flights",
+        Json.List
+          (List.map
+             (fun (bdl : Agg.bundle) ->
+               Json.Obj
+                 [
+                   ("node", Json.Int bdl.Agg.b_node);
+                   ("pid", Json.Int bdl.Agg.b_pid);
+                   ("recorded", Json.Int bdl.Agg.b_flight_recorded);
+                   ( "entries",
+                     Json.List (List.map Flight.entry_json bdl.Agg.b_flight) );
+                 ])
+             r.C.telemetry) );
+    ]
+
+let suspicion_detected bundles =
+  List.exists
+    (fun (v : Metric.view) ->
+      String.equal v.Metric.name "csm_node_suspicion"
+      && List.exists
+           (fun (s : Metric.sample) ->
+             match s.Metric.value with
+             | Metric.V_gauge g -> g > 0.0
+             | _ -> false)
+           v.Metric.samples)
+    (Agg.merged_views bundles)
+
+(* --replay: recompute a dump's recorded rounds from its embedded seed
+   and check the reference payloads byte-identical — the flight
+   recorder's "black box is enough to reproduce the round" guarantee *)
+let replay_fail msg =
+  Printf.eprintf "csm_cluster: replay: %s\n" msg;
+  exit 2
+
+let replay_dump path =
+  let fail = replay_fail in
+  let doc =
+    try Json.parse_file path with
+    | Json.Parse_error m -> fail ("parse error in " ^ path ^ ": " ^ m)
+    | Sys_error m -> fail m
+  in
+  (match Option.bind (Json.member "schema" doc) Json.to_string_opt with
+  | Some "csm-flightrec/1" -> ()
+  | _ -> fail (path ^ " is not a csm-flightrec/1 document"));
+  let cfgj =
+    match Json.member "config" doc with
+    | Some c -> c
+    | None -> fail "missing config"
+  in
+  let geti key =
+    match Option.bind (Json.member key cfgj) Json.to_int_opt with
+    | Some v -> v
+    | None -> fail ("config." ^ key ^ " missing")
+  in
+  let n = geti "n" and k = geti "k" and d = geti "d" and b = geti "b" in
+  let rounds = geti "rounds" and seed = geti "seed" in
+  let params =
+    try Params.make ~network:Params.Sync ~n ~k ~d ~b
+    with Invalid_argument m -> fail m
+  in
+  let cfg =
+    {
+      C.params;
+      rounds;
+      seed;
+      mode = Cluster.Loopback;
+      faults = [];
+      deadline = 5.0;
+      trace = false;
+      telemetry = false;
+    }
+  in
+  let reference = C.reference_ledger cfg in
+  let recorded =
+    match Json.member "rounds" doc with
+    | Some (Json.List l) -> l
+    | _ -> fail "missing rounds"
+  in
+  let ok = ref (recorded <> []) in
+  List.iter
+    (fun item ->
+      match
+        ( Option.bind (Json.member "round" item) Json.to_int_opt,
+          Option.bind (Json.member "reference" item) Json.to_string_opt )
+      with
+      | Some r, Some h when r >= 0 && r < rounds ->
+        let same = String.equal h (hex reference.(r)) in
+        if not same then ok := false;
+        Printf.printf "replay round %d: %s\n" r
+          (if same then "identical" else "MISMATCH")
+      | _ ->
+        ok := false;
+        Printf.printf "replay: malformed round entry\n")
+    recorded;
+  Printf.printf "replay: %s (%d rounds, seed=%d)\n"
+    (if !ok then "ok" else "MISMATCH")
+    rounds seed;
+  exit (if !ok then 0 else 1)
+
+(* CSM_CLUSTER_TRACE / CSM_FLIGHTREC: unset/empty/0 = off, 1/true = on
+   with the default output path, anything else = on, value is the path *)
+let env_spec name =
+  match Sys.getenv_opt name with
+  | None | Some "" | Some "0" -> None
+  | Some v -> Some v
+
+let env_path spec =
+  match spec with Some "1" | Some "true" | None -> None | Some p -> Some p
+
 let run n k d b rounds seed transport dir port_base faults_s deadline out
-    no_verify expect_frame_errors =
+    no_verify expect_frame_errors trace_flag trace_out prom_out flightrec_flag
+    flightrec_out expect_cross_flows replay =
+  (match replay with Some path -> replay_dump path | None -> ());
   Exporter.install ();
   let faults =
     match parse_faults faults_s with
@@ -188,9 +352,34 @@ let run n k d b rounds seed transport dir port_base faults_s deadline out
       Printf.eprintf "csm_cluster: unknown --transport %s\n" other;
       exit 2
   in
-  let cfg = { C.params; rounds; seed; mode; faults; deadline } in
-  Printf.printf "csm_cluster: N=%d K=%d d=%d b=%d rounds=%d seed=%d %s%s\n%!" n
-    k d b rounds seed
+  let trace_env = env_spec "CSM_CLUSTER_TRACE" in
+  let flightrec_env = env_spec "CSM_FLIGHTREC" in
+  let trace =
+    trace_flag || Option.is_some trace_env || Option.is_some trace_out
+  in
+  let trace_out =
+    match (trace_out, env_path trace_env) with
+    | Some p, _ -> p
+    | None, Some p -> p
+    | None, None -> "csm-cluster-trace.json"
+  in
+  let flightrec_armed =
+    flightrec_flag || Option.is_some flightrec_env
+    || Option.is_some flightrec_out
+  in
+  let flightrec_requested = flightrec_flag || Option.is_some flightrec_env in
+  let flightrec_out =
+    match (flightrec_out, env_path flightrec_env) with
+    | Some p, _ -> p
+    | None, Some p -> p
+    | None, None -> "csm-flightrec.json"
+  in
+  let telemetry = trace || flightrec_armed in
+  let cfg =
+    { C.params; rounds; seed; mode; faults; deadline; trace; telemetry }
+  in
+  Printf.printf "csm_cluster: N=%d K=%d d=%d b=%d rounds=%d seed=%d %s%s%s\n%!"
+    n k d b rounds seed
     (Cluster.mode_name mode)
     (if faults = [] then ""
      else
@@ -198,7 +387,10 @@ let run n k d b rounds seed transport dir port_base faults_s deadline out
        ^ String.concat ","
            (List.map
               (fun (i, f) -> Printf.sprintf "%d:%s" i (Node.fault_name f))
-              faults));
+              faults))
+    (if trace then " trace=on"
+     else if telemetry then " flightrec=armed"
+     else "");
   let result = C.run cfg in
   (match !cleanup_dir with
   | Some d -> (
@@ -232,6 +424,48 @@ let run n k d b rounds seed transport dir port_base faults_s deadline out
           s.Transport.frame_errors
       | None -> Printf.printf "  endpoint %d: no stats (no reply)\n" i)
     result.C.stats;
+  (* ---- observability: merged trace, merged exposition, flight dump ---- *)
+  let cross_flows =
+    if telemetry then Agg.cross_flows result.C.telemetry else 0
+  in
+  if telemetry then begin
+    let bundles = result.C.telemetry in
+    let processes =
+      List.length (Agg.dedup_by_pid bundles)
+    in
+    Printf.printf "telemetry: bundles=%d/%d processes=%d cross_flows=%d hlc=%s\n"
+      (List.length bundles) (n + 1) processes cross_flows
+      (Format.asprintf "%a" Clock.pp (Agg.max_hlc bundles));
+    if trace then begin
+      Json.write ~path:trace_out (Agg.cluster_trace bundles);
+      Printf.printf "trace: wrote %s (%d processes, %d cross-node flows)\n"
+        trace_out processes cross_flows
+    end;
+    (match prom_out with
+    | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          output_string oc (Prom.render_views (Agg.merged_views bundles)));
+      Printf.printf "prom: wrote %s (cluster-merged)\n" path
+    | None -> ());
+    let dump_reason =
+      if (not no_verify) && not result.C.ok then Some "divergence"
+      else if total_frame_errors result > 0 then Some "frame-errors"
+      else if suspicion_detected bundles then Some "suspicion"
+      else if flightrec_requested then Some "requested"
+      else None
+    in
+    match dump_reason with
+    | Some reason ->
+      if Metric.enabled () then Metric.inc (Tel.flightrec_dumps ~reason);
+      Json.write ~path:flightrec_out
+        (flightrec_json ~n ~k ~d ~b ~rounds ~seed ~transport ~faults ~reason
+           result);
+      Printf.printf "flightrec: wrote %s (reason=%s)\n" flightrec_out reason
+    | None -> ()
+  end;
   (* fold the socket-boundary counters into the metrics registry so a
      CSM_METRICS exposition shows the transport layer next to the
      simulator layers *)
@@ -271,6 +505,11 @@ let run n k d b rounds seed transport dir port_base faults_s deadline out
     (if no_verify then "skipped" else if result.C.ok then "ok" else "MISMATCH");
   if expect_frame_errors && errors = 0 then begin
     Printf.printf "expected frame errors, saw none\n";
+    exit 1
+  end;
+  if expect_cross_flows > 0 && cross_flows < expect_cross_flows then begin
+    Printf.printf "expected >=%d cross-node flows, saw %d\n" expect_cross_flows
+      cross_flows;
     exit 1
   end;
   exit (if verified then 0 else 1)
@@ -331,12 +570,76 @@ let () =
             "Fail unless at least one malformed frame was detected (use with \
              a corrupt fault).")
   in
+  let trace =
+    Arg.(
+      value & flag
+      & info [ "trace" ]
+          ~doc:
+            "Stamp every protocol frame with the frame-v2 trace extension and \
+             write one merged Chrome trace (also: CSM_CLUSTER_TRACE=1 or \
+             =PATH).")
+  in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ]
+          ~doc:
+            "Merged Chrome trace path (implies --trace; default \
+             csm-cluster-trace.json).")
+  in
+  let prom_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "prom-out" ]
+          ~doc:
+            "Write the cluster-merged Prometheus exposition (all gathered \
+             bundles folded into one registry view) to this path.")
+  in
+  let flightrec =
+    Arg.(
+      value & flag
+      & info [ "flightrec" ]
+          ~doc:
+            "Arm the flight recorder and always dump at end of run (also: \
+             CSM_FLIGHTREC=1 or =PATH).")
+  in
+  let flightrec_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flightrec-out" ]
+          ~doc:
+            "Arm the flight recorder, dumping only on divergence, frame \
+             errors or suspicion, to this path (default csm-flightrec.json).")
+  in
+  let expect_cross_flows =
+    Arg.(
+      value & opt int 0
+      & info [ "expect-cross-flows" ]
+          ~doc:
+            "Fail unless the gathered flight rings pair at least N cross-node \
+             send/recv flows (use with --trace).")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ]
+          ~doc:
+            "Replay a csm-flightrec/1 dump: recompute its rounds from the \
+             embedded seed and check the reference payloads byte-identical, \
+             then exit.")
+  in
   let cmd =
     Cmd.v
       (Cmd.info "csm_cluster"
          ~doc:"Run a real multi-process CSM cluster over sockets")
       Term.(
         const run $ n $ k $ d $ b $ rounds $ seed $ transport $ dir $ port_base
-        $ faults $ deadline $ out $ no_verify $ expect_frame_errors)
+        $ faults $ deadline $ out $ no_verify $ expect_frame_errors $ trace
+        $ trace_out $ prom_out $ flightrec $ flightrec_out $ expect_cross_flows
+        $ replay)
   in
   exit (Cmd.eval cmd)

@@ -140,7 +140,18 @@ let run_real_transport ~transport ~params ~rounds ~seed ~adversary ~liars =
     | "withhold" -> List.map (fun i -> (i, Node.Drop)) liars
     | _ -> List.map (fun i -> (i, Node.Corrupt)) liars
   in
-  let cfg = { Cl.params; rounds; seed; mode; faults; deadline = 5.0 } in
+  let cfg =
+    {
+      Cl.params;
+      rounds;
+      seed;
+      mode;
+      faults;
+      deadline = 5.0;
+      trace = false;
+      telemetry = false;
+    }
+  in
   let res = Cl.run cfg in
   (match !cleanup with
   | Some dir -> (

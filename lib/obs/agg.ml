@@ -1,0 +1,601 @@
+(* Cluster telemetry aggregation: the serialization, merging and
+   rendering behind the end-of-run [Telemetry] frame.
+
+   Node side, [bundle_json] snapshots the process's observability state
+   — metric registry, span buffers, event-log tail, HLC, plus the
+   node's own flight-recorder ring — into one self-describing
+   [csm-node-telemetry/1] JSON document that rides a Telemetry frame's
+   payload.
+
+   Client side, [decode_bundle] parses that payload back (total: a
+   Byzantine node's garbage yields [None] and is counted like any other
+   malformed frame), and the merge functions fold many bundles into
+   - one cluster-wide metric-view list (counters sum, gauges take the
+     max, histograms use [Metric.merge] — all associative and
+     commutative, so arrival order cannot change the exposition), and
+   - one merged Chrome trace where every node's spans appear under its
+     own pid and matched flight-recorder send/recv entries render as
+     flow arrows between processes, timestamped from their HLC stamps
+     so the arrows are ordered consistently even across hosts whose
+     wall clocks disagree.
+
+   Loopback wrinkle: node runtimes in one process share the registry,
+   span buffers and event ring, so their bundles carry near-identical
+   copies.  Merging dedups those channels by pid (keeping the bundle
+   with the latest HLC snapshot); flight rings are per-instance and are
+   always all kept. *)
+
+let schema = "csm-node-telemetry/1"
+
+type bundle = {
+  b_node : int;
+  b_pid : int;
+  b_hlc : Clock.stamp;  (* the node's clock when it snapshotted *)
+  b_views : Metric.view list;
+  b_spans : Span.record list;
+  b_events : Event.t list;
+  b_flight : Flight.entry list;
+  b_flight_recorded : int;
+}
+
+(* ----- node side: snapshot to JSON ----- *)
+
+let attrs_json attrs =
+  Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) attrs)
+
+let span_json (r : Span.record) =
+  Json.Obj
+    [
+      ("id", Json.Int r.Span.id);
+      ("parent", Json.Int r.Span.parent);
+      ("name", Json.Str r.Span.name);
+      ("attrs", attrs_json r.Span.attrs);
+      ("domain", Json.Int r.Span.domain);
+      ("depth", Json.Int r.Span.depth);
+      ("start_s", Json.Float r.Span.start_s);
+      ("dur_s", Json.Float r.Span.dur_s);
+      ("adds", Json.Int r.Span.d_adds);
+      ("muls", Json.Int r.Span.d_muls);
+      ("invs", Json.Int r.Span.d_invs);
+    ]
+
+let event_json (e : Event.t) =
+  Json.Obj
+    [
+      ("seq", Json.Int e.Event.seq);
+      ("ts", Json.Float e.Event.ts);
+      ("mono", Json.Float e.Event.mono);
+      ("level", Json.Str (Event.level_name e.Event.level));
+      ("name", Json.Str e.Event.name);
+      ("attrs", attrs_json e.Event.attrs);
+    ]
+
+let value_json = function
+  | Metric.V_counter c -> [ ("value", Json.Int c) ]
+  | Metric.V_gauge g -> [ ("value", Json.Float g) ]
+  | Metric.V_histogram h ->
+    [
+      ( "buckets",
+        Json.List
+          (Array.to_list (Array.map (fun b -> Json.Float b) h.Metric.s_bounds)) );
+      ( "counts",
+        Json.List
+          (Array.to_list (Array.map (fun c -> Json.Int c) h.Metric.s_counts)) );
+      ("sum", Json.Float h.Metric.s_sum);
+      ("count", Json.Int h.Metric.s_count);
+    ]
+
+let view_json (v : Metric.view) =
+  Json.Obj
+    [
+      ("name", Json.Str v.Metric.name);
+      ("help", Json.Str v.Metric.help);
+      ( "kind",
+        Json.Str
+          (match v.Metric.kind with
+          | Metric.K_counter -> "counter"
+          | Metric.K_gauge -> "gauge"
+          | Metric.K_histogram -> "histogram") );
+      ( "samples",
+        Json.List
+          (List.map
+             (fun (s : Metric.sample) ->
+               Json.Obj
+                 (("labels", attrs_json s.Metric.labels) :: value_json s.Metric.value))
+             v.Metric.samples) );
+    ]
+
+let bundle_json ~node ~flight () =
+  Json.Obj
+    [
+      ("schema", Json.Str schema);
+      ("node", Json.Int node);
+      ("pid", Json.Int (Unix.getpid ()));
+      ("hlc", Json.Int (Clock.peek ()));
+      ("metrics", Json.List (List.map view_json (Metric.families ())));
+      ("spans", Json.List (List.map span_json (Span.records ())));
+      ("events", Json.List (List.map event_json (Event.recent ())));
+      ("flight", Flight.to_json flight);
+    ]
+
+let bundle_payload ~node ~flight () =
+  Json.to_string (bundle_json ~node ~flight ())
+
+(* ----- client side: total parsing ----- *)
+
+let opt_all f xs =
+  List.fold_right
+    (fun x acc ->
+      match (f x, acc) with
+      | Some y, Some ys -> Some (y :: ys)
+      | _ -> None)
+    xs (Some [])
+
+let attrs_of_json = function
+  | Some (Json.Obj kvs) ->
+    Some
+      (List.filter_map
+         (fun (k, v) ->
+           match Json.to_string_opt v with Some s -> Some (k, s) | None -> None)
+         kvs)
+  | None -> Some []
+  | _ -> None
+
+let mem_int key j = Option.bind (Json.member key j) Json.to_int_opt
+let mem_float key j = Option.bind (Json.member key j) Json.to_float_opt
+let mem_str key j = Option.bind (Json.member key j) Json.to_string_opt
+
+let span_of_json j =
+  match
+    ( (mem_int "id" j, mem_int "parent" j, mem_str "name" j),
+      (mem_int "domain" j, mem_int "depth" j),
+      (mem_float "start_s" j, mem_float "dur_s" j),
+      (mem_int "adds" j, mem_int "muls" j, mem_int "invs" j),
+      attrs_of_json (Json.member "attrs" j) )
+  with
+  | ( (Some id, Some parent, Some name),
+      (Some domain, Some depth),
+      (Some start_s, Some dur_s),
+      (Some d_adds, Some d_muls, Some d_invs),
+      Some attrs ) ->
+    Some
+      {
+        Span.id;
+        parent;
+        name;
+        attrs;
+        domain;
+        depth;
+        start_s;
+        dur_s;
+        d_adds;
+        d_muls;
+        d_invs;
+      }
+  | _ -> None
+
+let event_of_json j =
+  match
+    ( mem_int "seq" j,
+      mem_float "ts" j,
+      mem_str "level" j,
+      mem_str "name" j,
+      attrs_of_json (Json.member "attrs" j) )
+  with
+  | Some seq, Some ts, Some level, Some name, Some attrs -> (
+    match Event.level_of_string level with
+    | Some level ->
+      let mono = Option.value ~default:ts (mem_float "mono" j) in
+      Some { Event.seq; ts; mono; level; name; attrs }
+    | None -> None)
+  | _ -> None
+
+let sample_of_json kind j =
+  match attrs_of_json (Json.member "labels" j) with
+  | None -> None
+  | Some labels -> (
+    match kind with
+    | Metric.K_counter -> (
+      match mem_int "value" j with
+      | Some c when c >= 0 -> Some { Metric.labels; value = Metric.V_counter c }
+      | _ -> None)
+    | Metric.K_gauge -> (
+      match mem_float "value" j with
+      | Some g -> Some { Metric.labels; value = Metric.V_gauge g }
+      | None -> None)
+    | Metric.K_histogram -> (
+      match
+        ( Json.member "buckets" j,
+          Json.member "counts" j,
+          mem_float "sum" j,
+          mem_int "count" j )
+      with
+      (* counts carries the +Inf overflow bucket last: |counts| = |bounds|+1 *)
+      | Some (Json.List bs), Some (Json.List cs), Some s_sum, Some s_count
+        when List.length cs = List.length bs + 1 && s_count >= 0 -> (
+        match (opt_all Json.to_float_opt bs, opt_all Json.to_int_opt cs) with
+        | Some bounds, Some counts when List.for_all (fun c -> c >= 0) counts ->
+          Some
+            {
+              Metric.labels;
+              value =
+                Metric.V_histogram
+                  {
+                    Metric.s_bounds = Array.of_list bounds;
+                    s_counts = Array.of_list counts;
+                    s_sum;
+                    s_count;
+                  };
+            }
+        | _ -> None)
+      | _ -> None))
+
+let view_of_json j =
+  match (mem_str "name" j, mem_str "kind" j, Json.member "samples" j) with
+  | Some name, Some kind_s, Some (Json.List samples) -> (
+    let kind =
+      match kind_s with
+      | "counter" -> Some Metric.K_counter
+      | "gauge" -> Some Metric.K_gauge
+      | "histogram" -> Some Metric.K_histogram
+      | _ -> None
+    in
+    match kind with
+    | None -> None
+    | Some kind -> (
+      match opt_all (sample_of_json kind) samples with
+      | Some samples ->
+        Some
+          {
+            Metric.name;
+            help = Option.value ~default:"" (mem_str "help" j);
+            kind;
+            samples;
+          }
+      | None -> None))
+  | _ -> None
+
+let decode_bundle payload =
+  match Json.parse payload with
+  | exception Json.Parse_error _ -> None
+  | j -> (
+    match
+      ( mem_str "schema" j,
+        mem_int "node" j,
+        mem_int "pid" j,
+        mem_int "hlc" j,
+        Json.member "metrics" j,
+        Json.member "spans" j,
+        Json.member "events" j,
+        Json.member "flight" j )
+    with
+    | ( Some s,
+        Some b_node,
+        Some b_pid,
+        Some b_hlc,
+        Some (Json.List metrics),
+        Some (Json.List spans),
+        Some (Json.List events),
+        Some flight )
+      when s = schema && b_node >= 0 && b_hlc >= 0 -> (
+      match
+        ( opt_all view_of_json metrics,
+          opt_all span_of_json spans,
+          opt_all event_of_json events,
+          Json.member "entries" flight )
+      with
+      | Some b_views, Some b_spans, Some b_events, Some (Json.List entries) -> (
+        match opt_all Flight.decode_entry_json entries with
+        | Some b_flight ->
+          Some
+            {
+              b_node;
+              b_pid;
+              b_hlc;
+              b_views;
+              b_spans;
+              b_events;
+              b_flight;
+              b_flight_recorded =
+                Option.value ~default:(List.length b_flight)
+                  (mem_int "recorded" flight);
+            }
+        | None -> None)
+      | _ -> None)
+    | _ -> None)
+
+(* ----- merging ----- *)
+
+(* One representative bundle per pid — the one with the latest HLC
+   snapshot, i.e. the most complete view of that process's shared
+   registry (loopback nodes snapshot the same state in turn). *)
+let dedup_by_pid bundles =
+  let best : (int, bundle) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun b ->
+      match Hashtbl.find_opt best b.b_pid with
+      | Some prev when Clock.compare prev.b_hlc b.b_hlc >= 0 -> ()
+      | _ -> Hashtbl.replace best b.b_pid b)
+    bundles;
+  let reps = Hashtbl.fold (fun _ b acc -> b :: acc) best [] in
+  List.sort (fun a b -> Int.compare a.b_node b.b_node) reps
+
+let merge_samples kind (a : Metric.sample) (b : Metric.sample) =
+  let value =
+    match (a.Metric.value, b.Metric.value) with
+    | Metric.V_counter x, Metric.V_counter y -> Metric.V_counter (x + y)
+    | Metric.V_gauge x, Metric.V_gauge y -> Metric.V_gauge (Float.max x y)
+    | Metric.V_histogram x, Metric.V_histogram y -> (
+      match Metric.merge x y with
+      | m -> Metric.V_histogram m
+      | exception Invalid_argument _ ->
+        (* bucket-layout mismatch from an untrusted bundle: keep ours *)
+        Metric.V_histogram x)
+    | v, _ -> v  (* kind mismatch inside one family: keep the first *)
+  in
+  ignore kind;
+  { a with Metric.value }
+
+let merge_views (lists : Metric.view list list) : Metric.view list =
+  let families : (string, Metric.view) Hashtbl.t = Hashtbl.create 32 in
+  let order = ref [] in
+  List.iter
+    (List.iter (fun (v : Metric.view) ->
+         match Hashtbl.find_opt families v.Metric.name with
+         | None ->
+           Hashtbl.replace families v.Metric.name v;
+           order := v.Metric.name :: !order
+         | Some prev when prev.Metric.kind = v.Metric.kind ->
+           (* fold v's samples into prev's, matching on labels *)
+           let samples =
+             List.fold_left
+               (fun acc (s : Metric.sample) ->
+                 let rec fold = function
+                   | [] -> acc @ [ s ]
+                   | (p : Metric.sample) :: _ when p.Metric.labels = s.Metric.labels
+                     ->
+                     List.map
+                       (fun (q : Metric.sample) ->
+                         if q.Metric.labels = s.Metric.labels then
+                           merge_samples v.Metric.kind q s
+                         else q)
+                       acc
+                   | _ :: rest -> fold rest
+                 in
+                 fold acc)
+               prev.Metric.samples v.Metric.samples
+           in
+           let help =
+             if prev.Metric.help <> "" then prev.Metric.help else v.Metric.help
+           in
+           Hashtbl.replace families v.Metric.name
+             { prev with Metric.samples; help }
+         | Some _ -> ()  (* kind clash across bundles: first wins *)))
+    lists;
+  List.sort
+    (fun (a : Metric.view) b -> String.compare a.Metric.name b.Metric.name)
+    (List.map
+       (fun name ->
+         let v = Hashtbl.find families name in
+         {
+           v with
+           Metric.samples =
+             List.sort
+               (fun (a : Metric.sample) b ->
+                 compare a.Metric.labels b.Metric.labels)
+               v.Metric.samples;
+         })
+       !order)
+
+let merged_views bundles =
+  merge_views (List.map (fun b -> b.b_views) (dedup_by_pid bundles))
+
+let max_hlc bundles =
+  List.fold_left (fun acc b -> Clock.join acc b.b_hlc) 0 bundles
+
+(* ----- the merged Chrome trace ----- *)
+
+(* Flow pairing key: within one run, a (round, frame kind, src, dst)
+   triple identifies at most one protocol send, so matching flight
+   entries on it links each send to its receive. *)
+let flow_key ~round ~frame ~src ~dst =
+  Printf.sprintf "%d/%s/%d->%d" round frame src dst
+
+let flight_us (e : Flight.entry) =
+  (* µs from the HLC: milliseconds widened, the logical counter as a
+     sub-millisecond offset — so trace order IS HLC order *)
+  (Clock.ms e.f_hlc * 1000) + min (Clock.count e.f_hlc) 999
+
+let wire_tid = 999  (* the per-process "wire" track for flight slices *)
+
+let cluster_trace (bundles : bundle list) : Json.t =
+  let reps = dedup_by_pid bundles in
+  (* one shared time base across spans and flight entries, so rebased
+     microsecond integers stay small and exact *)
+  let base_us =
+    List.fold_left
+      (fun acc b ->
+        let acc =
+          List.fold_left
+            (fun acc (r : Span.record) ->
+              min acc (int_of_float (r.Span.start_s *. 1e6)))
+            acc b.b_spans
+        in
+        List.fold_left
+          (fun acc e -> min acc (flight_us e))
+          acc b.b_flight)
+      max_int bundles
+  in
+  let base_us = if base_us = max_int then 0 else base_us in
+  let events = ref [] in
+  let emit e = events := e :: !events in
+  (* process-name metadata, one per node *)
+  List.iter
+    (fun b ->
+      emit
+        (Json.Obj
+           [
+             ("name", Json.Str "process_name");
+             ("ph", Json.Str "M");
+             ("pid", Json.Int b.b_node);
+             ( "args",
+               Json.Obj
+                 [ ("name", Json.Str (Printf.sprintf "node %d" b.b_node)) ] );
+           ]))
+    (List.sort (fun a b -> Int.compare a.b_node b.b_node) bundles);
+  (* spans: one X event each, under the owning process's pid *)
+  List.iter
+    (fun b ->
+      List.iter
+        (fun (r : Span.record) ->
+          emit
+            (Json.Obj
+               [
+                 ("name", Json.Str r.Span.name);
+                 ("cat", Json.Str "csm");
+                 ("ph", Json.Str "X");
+                 ( "ts",
+                   Json.Int (int_of_float (r.Span.start_s *. 1e6) - base_us) );
+                 ("dur", Json.Float (r.Span.dur_s *. 1e6));
+                 ("pid", Json.Int b.b_node);
+                 ("tid", Json.Int r.Span.domain);
+                 ( "args",
+                   Json.Obj
+                     (List.map (fun (k, v) -> (k, Json.Str v)) r.Span.attrs
+                     @ [ ("span_id", Json.Int r.Span.id) ]) );
+               ]))
+        b.b_spans)
+    reps;
+  (* flight entries: a thin slice on the wire track of every node (all
+     bundles — rings are per-instance even in loopback) *)
+  let flow_ids : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let next_flow = ref 0 in
+  let flow_id key =
+    match Hashtbl.find_opt flow_ids key with
+    | Some id -> id
+    | None ->
+      let id = !next_flow in
+      incr next_flow;
+      Hashtbl.replace flow_ids key id;
+      id
+  in
+  let sends : (string, int * int) Hashtbl.t = Hashtbl.create 64 in
+  (* key → (node, ts) of the send side, to count matched flows *)
+  let matched = ref 0 in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun (e : Flight.entry) ->
+          let ts = flight_us e - base_us in
+          let frame = Option.value ~default:"" (List.assoc_opt "frame" e.f_attrs) in
+          let name =
+            if frame = "" then e.Flight.f_kind
+            else e.Flight.f_kind ^ ":" ^ frame
+          in
+          emit
+            (Json.Obj
+               [
+                 ("name", Json.Str name);
+                 ("cat", Json.Str "csm.wire");
+                 ("ph", Json.Str "X");
+                 ("ts", Json.Int ts);
+                 ("dur", Json.Int 1);
+                 ("pid", Json.Int b.b_node);
+                 ("tid", Json.Int wire_tid);
+                 ( "args",
+                   Json.Obj
+                     (("round", Json.Int e.f_round)
+                     :: ("hlc", Json.Int e.f_hlc)
+                     :: List.map (fun (k, v) -> (k, Json.Str v)) e.f_attrs) );
+               ]);
+          match e.Flight.f_kind with
+          | "send" -> (
+            match List.assoc_opt "dst" e.f_attrs with
+            | Some dst ->
+              let key = flow_key ~round:e.f_round ~frame ~src:b.b_node
+                          ~dst:(int_of_string_opt dst |> Option.value ~default:(-1))
+              in
+              Hashtbl.replace sends key (b.b_node, ts);
+              emit
+                (Json.Obj
+                   [
+                     ("name", Json.Str frame);
+                     ("cat", Json.Str "csm.flow");
+                     ("ph", Json.Str "s");
+                     ("id", Json.Int (flow_id key));
+                     ("ts", Json.Int ts);
+                     ("pid", Json.Int b.b_node);
+                     ("tid", Json.Int wire_tid);
+                   ])
+            | None -> ())
+          | "recv" -> (
+            match List.assoc_opt "src" e.f_attrs with
+            | Some src ->
+              let key = flow_key ~round:e.f_round ~frame
+                          ~src:(int_of_string_opt src |> Option.value ~default:(-1))
+                          ~dst:b.b_node
+              in
+              emit
+                (Json.Obj
+                   [
+                     ("name", Json.Str frame);
+                     ("cat", Json.Str "csm.flow");
+                     ("ph", Json.Str "f");
+                     ("bp", Json.Str "e");
+                     ("id", Json.Int (flow_id key));
+                     ("ts", Json.Int ts);
+                     ("pid", Json.Int b.b_node);
+                     ("tid", Json.Int wire_tid);
+                   ]);
+              if Hashtbl.mem sends key then incr matched
+            | None -> ())
+          | _ -> ())
+        b.b_flight)
+    (List.sort (fun a b -> Int.compare a.b_node b.b_node) bundles);
+  Json.Obj
+    [
+      ("traceEvents", Json.List (List.rev !events));
+      ("displayTimeUnit", Json.Str "ms");
+    ]
+
+(* Matched cross-node send→recv pairs among the bundles' flight rings:
+   the obs-smoke assertion that the merged trace really links
+   processes.  (Send and recv live on different nodes by construction —
+   a node never sends to itself.) *)
+let cross_flows (bundles : bundle list) : int =
+  let sends : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  let count = ref 0 in
+  let frame_of e =
+    Option.value ~default:"" (List.assoc_opt "frame" e.Flight.f_attrs)
+  in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun (e : Flight.entry) ->
+          if e.Flight.f_kind = "send" then
+            match List.assoc_opt "dst" e.f_attrs with
+            | Some dst ->
+              Hashtbl.replace sends
+                (flow_key ~round:e.f_round ~frame:(frame_of e) ~src:b.b_node
+                   ~dst:(int_of_string_opt dst |> Option.value ~default:(-1)))
+                ()
+            | None -> ())
+        b.b_flight)
+    bundles;
+  List.iter
+    (fun b ->
+      List.iter
+        (fun (e : Flight.entry) ->
+          if e.Flight.f_kind = "recv" then
+            match List.assoc_opt "src" e.f_attrs with
+            | Some src ->
+              if
+                Hashtbl.mem sends
+                  (flow_key ~round:e.f_round ~frame:(frame_of e)
+                     ~src:(int_of_string_opt src |> Option.value ~default:(-1))
+                     ~dst:b.b_node)
+              then incr count
+            | None -> ())
+        b.b_flight)
+    bundles;
+  !count

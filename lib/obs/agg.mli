@@ -1,0 +1,65 @@
+(** Cluster telemetry aggregation: serialize a node process's
+    observability state into a [csm-node-telemetry/1] bundle (the
+    payload of an end-of-run [Telemetry] frame), parse bundles back
+    with total decoders, and merge many of them into one cluster-wide
+    metric-view list and one merged Chrome trace with cross-node flow
+    arrows ordered by HLC. *)
+
+val schema : string
+(** ["csm-node-telemetry/1"]. *)
+
+type bundle = {
+  b_node : int;
+  b_pid : int;
+  b_hlc : Clock.stamp;  (** the node's HLC when it snapshotted *)
+  b_views : Metric.view list;
+  b_spans : Span.record list;
+  b_events : Event.t list;
+  b_flight : Flight.entry list;
+  b_flight_recorded : int;  (** ring total, including overwritten *)
+}
+
+val bundle_json : node:int -> flight:Flight.t -> unit -> Json.t
+(** Snapshot this process's metric registry, span buffers, event-log
+    tail, HLC and the given flight ring. *)
+
+val bundle_payload : node:int -> flight:Flight.t -> unit -> string
+(** [bundle_json] rendered for a Telemetry frame payload. *)
+
+val decode_bundle : string -> bundle option
+(** Total: any malformed or wrong-schema payload yields [None], so a
+    Byzantine node's telemetry is dropped, not fatal. *)
+
+val dedup_by_pid : bundle list -> bundle list
+(** One representative bundle per pid (the latest HLC snapshot), sorted
+    by node id.  Loopback nodes share one process's registries; their
+    bundles would otherwise multiply-count every shared channel. *)
+
+val merge_views : Metric.view list list -> Metric.view list
+(** Fold many registries' views into one: samples match on (family
+    name, labels); counters sum, gauges take the max, histograms use
+    [Metric.merge].  Associative and commutative inputs make the result
+    independent of bundle arrival order.  Total: layout or kind clashes
+    keep the first operand instead of raising. *)
+
+val merged_views : bundle list -> Metric.view list
+(** [merge_views] over the pid-deduped bundles' views. *)
+
+val max_hlc : bundle list -> Clock.stamp
+(** [Clock.join] over the bundles' snapshot stamps. *)
+
+val cluster_trace : bundle list -> Json.t
+(** The merged Chrome trace: every node's spans under its own pid
+    (pid-deduped), every flight ring's entries as thin slices on a
+    per-node "wire" track, and matched send/recv flight entries as
+    flow-event pairs ([ph:"s"]/[ph:"f"]) whose timestamps derive from
+    the HLC stamps — causally ordered across processes by
+    construction. *)
+
+val cross_flows : bundle list -> int
+(** Matched cross-node send→recv pairs among the bundles' flight rings
+    (the obs-smoke assertion). *)
+
+val flow_key : round:int -> frame:string -> src:int -> dst:int -> string
+(** The pairing key linking a flight "send" to its "recv": unique per
+    (round, frame kind, src, dst) in this protocol. *)

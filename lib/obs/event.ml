@@ -29,6 +29,7 @@ let level_of_string s =
 type t = {
   seq : int;  (* process-unique, monotone *)
   ts : float;  (* wall clock, Unix.gettimeofday *)
+  mono : float;  (* never-decreasing clock (Clock.mono), for deltas *)
   level : level;
   name : string;
   attrs : (string * string) list;
@@ -66,10 +67,11 @@ let emit ?(attrs = []) level name =
   let th = Atomic.get threshold in
   if th <> 0 && level_value level >= th then begin
     let ts = Unix.gettimeofday () in
+    let mono = Clock.mono () in
     locked (fun () ->
         let seq = !next_seq in
         next_seq := seq + 1;
-        ring.(seq mod capacity) <- Some { seq; ts; level; name; attrs });
+        ring.(seq mod capacity) <- Some { seq; ts; mono; level; name; attrs });
     Atomic.incr emitted
   end
 

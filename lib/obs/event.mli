@@ -7,8 +7,16 @@
 type level = Debug | Info | Warn | Error
 
 type t = {
-  seq : int;  (** process-unique, monotone emission index *)
-  ts : float;  (** wall clock (seconds) *)
+  seq : int;  (** process-unique, monotone emission index — wall clock
+      [ts] and [mono] are sampled in emission order but may tie *)
+  ts : float;  (** wall clock at emission ([Unix.gettimeofday],
+      seconds since the epoch): the human-readable absolute time, but
+      subject to NTP steps and VM-migration jumps, so deltas between
+      two events' [ts] can be negative or wildly wrong *)
+  mono : float;  (** never-decreasing clock at emission ({!Clock.mono},
+      seconds): use [b.mono -. a.mono] for durations and event-log
+      deltas — clamped so it cannot go backwards even when the wall
+      clock does *)
   level : level;
   name : string;
   attrs : (string * string) list;

@@ -91,10 +91,14 @@ let render_family buf (v : Metric.view) =
           h.Metric.s_count)
     v.Metric.samples
 
-let render () =
+(* Render an explicit view list — the cluster driver passes the merged
+   cross-node views here; [render] below is the local-registry case. *)
+let render_views views =
   let buf = Buffer.create 4096 in
-  List.iter (render_family buf) (Metric.families ());
+  List.iter (render_family buf) views;
   Buffer.contents buf
+
+let render () = render_views (Metric.families ())
 
 let write ~path =
   let oc = open_out path in

@@ -5,6 +5,10 @@
 val render : unit -> string
 (** The full exposition document for every registered family. *)
 
+val render_views : Metric.view list -> string
+(** Exposition of an explicit view list — e.g. the cluster-merged
+    views from [Agg.merged_views] rather than the local registry. *)
+
 val write : path:string -> unit
 
 val output : out_channel -> unit

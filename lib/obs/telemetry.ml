@@ -132,6 +132,24 @@ let transport_frame_errors ~node =
     ~labels:[ node_label node ]
     "csm_transport_frame_errors_total"
 
+let hlc_skew ~node =
+  Metric.gauge
+    ~help:
+      "Absolute gap between the node's hybrid-logical-clock physical \
+       component and its wall clock at telemetry-snapshot time, seconds \
+       — how far causality (or a clock step) dragged the HLC off real \
+       time"
+    ~labels:[ node_label node ]
+    "csm_hlc_skew_seconds"
+
+let flightrec_dumps ~reason =
+  Metric.counter
+    ~help:
+      "Flight-recorder dumps written, by trigger (divergence | \
+       frame-errors | suspicion | requested)"
+    ~labels:[ ("reason", reason) ]
+    "csm_flightrec_dumps_total"
+
 let throughput_lambda =
   Metric.gauge ~help:"Measured commands-per-round throughput λ"
     "csm_throughput_lambda"

@@ -41,6 +41,14 @@ val transport_frame_errors : node:int -> Metric.counter
 
 val intermix_audits : result:string -> Metric.counter
 val delegation_fraud : stage:string -> Metric.counter
+
+val hlc_skew : node:int -> Metric.gauge
+(** |HLC physical − wall clock| at telemetry-snapshot time, seconds. *)
+
+val flightrec_dumps : reason:string -> Metric.counter
+(** Flight-recorder dumps written, by trigger: ["divergence"],
+    ["frame-errors"], ["suspicion"], ["requested"]. *)
+
 val throughput_lambda : Metric.gauge
 val storage_gamma : Metric.gauge
 val security_beta : Metric.gauge

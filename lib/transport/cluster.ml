@@ -20,6 +20,9 @@ module Field_intf = Csm_field.Field_intf
 module Frame = Csm_wire.Frame
 module Params = Csm_core.Params
 module Pool = Csm_parallel.Pool
+module Clock = Csm_obs.Clock
+module Flight = Csm_obs.Flight
+module Agg = Csm_obs.Agg
 
 type mode =
   | Loopback  (** threads in this process, in-memory frames *)
@@ -44,6 +47,8 @@ module Make (F : Field_intf.S) = struct
     mode : mode;
     faults : (int * Node.fault) list;
     deadline : float;
+    trace : bool;  (* v2 trace extensions + per-node spans *)
+    telemetry : bool;  (* gather end-of-run Telemetry bundles *)
   }
 
   type result = {
@@ -51,8 +56,18 @@ module Make (F : Field_intf.S) = struct
     reference : string array;  (* fault-free single-process payloads *)
     outputs_received : int array;  (* validated Output frames per round *)
     stats : Transport.stats option array;  (* n nodes then the client *)
+    telemetry : Agg.bundle list;
+        (* decoded node bundles (ordered by node id) then the client's
+           own, when cfg.telemetry; [] otherwise *)
     ok : bool;  (* every round accepted and equal to the reference *)
   }
+
+  (* The round's causal trace id, derived from the seed so every frame
+     of one logical round shares it across all processes. *)
+  let trace_id cfg r =
+    Int64.add
+      (Int64.mul (Int64.of_int cfg.seed) 1_000_003L)
+      (Int64.of_int (r + 1))
 
   (* Deterministic shared inputs: both the cluster's client and the
      reference run derive them from the seed alone. *)
@@ -93,12 +108,50 @@ module Make (F : Field_intf.S) = struct
     let b = cfg.params.Params.b in
     let k = cfg.params.Params.k in
     let rng = Csm_rng.create cfg.seed in
+    let flight = Flight.create ~node:n () in
     let expected_outputs =
       n
       - List.length
           (List.filter
              (fun i -> not (Node.delivers (fault_of cfg i)))
              (List.init n (fun i -> i)))
+    in
+    (* stamp client control/protocol frames exactly like the nodes do *)
+    let stamp ~trace frame =
+      if not cfg.trace then frame
+      else
+        {
+          frame with
+          Frame.version = Frame.ext_version;
+          ext = Some { Frame.trace_id = trace; hlc = Clock.to_wire (Clock.now ()) };
+        }
+    in
+    let send ~trace ~dst frame =
+      let frame = stamp ~trace frame in
+      Flight.record flight ~trace
+        ~attrs:
+          [ ("dst", string_of_int dst); ("frame", Frame.kind_name frame.Frame.kind) ]
+        ~hlc:
+          (match frame.Frame.ext with
+          | Some e -> Clock.of_wire e.Frame.hlc
+          | None -> Clock.now ())
+        ~round:frame.Frame.round "send";
+      tr.Transport.send ~dst frame
+    in
+    let record_recv (fr : Frame.t) =
+      let hlc =
+        match fr.Frame.ext with
+        | Some e -> Clock.observe (Clock.of_wire e.Frame.hlc)
+        | None -> Clock.now ()
+      in
+      Flight.record flight
+        ~trace:(match fr.Frame.ext with Some e -> e.Frame.trace_id | None -> 0L)
+        ~attrs:
+          [
+            ("src", string_of_int fr.Frame.sender);
+            ("frame", Frame.kind_name fr.Frame.kind);
+          ]
+        ~hlc ~round:fr.Frame.round "recv"
     in
     let ledger = Array.make cfg.rounds None in
     let outputs_received = Array.make cfg.rounds 0 in
@@ -107,7 +160,7 @@ module Make (F : Field_intf.S) = struct
       let payload = W.encode_commands_bin commands in
       let cmd = Frame.make ~kind:Frame.Command ~sender:n ~round:r payload in
       for i = 0 to n - 1 do
-        tr.Transport.send ~dst:i cmd
+        send ~trace:(trace_id cfg r) ~dst:i cmd
       done;
       (* collect Output frames for this round; a corrupted payload fails
          matrix validation at intake — counted and dropped *)
@@ -123,7 +176,9 @@ module Make (F : Field_intf.S) = struct
                  && fr.Frame.sender >= 0
                  && fr.Frame.sender < n -> (
             match W.decode_matrix_bin fr.Frame.payload with
-            | Some _ -> Hashtbl.replace got fr.Frame.sender fr.Frame.payload
+            | Some _ ->
+              record_recv fr;
+              Hashtbl.replace got fr.Frame.sender fr.Frame.payload
             | None -> Transport.record_error tr)
           | Some fr when Frame.kind_eq fr.Frame.kind Frame.Stats -> ()
             (* late stats cannot occur before shutdown; ignore *)
@@ -146,17 +201,22 @@ module Make (F : Field_intf.S) = struct
           if c >= b + 1 && Option.is_none ledger.(r) then ledger.(r) <- Some p)
         tally
     done;
-    (* shutdown: every node answers with its transport counters *)
+    (* shutdown: every node answers with its transport counters (and,
+       in telemetry mode, its observability bundle) *)
     let bye = Frame.make ~kind:Frame.Shutdown ~sender:n ~round:cfg.rounds "" in
     for i = 0 to n - 1 do
-      tr.Transport.send ~dst:i bye
+      send ~trace:0L ~dst:i bye
     done;
     let stats : Transport.stats option array = Array.make (n + 1) None in
+    let bundles : (int, Agg.bundle) Hashtbl.t = Hashtbl.create 8 in
     let limit = Unix.gettimeofday () +. cfg.deadline in
     let have_all () =
       let c = ref 0 in
       for i = 0 to n - 1 do
-        if Option.is_some stats.(i) then incr c
+        if
+          Option.is_some stats.(i)
+          && ((not cfg.telemetry) || Hashtbl.mem bundles i)
+        then incr c
       done;
       !c = n
     in
@@ -170,13 +230,28 @@ module Make (F : Field_intf.S) = struct
           match N.decode_stats_payload fr.Frame.payload with
           | Some s -> stats.(fr.Frame.sender) <- Some s
           | None -> Transport.record_error tr)
+        | Some fr
+          when cfg.telemetry
+               && Frame.kind_eq fr.Frame.kind Frame.Telemetry
+               && fr.Frame.sender >= 0
+               && fr.Frame.sender < n -> (
+          match Agg.decode_bundle fr.Frame.payload with
+          | Some bdl ->
+            record_recv fr;
+            Hashtbl.replace bundles fr.Frame.sender bdl
+          | None -> Transport.record_error tr)
         | Some _ -> ()  (* stragglers from the last round *)
         | None -> ());
         gather ()
       end
     in
     gather ();
-    (ledger, outputs_received, stats)
+    let node_bundles =
+      List.filter_map
+        (fun i -> Hashtbl.find_opt bundles i)
+        (List.init n (fun i -> i))
+    in
+    (ledger, outputs_received, stats, node_bundles, flight)
 
   let node_config cfg i =
     {
@@ -188,6 +263,8 @@ module Make (F : Field_intf.S) = struct
       fault = fault_of cfg i;
       faults = cfg.faults;
       deadline = cfg.deadline;
+      trace = cfg.trace;
+      telemetry = cfg.telemetry;
     }
 
   (* ---- loopback mode: one thread per node ---- *)
@@ -209,12 +286,14 @@ module Make (F : Field_intf.S) = struct
                 ())
         in
         let client = Loopback.endpoint net ~id:n in
-        let ledger, outputs_received, node_stats = client_run cfg client in
+        let ledger, outputs_received, node_stats, bundles, flight =
+          client_run cfg client
+        in
         List.iter Thread.join threads;
         let stats = Array.copy node_stats in
         stats.(n) <- Some (Transport.snapshot client);
         client.Transport.close ();
-        (ledger, outputs_received, stats))
+        (ledger, outputs_received, stats, bundles, flight))
 
   (* ---- socket mode: one forked process per node ---- *)
 
@@ -238,7 +317,9 @@ module Make (F : Field_intf.S) = struct
           | pid -> pid)
     in
     let client = Socket.endpoint ~addr ~id:n ~endpoints:(n + 1) in
-    let ledger, outputs_received, node_stats = client_run cfg client in
+    let ledger, outputs_received, node_stats, bundles, flight =
+      client_run cfg client
+    in
     let stats = Array.copy node_stats in
     stats.(n) <- Some (Transport.snapshot client);
     client.Transport.close ();
@@ -262,14 +343,25 @@ module Make (F : Field_intf.S) = struct
       wait ()
     in
     List.iter reap pids;
-    (ledger, outputs_received, stats)
+    (ledger, outputs_received, stats, bundles, flight)
 
   let run cfg =
-    let ledger, outputs_received, stats =
+    let n = cfg.params.Params.n in
+    let ledger, outputs_received, stats, node_bundles, client_flight =
       match cfg.mode with
       | Loopback -> run_loopback cfg
       | Uds dir -> run_socket cfg (Socket.Uds dir)
       | Tcp base -> run_socket cfg (Socket.Tcp base)
+    in
+    (* the client's own bundle goes through the same wire codec as the
+       nodes', so every entry in [telemetry] has one provenance *)
+    let telemetry =
+      if not cfg.telemetry then []
+      else
+        node_bundles
+        @ Option.to_list
+            (Agg.decode_bundle
+               (Agg.bundle_payload ~node:n ~flight:client_flight ()))
     in
     (* the reference run spins up the pool — strictly after any forks *)
     let reference = reference_ledger cfg in
@@ -280,5 +372,5 @@ module Make (F : Field_intf.S) = struct
         | Some p when p = reference.(r) -> ()
         | _ -> ok := false)
       ledger;
-    { ledger; reference; outputs_received; stats; ok = !ok }
+    { ledger; reference; outputs_received; stats; telemetry; ok = !ok }
 end

@@ -25,6 +25,14 @@ module Make (F : Field_intf.S) : sig
     mode : mode;
     faults : (int * Node.fault) list;
     deadline : float;  (** per-wait upper bound, seconds *)
+    trace : bool;
+        (** stamp every protocol frame (client and nodes) with the
+            frame-v2 trace extension and record per-node spans; off, the
+            wire bytes are identical to the pre-v2 runtime *)
+    telemetry : bool;
+        (** gather each node's end-of-run [csm-node-telemetry/1] bundle
+            (metrics, spans, events, flight ring) for cluster-wide
+            aggregation *)
   }
 
   type result = {
@@ -37,6 +45,10 @@ module Make (F : Field_intf.S) : sig
     stats : Transport.stats option array;
         (** per-endpoint transport counters: the n nodes, then the
             client last *)
+    telemetry : Csm_obs.Agg.bundle list;
+        (** when [config.telemetry]: the decoded node bundles (node-id
+            order) then the client's own, every entry round-tripped
+            through the wire codec; [[]] otherwise *)
     ok : bool;  (** every round accepted and byte-equal to the reference *)
   }
 

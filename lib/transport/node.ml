@@ -28,6 +28,12 @@
 module Field_intf = Csm_field.Field_intf
 module Frame = Csm_wire.Frame
 module Params = Csm_core.Params
+module Clock = Csm_obs.Clock
+module Flight = Csm_obs.Flight
+module Agg = Csm_obs.Agg
+module Span = Csm_obs.Span
+module Metric = Csm_obs.Metric
+module Tel = Csm_obs.Telemetry
 
 type fault =
   | Honest
@@ -60,6 +66,8 @@ module Make (F : Field_intf.S) = struct
     fault : fault;
     faults : (int * fault) list;  (* the whole cluster's fault map *)
     deadline : float;  (* per-wait upper bound, seconds *)
+    trace : bool;  (* stamp frame-v2 trace extensions + merge HLC *)
+    telemetry : bool;  (* ship a Telemetry bundle after the Stats reply *)
   }
 
   (* Peers whose protocol frames will actually arrive (and validate). *)
@@ -84,17 +92,6 @@ module Make (F : Field_intf.S) = struct
       Bytes.to_string b
     end
 
-  let send_protocol cfg (tr : Transport.t) ~dst frame =
-    match cfg.fault with
-    | Honest -> tr.Transport.send ~dst frame
-    | Drop -> ()
-    | Delay t ->
-      Thread.delay t;
-      tr.Transport.send ~dst frame
-    | Corrupt ->
-      tr.Transport.send ~dst
-        { frame with Frame.payload = corrupt_payload frame.Frame.payload }
-
   (* ---- inbox: validated protocol state, filled by [pump] ---- *)
 
   type inbox = {
@@ -102,16 +99,71 @@ module Make (F : Field_intf.S) = struct
         (* round → (payload, decoded commands), client frames only *)
     commits : (int * int, string) Hashtbl.t;  (* (round, sender) → payload *)
     results : (int * int, F.t array) Hashtbl.t;  (* (round, sender) → gⱼ *)
+    traces : (int, int64) Hashtbl.t;
+        (* round → causal trace id, adopted from the first valid
+           extended frame of the round (the client's Command) *)
+    flight : Flight.t;  (* this node's always-on black box *)
     mutable shutdown : bool;
   }
 
-  let make_inbox () =
+  let make_inbox ~node () =
     {
       commands = Hashtbl.create 16;
       commits = Hashtbl.create 64;
       results = Hashtbl.create 64;
+      traces = Hashtbl.create 16;
+      flight = Flight.create ~node ();
       shutdown = false;
     }
+
+  let trace_of inbox round =
+    Option.value ~default:0L (Hashtbl.find_opt inbox.traces round)
+
+  (* Stamp an outbound protocol frame (trace mode): promote it to
+     wire v2 carrying the round's trace id and a fresh HLC send stamp. *)
+  let stamp cfg inbox frame =
+    if not cfg.trace then frame
+    else
+      {
+        frame with
+        Frame.version = Frame.ext_version;
+        ext =
+          Some
+            {
+              Frame.trace_id = trace_of inbox frame.Frame.round;
+              hlc = Clock.to_wire (Clock.now ());
+            };
+      }
+
+  let record_send inbox ~dst (frame : Frame.t) =
+    let hlc, trace =
+      match frame.Frame.ext with
+      | Some e -> (Clock.of_wire e.Frame.hlc, e.Frame.trace_id)
+      | None -> (Clock.now (), trace_of inbox frame.Frame.round)
+    in
+    Flight.record inbox.flight ~trace
+      ~attrs:
+        [
+          ("dst", string_of_int dst);
+          ("frame", Frame.kind_name frame.Frame.kind);
+        ]
+      ~hlc ~round:frame.Frame.round "send"
+
+  let send_protocol cfg inbox (tr : Transport.t) ~dst frame =
+    let frame = stamp cfg inbox frame in
+    match cfg.fault with
+    | Honest ->
+      record_send inbox ~dst frame;
+      tr.Transport.send ~dst frame
+    | Drop -> ()
+    | Delay t ->
+      Thread.delay t;
+      record_send inbox ~dst frame;
+      tr.Transport.send ~dst frame
+    | Corrupt ->
+      record_send inbox ~dst frame;
+      tr.Transport.send ~dst
+        { frame with Frame.payload = corrupt_payload frame.Frame.payload }
 
   (* Intake-time validation: decode the payload with the total decoders
      the moment the frame arrives, so a malformed body is counted and
@@ -120,36 +172,71 @@ module Make (F : Field_intf.S) = struct
     let n = cfg.params.Params.n in
     let k = cfg.params.Params.k in
     let sender = fr.Frame.sender in
+    (* HLC receive rule: fold the sender's stamp in before anything
+       else, so the local clock (and the flight entry below) is already
+       causally after the send *)
+    let rx_hlc, rx_trace =
+      match fr.Frame.ext with
+      | Some e -> (Clock.observe (Clock.of_wire e.Frame.hlc), e.Frame.trace_id)
+      | None -> (Clock.now (), 0L)
+    in
+    let record_recv () =
+      if rx_trace <> 0L && not (Hashtbl.mem inbox.traces fr.Frame.round) then
+        Hashtbl.replace inbox.traces fr.Frame.round rx_trace;
+      Flight.record inbox.flight ~trace:rx_trace
+        ~attrs:
+          [
+            ("src", string_of_int sender);
+            ("frame", Frame.kind_name fr.Frame.kind);
+          ]
+        ~hlc:rx_hlc ~round:fr.Frame.round "recv"
+    in
+    let record_bad reason =
+      Transport.record_error tr;
+      Flight.record inbox.flight ~trace:rx_trace
+        ~attrs:
+          [
+            ("src", string_of_int sender);
+            ("frame", Frame.kind_name fr.Frame.kind);
+            ("reason", reason);
+          ]
+        ~hlc:rx_hlc ~round:fr.Frame.round "error"
+    in
     match fr.Frame.kind with
     | Frame.Command when sender = n -> (
       match
         W.decode_commands_bin ~k ~dim:cfg.machine.M.input_dim fr.Frame.payload
       with
       | Some cs ->
+        record_recv ();
         if not (Hashtbl.mem inbox.commands fr.Frame.round) then
           Hashtbl.replace inbox.commands fr.Frame.round (fr.Frame.payload, cs)
-      | None -> Transport.record_error tr)
+      | None -> record_bad "bad-payload")
     | Frame.Commit when sender >= 0 && sender < n && sender <> cfg.node -> (
       match
         W.decode_commands_bin ~k ~dim:cfg.machine.M.input_dim fr.Frame.payload
       with
       | Some _ ->
+        record_recv ();
         if not (Hashtbl.mem inbox.commits (fr.Frame.round, sender)) then
           Hashtbl.replace inbox.commits (fr.Frame.round, sender)
             fr.Frame.payload
-      | None -> Transport.record_error tr)
+      | None -> record_bad "bad-payload")
     | Frame.Result when sender >= 0 && sender < n && sender <> cfg.node -> (
       let dim = cfg.machine.M.state_dim + cfg.machine.M.output_dim in
       match W.decode_vector_bin ~dim fr.Frame.payload with
       | Some g ->
+        record_recv ();
         if not (Hashtbl.mem inbox.results (fr.Frame.round, sender)) then
           Hashtbl.replace inbox.results (fr.Frame.round, sender) g
-      | None -> Transport.record_error tr)
-    | Frame.Shutdown when sender = n -> inbox.shutdown <- true
+      | None -> record_bad "bad-payload")
+    | Frame.Shutdown when sender = n ->
+      record_recv ();
+      inbox.shutdown <- true
     | _ ->
       (* unexpected kind/sender combination: malformed at the protocol
          level, counted like any other bad frame *)
-      Transport.record_error tr
+      record_bad "unexpected-kind"
 
   (* Drain everything already delivered, waiting at most [within] for
      the first frame. *)
@@ -179,6 +266,11 @@ module Make (F : Field_intf.S) = struct
 
   (* ---- one protocol round ---- *)
 
+  let phase inbox ~round name =
+    Flight.record inbox.flight ~trace:(trace_of inbox round)
+      ~attrs:[ ("phase", name) ]
+      ~hlc:(Clock.now ()) ~round "phase"
+
   let run_round cfg (tr : Transport.t) engine inbox r =
     let n = cfg.params.Params.n in
     let b = cfg.params.Params.b in
@@ -190,12 +282,13 @@ module Make (F : Field_intf.S) = struct
     if not got_commands then false
     else begin
       let cmd_payload, commands = Hashtbl.find inbox.commands r in
+      phase inbox ~round:r "commands";
       (* 2. commit: echo the command payload to every peer, then wait
          for the peers expected to deliver; proceed on b+1 matching
          endorsements (self included) *)
       let commit = Frame.make ~kind:Frame.Commit ~sender:me ~round:r cmd_payload in
       for j = 0 to n - 1 do
-        if j <> me then send_protocol cfg tr ~dst:j commit
+        if j <> me then send_protocol cfg inbox tr ~dst:j commit
       done;
       let expected_commits = expected_peers cfg - 1 (* peers, sans self *) in
       let commits_in () =
@@ -213,16 +306,18 @@ module Make (F : Field_intf.S) = struct
       let committed = matching >= b + 1 in
       if not committed then false
       else begin
+      phase inbox ~round:r "committed";
       (* 3. compute gᵢ over the committed commands *)
       let coded_command = E.node_encode_command engine ~node:me ~commands in
       let g = E.node_compute engine ~node:me ~coded_command in
+      phase inbox ~round:r "computed";
       (* 4. broadcast the result, keep our own *)
       let result =
         Frame.make ~kind:Frame.Result ~sender:me ~round:r
           (W.encode_vector_bin g)
       in
       for j = 0 to n - 1 do
-        if j <> me then send_protocol cfg tr ~dst:j result
+        if j <> me then send_protocol cfg inbox tr ~dst:j result
       done;
       Hashtbl.replace inbox.results (r, me) g;
       (* 5. collect and decode *)
@@ -245,13 +340,16 @@ module Make (F : Field_intf.S) = struct
          CSM_RS_FASTPATH env var: optimistic verify-first fast path by
          default, with Gao + suspicion-guided erasures as fallback *)
       match E.decode_results engine received with
-      | None -> false
+      | None ->
+        phase inbox ~round:r "decode-failed";
+        false
       | Some d ->
+        phase inbox ~round:r "decoded";
         (* 6. ship the decoded outputs + next states to the client *)
         let payload =
           W.encode_matrix_bin (Array.append d.E.outputs d.E.next_states)
         in
-        send_protocol cfg tr ~dst:n
+        send_protocol cfg inbox tr ~dst:n
           (Frame.make ~kind:Frame.Output ~sender:me ~round:r payload);
         (* 7. advance our own coded state *)
         E.node_update_state engine ~node:me ~next_states:d.E.next_states;
@@ -296,13 +394,19 @@ module Make (F : Field_intf.S) = struct
   (* ---- entry point: run all rounds, then answer the shutdown ---- *)
 
   let run cfg (tr : Transport.t) =
+    if cfg.trace then Span.enable ();
     let engine =
       E.create ~machine:cfg.machine ~params:cfg.params ~init:cfg.init
     in
-    let inbox = make_inbox () in
+    let inbox = make_inbox ~node:cfg.node () in
     let n = cfg.params.Params.n in
+    let node_attr = [ ("node", string_of_int cfg.node) ] in
     for r = 0 to cfg.rounds - 1 do
-      if not inbox.shutdown then ignore (run_round cfg tr engine inbox r)
+      if not inbox.shutdown then
+        ignore
+          (Span.with_ ~name:"node.round"
+             ~attrs:(("round", string_of_int r) :: node_attr)
+             (fun () -> run_round cfg tr engine inbox r))
     done;
     (* wait for the client's shutdown, reply with our counters (control
        frames are exempt from the node's fault: the driver needs them) *)
@@ -311,5 +415,19 @@ module Make (F : Field_intf.S) = struct
     tr.Transport.send ~dst:n
       (Frame.make ~kind:Frame.Stats ~sender:cfg.node ~round:cfg.rounds
          (stats_payload snap));
+    (* telemetry rides after the Stats reply so the counters above never
+       include it; like Stats, it is a control frame exempt from the
+       node's fault — the aggregator needs even a Byzantine node's
+       bundle (its contents are validated, totally, on the client) *)
+    if cfg.telemetry then begin
+      if Metric.enabled () then
+        Metric.set
+          (Tel.hlc_skew ~node:cfg.node)
+          (Clock.skew_seconds (Clock.peek ()));
+      tr.Transport.send ~dst:n
+        (stamp cfg inbox
+           (Frame.make ~kind:Frame.Telemetry ~sender:cfg.node ~round:cfg.rounds
+              (Agg.bundle_payload ~node:cfg.node ~flight:inbox.flight ())))
+    end;
     tr.Transport.close ()
 end

@@ -37,6 +37,13 @@ module Make (F : Field_intf.S) : sig
     fault : fault;  (** this node's own transport-level fault *)
     faults : (int * fault) list;  (** the whole cluster's fault map *)
     deadline : float;  (** per-wait upper bound, seconds *)
+    trace : bool;
+        (** stamp outbound protocol frames with the v2 trace extension
+            (trace id + HLC send stamp) and enable span recording; off,
+            the node's wire bytes are identical to the pre-v2 runtime *)
+    telemetry : bool;
+        (** after the Stats reply, ship a [csm-node-telemetry/1] bundle
+            (metrics, spans, events, flight ring) in a Telemetry frame *)
   }
 
   val corrupt_payload : string -> string

@@ -4,7 +4,7 @@
 
    Receive path: an accept thread hands each inbound connection to a
    reader thread that loops { read 16 header bytes; validate via
-   [Frame.decode_header]; read the claimed payload } and pushes decoded
+   [Frame.decode_header]; read the claimed body } and pushes decoded
    frames into the endpoint's mailbox.  A malformed header is
    unrecoverable on a byte stream (framing is lost), so it counts one
    frame error and drops the connection — the sender can reconnect; the
@@ -102,13 +102,11 @@ let endpoint ~addr ~id ~endpoints =
            Transport.record_error t;
            raise Exit
          | Some h ->
-           let payload = Bytes.create h.Frame.h_payload_bytes in
-           really_read conn payload 0 h.Frame.h_payload_bytes;
-           Transport.record_received t
-             (Frame.encoded_size ~payload_bytes:h.Frame.h_payload_bytes);
-           (match
-              Frame.of_header h ~payload:(Bytes.unsafe_to_string payload)
-            with
+           let body_len = Frame.body_bytes h in
+           let body = Bytes.create body_len in
+           really_read conn body 0 body_len;
+           Transport.record_received t (Frame.header_bytes + body_len);
+           (match Frame.of_header h ~body:(Bytes.unsafe_to_string body) with
            | Some fr -> Lockdep.with_lock im (fun () -> Queue.push fr incoming)
            | None -> Transport.record_error t)
        done

@@ -3,6 +3,10 @@
    the metrics ledger. *)
 
 module Span = Csm_obs.Span
+module Clock = Csm_obs.Clock
+module Flight = Csm_obs.Flight
+module Agg = Csm_obs.Agg
+module Event = Csm_obs.Event
 module Summary = Csm_obs.Summary
 module Exporter = Csm_obs.Exporter
 module Json = Csm_obs.Json
@@ -644,6 +648,342 @@ let prom_exposition_well_formed () =
           "# TYPE x counter\nx 1";
         ])
 
+(* ----- hybrid logical clock ----- *)
+
+let hlc_pack_accessors () =
+  let s = Clock.pack ~ms:1234 ~count:7 in
+  Alcotest.(check int) "ms component" 1234 (Clock.ms s);
+  Alcotest.(check int) "count component" 7 (Clock.count s);
+  Alcotest.(check (float 1e-9)) "seconds" 1.234 (Clock.seconds s);
+  (* causal order: counter breaks ties within a millisecond *)
+  Alcotest.(check bool) "count orders within ms" true
+    (Clock.compare (Clock.pack ~ms:1234 ~count:7) (Clock.pack ~ms:1234 ~count:8)
+    < 0);
+  Alcotest.(check bool) "ms dominates count" true
+    (Clock.compare
+       (Clock.pack ~ms:1234 ~count:65535)
+       (Clock.pack ~ms:1235 ~count:0)
+    < 0);
+  List.iter
+    (fun (label, f) ->
+      match f () with
+      | exception Invalid_argument _ -> ()
+      | (_ : Clock.stamp) -> Alcotest.failf "pack accepted %s" label)
+    [
+      ("negative ms", fun () -> Clock.pack ~ms:(-1) ~count:0);
+      ("negative count", fun () -> Clock.pack ~ms:0 ~count:(-1));
+      ("oversized count", fun () -> Clock.pack ~ms:0 ~count:0x10000);
+    ]
+
+let hlc_now_monotone () =
+  let prev = ref (Clock.now ()) in
+  for _ = 1 to 1000 do
+    let s = Clock.now () in
+    if Clock.compare !prev s >= 0 then
+      Alcotest.failf "now not strictly increasing: %a then %a" Clock.pp !prev
+        Clock.pp s;
+    prev := s
+  done;
+  (* peek reads without advancing *)
+  let p = Clock.peek () in
+  Alcotest.(check bool) "peek does not advance" true
+    (Clock.compare p (Clock.peek ()) = 0);
+  Alcotest.(check bool) "peek at least last now" true (Clock.compare !prev p <= 0)
+
+let hlc_observe_merges () =
+  let local = Clock.now () in
+  (* a remote stamp from a host whose wall clock runs 5s ahead *)
+  let remote = Clock.pack ~ms:(Clock.ms local + 5000) ~count:3 in
+  let recv = Clock.observe remote in
+  Alcotest.(check bool) "recv after remote" true (Clock.compare remote recv < 0);
+  Alcotest.(check bool) "recv after prior local" true
+    (Clock.compare local recv < 0);
+  Alcotest.(check bool) "later sends after recv" true
+    (Clock.compare recv (Clock.now ()) < 0);
+  (* causality pulled the HLC ahead of this host's wall clock *)
+  Alcotest.(check bool) "skew is observable" true
+    (Clock.skew_seconds (Clock.peek ()) >= 0.0);
+  (* a stale remote stamp merges as a no-op on the physical component *)
+  let before = Clock.peek () in
+  let after = Clock.observe (Clock.pack ~ms:1 ~count:1) in
+  Alcotest.(check bool) "stale observe keeps going forward" true
+    (Clock.compare before after < 0);
+  Alcotest.(check int) "stale observe keeps local ms" (Clock.ms before)
+    (Clock.ms after)
+
+let hlc_join_and_wire () =
+  let a = Clock.pack ~ms:10 ~count:9
+  and b = Clock.pack ~ms:11 ~count:2
+  and c = Clock.pack ~ms:11 ~count:7 in
+  Alcotest.(check int) "join = max" (max a (max b c))
+    (Clock.join a (Clock.join b c));
+  Alcotest.(check int) "join commutes" (Clock.join a b) (Clock.join b a);
+  Alcotest.(check int) "join associative"
+    (Clock.join (Clock.join a b) c)
+    (Clock.join a (Clock.join b c));
+  Alcotest.(check int) "join idempotent" a (Clock.join a a);
+  (* wire encoding round-trips every component *)
+  List.iter
+    (fun s ->
+      Alcotest.(check int) "of_wire inverts to_wire" s
+        (Clock.of_wire (Clock.to_wire s)))
+    [ a; b; c; Clock.pack ~ms:0 ~count:0; Clock.now () ];
+  (* an untrusted out-of-range u64 clamps to the no-op stamp 0 *)
+  Alcotest.(check int) "negative u64 clamps" 0 (Clock.of_wire Int64.minus_one);
+  Alcotest.(check int) "max u64 clamps" 0 (Clock.of_wire Int64.min_int)
+
+let hlc_mono_clock () =
+  let m1 = Clock.mono () in
+  let m2 = Clock.mono () in
+  Alcotest.(check bool) "mono positive" true (m1 > 0.0);
+  Alcotest.(check bool) "mono never decreases" true (m2 >= m1)
+
+(* ----- flight recorder ring ----- *)
+
+let flight_ring_bounds () =
+  (match Flight.create ~capacity:0 ~node:0 () with
+  | exception Invalid_argument _ -> ()
+  | (_ : Flight.t) -> Alcotest.fail "created a zero-capacity ring");
+  let f = Flight.create ~capacity:4 ~node:2 () in
+  Alcotest.(check int) "node id" 2 (Flight.node f);
+  Alcotest.(check int) "capacity" 4 (Flight.capacity f);
+  for round = 0 to 5 do
+    Flight.record f ~hlc:(Clock.now ()) ~round "phase"
+  done;
+  Alcotest.(check int) "recorded counts overwrites" 6 (Flight.recorded f);
+  let entries = Flight.entries f in
+  Alcotest.(check int) "ring keeps capacity entries" 4 (List.length entries);
+  Alcotest.(check (list int)) "oldest first, newest kept" [ 2; 3; 4; 5 ]
+    (List.map (fun e -> e.Flight.f_round) entries);
+  let hlcs = List.map (fun e -> e.Flight.f_hlc) entries in
+  Alcotest.(check bool) "entries in HLC order" true
+    (List.sort Clock.compare hlcs = hlcs)
+
+let flight_entry_json_total () =
+  let f = Flight.create ~capacity:2 ~node:1 () in
+  Flight.record f ~trace:0x1D5EEDL
+    ~attrs:[ ("dst", "3"); ("frame", "Share") ]
+    ~hlc:(Clock.now ()) ~round:7 "send";
+  let e = List.hd (Flight.entries f) in
+  (match Flight.decode_entry_json (Flight.entry_json e) with
+  | None -> Alcotest.fail "entry_json did not decode"
+  | Some d ->
+    Alcotest.(check int) "hlc survives" e.Flight.f_hlc d.Flight.f_hlc;
+    Alcotest.(check int64) "trace survives" e.Flight.f_trace d.Flight.f_trace;
+    Alcotest.(check int) "round survives" e.Flight.f_round d.Flight.f_round;
+    Alcotest.(check string) "kind survives" e.Flight.f_kind d.Flight.f_kind;
+    Alcotest.(check (list (pair string string))) "attrs survive"
+      e.Flight.f_attrs d.Flight.f_attrs);
+  (* decoding is total on malformed documents *)
+  List.iter
+    (fun (label, j) ->
+      match Flight.decode_entry_json j with
+      | None -> ()
+      | Some _ -> Alcotest.failf "decoded malformed entry: %s" label)
+    [
+      ("non-object", Json.Str "x");
+      ("empty object", Json.Obj []);
+      ( "wrong field type",
+        Json.Obj [ ("hlc", Json.Str "nope"); ("round", Json.Int 1) ] );
+    ]
+
+(* ----- telemetry bundles and aggregation ----- *)
+
+let agg_bundle_round_trip () =
+  let f = Flight.create ~capacity:8 ~node:3 () in
+  Flight.record f ~trace:42L
+    ~attrs:[ ("dst", "0"); ("frame", "Output") ]
+    ~hlc:(Clock.now ()) ~round:1 "send";
+  Flight.record f ~hlc:(Clock.now ()) ~round:1 "phase";
+  let payload = Agg.bundle_payload ~node:3 ~flight:f () in
+  (match Agg.decode_bundle payload with
+  | None -> Alcotest.fail "own bundle did not decode"
+  | Some b ->
+    Alcotest.(check int) "node id" 3 b.Agg.b_node;
+    Alcotest.(check int) "pid" (Unix.getpid ()) b.Agg.b_pid;
+    Alcotest.(check bool) "snapshot hlc set" true (b.Agg.b_hlc > 0);
+    Alcotest.(check int) "flight total" (Flight.recorded f)
+      b.Agg.b_flight_recorded;
+    Alcotest.(check int) "flight entries" 2 (List.length b.Agg.b_flight);
+    Alcotest.(check (list string)) "flight kinds in order" [ "send"; "phase" ]
+      (List.map (fun e -> e.Flight.f_kind) b.Agg.b_flight));
+  (* Byzantine telemetry payloads are dropped, not fatal *)
+  List.iter
+    (fun (label, payload) ->
+      match Agg.decode_bundle payload with
+      | None -> ()
+      | Some _ -> Alcotest.failf "decoded %s" label)
+    [
+      ("garbage", "\x00\xffnot json");
+      ("wrong schema", Json.to_string (Json.Obj [ ("schema", Json.Str "x/1") ]));
+      ( "schema without node",
+        Json.to_string (Json.Obj [ ("schema", Json.Str Agg.schema) ]) );
+    ]
+
+let mk_bundle ?(views = []) ?(flight = []) ~node ~pid ~hlc () =
+  {
+    Agg.b_node = node;
+    b_pid = pid;
+    b_hlc = hlc;
+    b_views = views;
+    b_spans = [];
+    b_events = [];
+    b_flight = flight;
+    b_flight_recorded = List.length flight;
+  }
+
+let agg_dedup_by_pid () =
+  let bundles =
+    [
+      mk_bundle ~node:1 ~pid:77 ~hlc:10 ();
+      mk_bundle ~node:0 ~pid:77 ~hlc:20 ();
+      mk_bundle ~node:2 ~pid:88 ~hlc:5 ();
+    ]
+  in
+  let reps = Agg.dedup_by_pid bundles in
+  Alcotest.(check (list int)) "one rep per pid, sorted by node" [ 0; 2 ]
+    (List.map (fun b -> b.Agg.b_node) reps);
+  Alcotest.(check int) "latest snapshot wins" 20
+    (List.find (fun b -> b.Agg.b_pid = 77) reps).Agg.b_hlc;
+  Alcotest.(check int) "max_hlc joins all" 20 (Agg.max_hlc bundles)
+
+let counter_view name v =
+  {
+    Metric.name;
+    help = "";
+    kind = Metric.K_counter;
+    samples = [ { Metric.labels = [ ("node", "0") ]; value = Metric.V_counter v } ];
+  }
+
+let gauge_view name v =
+  {
+    Metric.name;
+    help = "";
+    kind = Metric.K_gauge;
+    samples = [ { Metric.labels = []; value = Metric.V_gauge v } ];
+  }
+
+let agg_merge_views () =
+  let a = [ counter_view "csm_x_total" 3; gauge_view "csm_g" 1.5 ]
+  and b = [ counter_view "csm_x_total" 4; gauge_view "csm_g" 2.5 ] in
+  let value name merged =
+    match List.find_opt (fun (v : Metric.view) -> v.Metric.name = name) merged with
+    | Some { Metric.samples = [ { Metric.value; _ } ]; _ } -> value
+    | _ -> Alcotest.failf "family %s missing from merge" name
+  in
+  let m = Agg.merge_views [ a; b ] in
+  (match value "csm_x_total" m with
+  | Metric.V_counter n -> Alcotest.(check int) "counters sum" 7 n
+  | _ -> Alcotest.fail "counter kind lost");
+  (match value "csm_g" m with
+  | Metric.V_gauge g -> Alcotest.(check (float 0.0)) "gauges take max" 2.5 g
+  | _ -> Alcotest.fail "gauge kind lost");
+  (* arrival order of node bundles must not matter *)
+  Alcotest.(check string) "merge commutes"
+    (Prom.render_views (Agg.merge_views [ a; b ]))
+    (Prom.render_views (Agg.merge_views [ b; a ]));
+  Alcotest.(check string) "merge associative"
+    (Prom.render_views (Agg.merge_views [ a; b; b ]))
+    (Prom.render_views
+       (Agg.merge_views [ Agg.merge_views [ a; b ]; b ]))
+
+let agg_cross_flow_pairing () =
+  Alcotest.(check string) "flow key shape" "1/Share/0->1"
+    (Agg.flow_key ~round:1 ~frame:"Share" ~src:0 ~dst:1);
+  let send = Flight.create ~capacity:8 ~node:0 () in
+  let recv = Flight.create ~capacity:8 ~node:1 () in
+  Flight.record send
+    ~attrs:[ ("dst", "1"); ("frame", "Share") ]
+    ~hlc:(Clock.now ()) ~round:1 "send";
+  Flight.record recv
+    ~attrs:[ ("src", "0"); ("frame", "Share") ]
+    ~hlc:(Clock.now ()) ~round:1 "recv";
+  (* unmatched: wrong round, wrong kind, missing peer attr *)
+  Flight.record recv
+    ~attrs:[ ("src", "0"); ("frame", "Share") ]
+    ~hlc:(Clock.now ()) ~round:2 "recv";
+  Flight.record recv ~attrs:[ ("frame", "Share") ] ~hlc:(Clock.now ()) ~round:1
+    "recv";
+  Flight.record recv ~hlc:(Clock.now ()) ~round:1 "phase";
+  let bundles =
+    [
+      mk_bundle ~node:0 ~pid:100 ~hlc:1 ~flight:(Flight.entries send) ();
+      mk_bundle ~node:1 ~pid:101 ~hlc:2 ~flight:(Flight.entries recv) ();
+    ]
+  in
+  Alcotest.(check int) "exactly the matched pair" 1 (Agg.cross_flows bundles);
+  (* the merged trace carries the pair as s/f flow events *)
+  let trace = Json.to_string (Agg.cluster_trace bundles) in
+  let has sub =
+    let n = String.length sub in
+    let rec go i =
+      i + n <= String.length trace && (String.sub trace i n = sub || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool) "flow start emitted" true (has "\"ph\":\"s\"");
+  Alcotest.(check bool) "flow end emitted" true (has "\"ph\":\"f\"")
+
+(* ----- event log: monotonic timestamps ----- *)
+
+let event_mono_field () =
+  let saved = Event.current_level () in
+  Event.reset ();
+  Event.set_level (Some Event.Debug);
+  Fun.protect
+    ~finally:(fun () ->
+      Event.set_level saved;
+      Event.reset ())
+    (fun () ->
+      Event.emit Event.Info "a";
+      Event.emit ~attrs:[ ("k", "v") ] Event.Warn "b";
+      Event.emit Event.Debug "c";
+      let evs = Event.recent () in
+      Alcotest.(check (list string)) "all three recorded" [ "a"; "b"; "c" ]
+        (List.map (fun (e : Event.t) -> e.Event.name) evs);
+      let seqs = List.map (fun (e : Event.t) -> e.Event.seq) evs in
+      Alcotest.(check bool) "seq strictly increasing" true
+        (List.sort_uniq Int.compare seqs = seqs);
+      let monos = List.map (fun (e : Event.t) -> e.Event.mono) evs in
+      Alcotest.(check bool) "mono positive" true (List.for_all (fun m -> m > 0.0) monos);
+      Alcotest.(check bool) "mono never decreases" true
+        (List.sort Float.compare monos = monos))
+
+(* ----- Prometheus escaping edge cases ----- *)
+
+let prom_escaping_edge_cases () =
+  metered (fun () ->
+      let bs = "\\" in
+      List.iter
+        (fun (name, label_value) ->
+          Metric.set (Metric.gauge ~labels:[ ("l", label_value) ] name) 1.0)
+        [
+          ("csm_test_esc_empty", "");
+          ("csm_test_esc_bs", bs);
+          ("csm_test_esc_nl", "\n");
+          ("csm_test_esc_trailing_bs", "x" ^ bs);
+          ("csm_test_esc_mixed", "a\"b" ^ bs ^ "c\nd");
+        ];
+      let doc = Prom.render () in
+      check_prom_format doc;
+      let lines = String.split_on_char '\n' doc in
+      List.iter
+        (fun expected ->
+          Alcotest.(check bool) (Printf.sprintf "has %S" expected) true
+            (List.mem expected lines))
+        [
+          "csm_test_esc_empty{l=\"\"} 1";
+          "csm_test_esc_bs{l=\"" ^ bs ^ bs ^ "\"} 1";
+          "csm_test_esc_nl{l=\"" ^ bs ^ "n\"} 1";
+          "csm_test_esc_trailing_bs{l=\"x" ^ bs ^ bs ^ "\"} 1";
+          "csm_test_esc_mixed{l=\"a" ^ bs ^ "\"b" ^ bs ^ bs ^ "c" ^ bs
+          ^ "nd\"} 1";
+        ];
+      (* label_block output is itself parseable by the line checker *)
+      Alcotest.(check string) "label_block escapes"
+        ("{l=\"a" ^ bs ^ bs ^ "b\"}")
+        (Prom.label_block [ ("l", "a" ^ bs ^ "b") ]))
+
 let suites =
   [
     ( "obs",
@@ -666,5 +1006,28 @@ let suites =
           metric_disabled_fast_path;
         Alcotest.test_case "Prometheus exposition well-formed" `Quick
           prom_exposition_well_formed;
+        Alcotest.test_case "Prometheus escaping edge cases" `Quick
+          prom_escaping_edge_cases;
+        Alcotest.test_case "HLC pack/accessors" `Quick hlc_pack_accessors;
+        Alcotest.test_case "HLC now strictly monotone" `Quick hlc_now_monotone;
+        Alcotest.test_case "HLC observe merges remote stamps" `Quick
+          hlc_observe_merges;
+        Alcotest.test_case "HLC join laws and wire codec" `Quick
+          hlc_join_and_wire;
+        Alcotest.test_case "monotonic clock never decreases" `Quick
+          hlc_mono_clock;
+        Alcotest.test_case "flight ring bounds and order" `Quick
+          flight_ring_bounds;
+        Alcotest.test_case "flight entry JSON total codec" `Quick
+          flight_entry_json_total;
+        Alcotest.test_case "telemetry bundle round trip" `Quick
+          agg_bundle_round_trip;
+        Alcotest.test_case "bundle dedup by pid" `Quick agg_dedup_by_pid;
+        Alcotest.test_case "view merge sums/maxes, order-free" `Quick
+          agg_merge_views;
+        Alcotest.test_case "cross-node flow pairing" `Quick
+          agg_cross_flow_pairing;
+        Alcotest.test_case "event log monotonic timestamps" `Quick
+          event_mono_field;
       ] );
   ]

@@ -14,13 +14,15 @@ module Node = Csm_transport.Node
 module N = Node.Make (F)
 module Cluster = Csm_transport.Cluster
 module C = Cluster.Make (F)
+module Agg = Csm_obs.Agg
+module Json = Csm_obs.Json
 
 let check = Alcotest.check
 let checkb = Alcotest.(check bool)
 
 let all_kinds =
   [ Frame.Command; Frame.Commit; Frame.Result; Frame.Output; Frame.Stats;
-    Frame.Shutdown ]
+    Frame.Shutdown; Frame.Telemetry ]
 
 (* ----- frame codec ----- *)
 
@@ -60,21 +62,21 @@ let frame_header_round_trip () =
     check Alcotest.int "round" 9 h.Frame.h_round;
     check Alcotest.int "payload bytes" 6 h.Frame.h_payload_bytes;
     (match
-       Frame.of_header h
-         ~payload:(String.sub bytes Frame.header_bytes 6)
+       Frame.of_header h ~body:(String.sub bytes Frame.header_bytes 6)
      with
     | Some g -> checkb "of_header" true (g = f)
     | None -> Alcotest.fail "of_header failed");
     checkb "of_header wrong length" true
-      (Option.is_none (Frame.of_header h ~payload:"abc"))
+      (Option.is_none (Frame.of_header h ~body:"abc"))
 
 (* Truncations, extensions and byte flips of valid encodings must never
    raise; truncations and extensions must decode to None (exact-length
    decoding). *)
 let frame_fuzz () =
   let rng = Csm_rng.create 0xF4A2E in
+  let n_kinds = List.length all_kinds in
   for _ = 1 to 200 do
-    let kind = List.nth all_kinds (Csm_rng.int rng 6) in
+    let kind = List.nth all_kinds (Csm_rng.int rng n_kinds) in
     let payload =
       String.init (Csm_rng.int rng 40) (fun _ -> Char.chr (Csm_rng.int rng 256))
     in
@@ -137,6 +139,163 @@ let frame_rejects_bad_fields () =
             (String.make (Frame.max_payload_bytes + 1) 'x'));
        false
      with Invalid_argument _ -> true)
+
+(* ----- frame v2: the trace extension ----- *)
+
+let mk_ext trace_id hlc = { Frame.trace_id; hlc }
+
+(* v2 frames round-trip through encode/decode and through the
+   header+body streaming path, carrying the extension verbatim. *)
+let frame_v2_round_trip () =
+  List.iter
+    (fun kind ->
+      List.iter
+        (fun (trace_id, hlc, payload) ->
+          let ext = mk_ext trace_id hlc in
+          let f = Frame.make ~ext ~kind ~sender:7 ~round:3 payload in
+          check Alcotest.int "v2 version" Frame.ext_version f.Frame.version;
+          let bytes = Frame.encode f in
+          check Alcotest.int "v2 size"
+            (Frame.header_bytes + Frame.ext_bytes + String.length payload)
+            (String.length bytes);
+          (match Frame.decode bytes with
+          | None -> Alcotest.fail "v2 decode failed"
+          | Some g ->
+            checkb "v2 round trip" true (g = f);
+            (match g.Frame.ext with
+            | Some e ->
+              checkb "trace id" true (Int64.equal e.Frame.trace_id trace_id);
+              checkb "hlc" true (Int64.equal e.Frame.hlc hlc)
+            | None -> Alcotest.fail "v2 lost its extension"));
+          (* streaming path: header then body *)
+          match Frame.decode_header bytes with
+          | None -> Alcotest.fail "v2 header decode failed"
+          | Some h ->
+            check Alcotest.int "body bytes"
+              (Frame.ext_bytes + String.length payload)
+              (Frame.body_bytes h);
+            let body =
+              String.sub bytes Frame.header_bytes (Frame.body_bytes h)
+            in
+            (match Frame.of_header h ~body with
+            | Some g -> checkb "of_header v2" true (g = f)
+            | None -> Alcotest.fail "of_header v2 failed"))
+        [
+          (0L, 0L, "");
+          (1L, 42L, "x");
+          (0xDEADBEEFCAFEL, Int64.max_int, String.make 100 '\x80');
+          (Int64.minus_one, 0x8000000000000000L, "bytes\x00\xff");
+        ])
+    all_kinds
+
+(* v1 and v2 coexist on one wire: untraced frames keep the exact
+   pre-extension layout, and each version rejects the other's length. *)
+let frame_cross_version () =
+  let payload = "cross-version" in
+  let v1 = Frame.make ~kind:Frame.Output ~sender:1 ~round:5 payload in
+  let v2 =
+    Frame.make ~ext:(mk_ext 99L 1234L) ~kind:Frame.Output ~sender:1 ~round:5
+      payload
+  in
+  let b1 = Frame.encode v1 and b2 = Frame.encode v2 in
+  (* v1 bytes: version byte 1, no extension, old size *)
+  check Alcotest.int "v1 size"
+    (Frame.encoded_size ~payload_bytes:(String.length payload))
+    (String.length b1);
+  check Alcotest.int "v1 version byte" 1 (Char.code b1.[2]);
+  check Alcotest.int "v2 version byte" Frame.ext_version (Char.code b2.[2]);
+  (* the extension sits between header and payload; the payload bytes
+     and the length field are identical across versions *)
+  check Alcotest.string "payload bytes equal"
+    (String.sub b1 Frame.header_bytes (String.length payload))
+    (String.sub b2
+       (Frame.header_bytes + Frame.ext_bytes)
+       (String.length payload));
+  check Alcotest.string "length field equal"
+    (String.sub b1 12 4)
+    (String.sub b2 12 4);
+  (match Frame.decode b1 with
+  | Some g ->
+    checkb "v1 decodes ext-free" true (Option.is_none g.Frame.ext);
+    check Alcotest.int "v1 stays v1" 1 g.Frame.version
+  | None -> Alcotest.fail "v1 decode failed");
+  (* version byte toggled without the matching body resize must fail *)
+  let flip_version bytes v =
+    let b = Bytes.of_string bytes in
+    Bytes.set b 2 (Char.chr v);
+    Frame.decode (Bytes.to_string b)
+  in
+  checkb "v1 bytes claiming v2" true
+    (Option.is_none (flip_version b1 Frame.ext_version));
+  checkb "v2 bytes claiming v1" true (Option.is_none (flip_version b2 1));
+  checkb "unknown version 3" true (Option.is_none (flip_version b2 3));
+  (* make: version and extension presence must agree *)
+  checkb "make rejects v2 without ext" true
+    (try
+       ignore
+         (Frame.make ~version:Frame.ext_version ~kind:Frame.Output ~sender:0
+            ~round:0 "");
+       false
+     with Invalid_argument _ -> true);
+  checkb "make rejects v1 with ext" true
+    (try
+       ignore
+         (Frame.make ~version:1 ~ext:(mk_ext 1L 1L) ~kind:Frame.Output
+            ~sender:0 ~round:0 "");
+       false
+     with Invalid_argument _ -> true)
+
+(* Truncating into (or past) the 16-byte extension, or padding beyond
+   it, must decode to None on both the one-shot and streaming paths. *)
+let frame_v2_ext_rejection () =
+  let f =
+    Frame.make ~ext:(mk_ext 7L 7L) ~kind:Frame.Commit ~sender:2 ~round:1
+      "payload"
+  in
+  let bytes = Frame.encode f in
+  for cut = Frame.header_bytes to String.length bytes - 1 do
+    checkb "truncated ext/payload" true
+      (Option.is_none (Frame.decode (String.sub bytes 0 cut)))
+  done;
+  checkb "oversized" true (Option.is_none (Frame.decode (bytes ^ "\x00")));
+  match Frame.decode_header bytes with
+  | None -> Alcotest.fail "header decode failed"
+  | Some h ->
+    let body = String.sub bytes Frame.header_bytes (Frame.body_bytes h) in
+    checkb "of_header short body" true
+      (Option.is_none
+         (Frame.of_header h ~body:(String.sub body 0 (Frame.ext_bytes - 1))));
+    checkb "of_header long body" true
+      (Option.is_none (Frame.of_header h ~body:(body ^ "!")))
+
+(* QCheck: encode/decode is the identity on arbitrary well-formed
+   frames, traced or not. *)
+let arb_frame =
+  let open QCheck in
+  let gen =
+    Gen.map
+      (fun ((kind_i, sender, round), (payload, ext)) ->
+        let kind = List.nth all_kinds (kind_i mod List.length all_kinds) in
+        let ext =
+          Option.map (fun (t, h) -> mk_ext (Int64.of_int t) (Int64.of_int h)) ext
+        in
+        match ext with
+        | Some ext -> Frame.make ~ext ~kind ~sender ~round payload
+        | None -> Frame.make ~kind ~sender ~round payload)
+      (Gen.pair
+         (Gen.triple Gen.nat Gen.nat Gen.nat)
+         (Gen.pair Gen.string (Gen.opt (Gen.pair Gen.nat Gen.nat))))
+  in
+  QCheck.make
+    ~print:(fun f -> Format.asprintf "%a" Frame.pp f)
+    gen
+
+let qcheck_frame_round_trip =
+  QCheck.Test.make ~name:"frame v1/v2 encode-decode identity" ~count:500
+    arb_frame (fun f ->
+      match Frame.decode (Frame.encode f) with
+      | Some g -> g = f
+      | None -> false)
 
 (* ----- strict wire decoders ----- *)
 
@@ -316,7 +475,8 @@ let stats_payload_round_trip () =
 
 (* ----- end-to-end cluster runs (loopback, in-process) ----- *)
 
-let cluster_cfg ?(faults = []) ?(rounds = 2) ?(seed = 42) () =
+let cluster_cfg ?(faults = []) ?(rounds = 2) ?(seed = 42) ?(trace = false)
+    ?(telemetry = false) () =
   {
     C.params = Params.make ~network:Params.Sync ~n:3 ~k:1 ~d:1 ~b:1;
     rounds;
@@ -324,6 +484,8 @@ let cluster_cfg ?(faults = []) ?(rounds = 2) ?(seed = 42) () =
     mode = Cluster.Loopback;
     faults;
     deadline = 10.0;
+    trace;
+    telemetry;
   }
 
 let total_frame_errors (r : C.result) =
@@ -371,6 +533,42 @@ let cluster_loopback_deterministic () =
   let a = C.run (cluster_cfg ()) and b = C.run (cluster_cfg ()) in
   checkb "ledgers equal" true (a.C.ledger = b.C.ledger);
   checkb "stats equal" true (a.C.stats = b.C.stats)
+
+let contains_sub hay needle =
+  let nl = String.length needle in
+  let found = ref false in
+  for i = 0 to String.length hay - nl do
+    if String.sub hay i nl = needle then found := true
+  done;
+  !found
+
+(* Traced run: every endpoint ships a telemetry bundle, flight rings
+   pair cross-node send→recv flows, the merged Chrome trace carries
+   flow events, and an untraced run gathers nothing. *)
+let cluster_loopback_telemetry () =
+  let r = C.run (cluster_cfg ~trace:true ~telemetry:true ()) in
+  checkb "verified" true r.C.ok;
+  let bundles = r.C.telemetry in
+  check Alcotest.int "bundles: 3 nodes + client" 4 (List.length bundles);
+  List.iteri
+    (fun i (b : Agg.bundle) ->
+      check Alcotest.int "bundle node order" i b.Agg.b_node;
+      checkb "flight ring non-empty" true (b.Agg.b_flight <> []))
+    bundles;
+  checkb "cross-node flows paired" true (Agg.cross_flows bundles >= 1);
+  checkb "hlc advanced" true (Agg.max_hlc bundles > 0);
+  let trace = Json.to_string (Agg.cluster_trace bundles) in
+  checkb "merged trace parses" true
+    (match Json.parse trace with
+    | _ -> true
+    | exception Json.Parse_error _ -> false);
+  checkb "trace has flow starts" true (contains_sub trace "\"ph\":\"s\"");
+  checkb "trace has flow ends" true (contains_sub trace "\"ph\":\"f\"");
+  checkb "trace has wire slices" true (contains_sub trace "\"cat\":\"csm.wire\"");
+  (* telemetry off: nothing gathered, result shape unchanged *)
+  let r0 = C.run (cluster_cfg ()) in
+  checkb "no bundles untraced" true
+    (match r0.C.telemetry with [] -> true | _ -> false)
 
 (* ----- loopback vs socket equivalence through the binary ----- *)
 
@@ -476,6 +674,13 @@ let suites =
         Alcotest.test_case "frame fuzz: total decoding" `Quick frame_fuzz;
         Alcotest.test_case "frame rejects bad fields" `Quick
           frame_rejects_bad_fields;
+        Alcotest.test_case "frame v2 round trip, all kinds" `Quick
+          frame_v2_round_trip;
+        Alcotest.test_case "frame v1/v2 cross-version" `Quick
+          frame_cross_version;
+        Alcotest.test_case "frame v2 extension rejection" `Quick
+          frame_v2_ext_rejection;
+        QCheck_alcotest.to_alcotest ~long:false qcheck_frame_round_trip;
         Alcotest.test_case "decimal decoder strictness" `Quick
           decimal_strictness;
         Alcotest.test_case "binary codec round trips" `Quick
@@ -498,6 +703,8 @@ let suites =
           cluster_loopback_delay_fault;
         Alcotest.test_case "cluster loopback deterministic" `Quick
           cluster_loopback_deterministic;
+        Alcotest.test_case "cluster loopback telemetry + trace" `Quick
+          cluster_loopback_telemetry;
         Alcotest.test_case "loopback = socket (binary, fault-free)" `Quick
           loopback_socket_equivalent;
         Alcotest.test_case "loopback = socket (binary, drop fault)" `Quick
