@@ -1,6 +1,6 @@
 # Convenience wrappers around dune; `make ci` is the full local gate.
 
-.PHONY: all build test lint lint-update bench-smoke bench-gate rs-smoke metrics-smoke cluster-smoke obs-smoke ci clean
+.PHONY: all build test lint lint-update bench-smoke bench-gate rs-smoke metrics-smoke cluster-smoke obs-smoke live-smoke ci clean
 
 all: build
 
@@ -90,6 +90,27 @@ obs-smoke:
 	grep -q '"ph":"f"' /tmp/csm_obs_trace.json
 	@echo "obs-smoke: ok"
 
+# Live streaming-telemetry smoke: gate the live bench (delta-merge
+# determinism, scrape allocation, mid-run-scrape lambda agreement,
+# the lie -> suspicion alert path) against bench/live_baseline.json,
+# then drive the CLI end to end — a loopback cluster with one lying
+# node streaming deltas every 10 ms whose report must embed the live
+# windows document with the suspicion alert still firing.
+# The bench binary runs directly (not under dune exec): the live gate
+# times a streaming cluster run, and dune's parent process skews it
+# badly on single-core hosts.
+live-smoke:
+	dune build bench/main.exe bin/bench_gate.exe bin/csm_cluster.exe
+	./_build/default/bench/main.exe --live-smoke --out /tmp/csm_ci_live_bench.json
+	dune exec bin/bench_gate.exe -- --current /tmp/csm_ci_live_bench.json \
+	  --baseline bench/live_baseline.json
+	CSM_TELEMETRY_INTERVAL=0.01 dune exec bin/csm_cluster.exe -- \
+	  --transport loopback -n 4 -k 1 -d 1 -b 1 --rounds 20 \
+	  --faults 1:lie --out /tmp/csm_ci_live_report.json
+	grep -q '"schema":"csm-live-windows/1"' /tmp/csm_ci_live_report.json
+	grep -q '"rule":"suspicion"' /tmp/csm_ci_live_report.json
+	@echo "live-smoke: ok"
+
 # CI gate: type-check everything (tests and benches included), lint
 # the repo against its invariants, regenerate the parallel smoke
 # benchmark, run the test suite, then exercise the observability layer
@@ -110,6 +131,7 @@ ci:
 	$(MAKE) metrics-smoke
 	$(MAKE) cluster-smoke
 	$(MAKE) obs-smoke
+	$(MAKE) live-smoke
 
 clean:
 	dune clean

@@ -894,6 +894,247 @@ let run_obs_smoke ~out =
     frame_v1_words frame_v2_words v2_extra_words disabled_overhead_words ok;
   if not ok then exit 1
 
+(* ----- live-smoke mode: streaming telemetry end-to-end gates -----
+
+   Three gates for the live telemetry path (BENCH_live.json, schema
+   csm-bench-live/1, ceilings in bench/live_baseline.json):
+
+   - delta-merge determinism: the same synthetic delta payloads,
+     duplicated and reordered, must merge into byte-identical node
+     views — the cumulative-value idempotency contract;
+   - scrape allocation: exact minor-heap words per /metrics render
+     over a populated store, host-independent like the obs gate;
+   - end-to-end agreement: a loopback cluster with one lying node
+     streams deltas while it runs; a mid-run HTTP scrape must report
+     a windowed lambda within the committed tolerance of the
+     end-of-run k*accepted/run_seconds, and the lie must raise the
+     suspicion alert before the run ends. *)
+
+module Live = Csm_obs.Live
+module AlertO = Csm_obs.Alert
+module MetricO = Csm_obs.Metric
+module PromO = Csm_obs.Prom
+module HttpO = Csm_obs.Http
+module NodeT = Csm_transport.Node
+module ClusterT = Csm_transport.Cluster
+module CT = ClusterT.Make (F)
+
+let live_counter_view name v =
+  {
+    MetricO.name;
+    help = "live-smoke synthetic counter";
+    kind = MetricO.K_counter;
+    samples = [ { MetricO.labels = []; value = MetricO.V_counter v } ];
+  }
+
+(* Synthetic deltas with cumulative values: seq i carries i*10. *)
+let live_delta seq =
+  Agg.delta_payload ~node:1 ~scope:Agg.Node ~seq ~full:(seq = 1)
+    ~views:[ live_counter_view "csm_bench_live_total" (seq * 10) ]
+    ~events:[] ()
+
+let live_apply_all live payloads =
+  List.iter (fun p -> ignore (Live.apply live p)) payloads
+
+let live_delta_determinism () =
+  let p1 = live_delta 1 and p2 = live_delta 2 and p3 = live_delta 3 in
+  let a = Live.create ~k:1 () and b = Live.create ~k:1 () in
+  live_apply_all a [ p1; p2; p3 ];
+  live_apply_all b [ p1; p1; p3; p2; p2; p3; p1 ];
+  PromO.render_views (Live.node_views a)
+  = PromO.render_views (Live.node_views b)
+
+let live_scrape_words () =
+  let live = Live.create ~k:4 () in
+  Live.mark_start ~now:100.0 live;
+  live_apply_all live [ live_delta 1; live_delta 2; live_delta 3 ];
+  for _ = 1 to 50 do
+    Live.note_commit ~now:100.5 live
+  done;
+  obs_words_per_op ~iters:2_000 (fun () -> Live.scrape ~now:101.0 live)
+
+(* Pull one unlabeled gauge value out of a Prometheus exposition. *)
+let live_gauge_of_scrape name body =
+  let pfx = name ^ " " in
+  let pl = String.length pfx in
+  List.fold_left
+    (fun acc line ->
+      if String.length line > pl && String.sub line 0 pl = pfx then
+        float_of_string_opt (String.sub line pl (String.length line - pl))
+      else acc)
+    None
+    (String.split_on_char '\n' body)
+
+type live_e2e = {
+  e_rounds : int;
+  e_accepted : int;
+  e_commits_at_scrape : int;
+  e_mid_lambda : float;
+  e_final_lambda : float;
+  e_agreement_pct : float;
+  e_suspicion_fired : bool;
+  e_deltas_applied : int;
+  e_deltas_rejected : int;
+  e_frame_errors : int;
+  e_run_seconds : float;
+  e_verify_ok : bool;
+}
+
+let live_e2e ~rounds ~k =
+  MetricO.enable ();
+  MetricO.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      MetricO.reset ();
+      MetricO.disable ())
+    (fun () ->
+      let live = Live.create ~k () in
+      let server =
+        HttpO.serve (fun path ->
+            if path = "/metrics" then Some (HttpO.text (Live.scrape live))
+            else None)
+      in
+      Fun.protect
+        ~finally:(fun () -> HttpO.stop server)
+        (fun () ->
+          let cfg =
+            {
+              CT.params = Params.make ~network:Params.Sync ~n:4 ~k ~d:1 ~b:1;
+              rounds;
+              seed = 4242;
+              mode = ClusterT.Loopback;
+              faults = [ (1, NodeT.Lie) ];
+              deadline = 30.0;
+              trace = false;
+              telemetry = false;
+              stream = Some 0.005;
+              live = Some live;
+            }
+          in
+          let result = ref None in
+          let runner = Thread.create (fun () -> result := Some (CT.run cfg)) () in
+          (* Scrape over HTTP while the cluster is still committing, late
+             enough that the scrape's window shares most of its span with
+             the whole run: both lambdas are averages from the same start
+             anchor, so at 90% of the rounds any rate drift over the run
+             cancels out of their ratio instead of dominating it. *)
+          let mid_target = rounds * 9 / 10 in
+          while Live.commits live < mid_target && !result = None do
+            Thread.yield ()
+          done;
+          let commits_at_scrape = Live.commits live in
+          let scrape_body =
+            match HttpO.get ~port:(HttpO.port server) "/metrics" with
+            | Some (200, body) -> body
+            | Some (code, _) ->
+              Printf.ksprintf failwith "mid-run scrape returned HTTP %d" code
+            | None -> failwith "mid-run scrape failed"
+          in
+          Thread.join runner;
+          let r =
+            match !result with
+            | Some r -> r
+            | None -> failwith "cluster run produced no result"
+          in
+          let accepted =
+            Array.fold_left
+              (fun acc l -> if Option.is_some l then acc + 1 else acc)
+              0 r.CT.ledger
+          in
+          let frame_errors =
+            Array.fold_left
+              (fun acc s ->
+                match s with
+                | Some s -> acc + s.Transport.frame_errors
+                | None -> acc)
+              0 r.CT.stats
+          in
+          let mid_lambda =
+            match live_gauge_of_scrape "csm_window_lambda" scrape_body with
+            | Some v -> v
+            | None -> failwith "mid-run scrape carried no csm_window_lambda"
+          in
+          let final_lambda =
+            if r.CT.run_seconds > 0.0 then
+              float_of_int (k * accepted) /. r.CT.run_seconds
+            else 0.0
+          in
+          let agreement_pct =
+            if final_lambda > 0.0 then
+              100.0 *. Float.abs (mid_lambda -. final_lambda) /. final_lambda
+            else infinity
+          in
+          let applied, _, rejected = Live.deltas live in
+          {
+            e_rounds = rounds;
+            e_accepted = accepted;
+            e_commits_at_scrape = commits_at_scrape;
+            e_mid_lambda = mid_lambda;
+            e_final_lambda = final_lambda;
+            e_agreement_pct = agreement_pct;
+            e_suspicion_fired =
+              AlertO.first_fired (Live.alerts live) "suspicion" <> None;
+            e_deltas_applied = applied;
+            e_deltas_rejected = rejected;
+            e_frame_errors = frame_errors;
+            e_run_seconds = r.CT.run_seconds;
+            e_verify_ok = r.CT.ok;
+          }))
+
+let run_live_smoke ~out =
+  let delta_merge_deterministic = live_delta_determinism () in
+  let scrape_words = live_scrape_words () in
+  let rounds = 600 and k = 1 in
+  let e = live_e2e ~rounds ~k in
+  let mid_run_scrape = e.e_commits_at_scrape < rounds in
+  let verify_ok =
+    e.e_verify_ok && e.e_accepted = rounds && e.e_frame_errors = 0
+    && e.e_deltas_rejected = 0
+    && e.e_deltas_applied > 0
+  in
+  let ok =
+    delta_merge_deterministic && verify_ok && mid_run_scrape
+    && e.e_suspicion_fired
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Printf.bprintf buf "  \"schema\": \"csm-bench-live/1\",\n";
+  Printf.bprintf buf "  \"bench\": \"obs/live-streaming-telemetry\",\n";
+  Printf.bprintf buf
+    "  \"host\": {\"ocaml_version\": %S, \"word_size\": %d},\n" Sys.ocaml_version
+    Sys.word_size;
+  Printf.bprintf buf "  \"n\": 4, \"k\": %d, \"d\": 1, \"b\": 1,\n" k;
+  Printf.bprintf buf "  \"rounds\": %d,\n" rounds;
+  Printf.bprintf buf "  \"delta_merge_deterministic\": %b,\n"
+    delta_merge_deterministic;
+  Printf.bprintf buf "  \"scrape_words\": %.2f,\n" scrape_words;
+  Printf.bprintf buf "  \"commits_at_scrape\": %d,\n" e.e_commits_at_scrape;
+  Printf.bprintf buf "  \"mid_run_scrape\": %b,\n" mid_run_scrape;
+  Printf.bprintf buf "  \"accepted\": %d,\n" e.e_accepted;
+  Printf.bprintf buf "  \"run_seconds\": %.6f,\n" e.e_run_seconds;
+  Printf.bprintf buf "  \"mid_lambda\": %.4f,\n" e.e_mid_lambda;
+  Printf.bprintf buf "  \"final_lambda\": %.4f,\n" e.e_final_lambda;
+  Printf.bprintf buf "  \"lambda_agreement_pct\": %.4f,\n" e.e_agreement_pct;
+  Printf.bprintf buf "  \"suspicion_fired\": %b,\n" e.e_suspicion_fired;
+  Printf.bprintf buf "  \"deltas_applied\": %d,\n" e.e_deltas_applied;
+  Printf.bprintf buf "  \"deltas_rejected\": %d,\n" e.e_deltas_rejected;
+  Printf.bprintf buf "  \"frame_errors\": %d,\n" e.e_frame_errors;
+  Printf.bprintf buf "  \"verify_ok\": %b,\n" verify_ok;
+  Printf.bprintf buf
+    "  \"note\": \"booleans and the scrape allocation count are \
+     deterministic; run_seconds and the lambdas measure this host, so \
+     only their mutual agreement percentage is gated\"\n";
+  Buffer.add_string buf "}\n";
+  let oc = open_out out in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Format.printf
+    "wrote %s (det=%b scrape=%.1fw mid-lambda=%.1f/s final-lambda=%.1f/s \
+     agree=%.1f%% suspicion=%b ok=%b)@."
+    out delta_merge_deterministic scrape_words e.e_mid_lambda e.e_final_lambda
+    e.e_agreement_pct e.e_suspicion_fired ok;
+  if not ok then exit 1
+
 (* ----- runner ----- *)
 
 let all_tests =
@@ -971,4 +1212,6 @@ let () =
     run_rs_smoke ~out:(out_arg ~default:"BENCH_rs.json" argv)
   else if List.mem "--obs-smoke" argv then
     run_obs_smoke ~out:(out_arg ~default:"BENCH_obs.json" argv)
+  else if List.mem "--live-smoke" argv then
+    run_live_smoke ~out:(out_arg ~default:"BENCH_live.json" argv)
   else run_all ()

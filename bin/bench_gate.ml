@@ -40,6 +40,20 @@
      committed disabled_overhead_words_max / v2_extra_words_max
      ceilings.
 
+   csm-bench-live/1 (the streaming-telemetry smoke bench, vs
+   bench/live_baseline.json):
+
+   - the end-to-end booleans must hold (delta merge deterministic
+     under duplication/reordering, the HTTP scrape landed mid-run, the
+     lying node raised the suspicion alert before run end, the run
+     verified with no frame errors or rejected deltas);
+   - the /metrics render allocation must stay under the committed
+     scrape_words_max ceiling;
+   - the mid-run windowed lambda must agree with the end-of-run
+     k*accepted/run_seconds within lambda_agreement_pct_max (both
+     lambdas measure this host, but their ratio is host-independent
+     to first order).
+
    Absolute wall-clock timings are deliberately NOT gated: they measure
    the CI host, not the code (the rs speedup is a same-process ratio,
    which is host-independent to first order).  The previous report,
@@ -171,6 +185,39 @@ let run_obs cur base =
             "v2-over-v1 frame encode+decode allocation delta" );
         ])
 
+(* ----- csm-bench-live/1: streaming telemetry end-to-end ----- *)
+
+let run_live cur base =
+  with_checks (fun check ->
+      List.iter
+        (fun (key, detail) -> check key (bool_field cur key) detail)
+        [
+          ( "delta_merge_deterministic",
+            "duplicated/reordered deltas merge to byte-identical views" );
+          ( "mid_run_scrape",
+            "the HTTP scrape landed while the cluster was still committing" );
+          ( "suspicion_fired",
+            "the lying node raised the suspicion alert before run end" );
+          ( "verify_ok",
+            "lie corrected, every round accepted, no frame errors, no \
+             rejected deltas" );
+        ];
+      check_config check cur base;
+      let words = float_field cur "scrape_words"
+      and words_max = float_field base "scrape_words_max" in
+      check "scrape_words"
+        (words <= words_max)
+        (Printf.sprintf "current=%.2f max=%.2f words per /metrics render"
+           words words_max);
+      let agree = float_field cur "lambda_agreement_pct"
+      and agree_max = float_field base "lambda_agreement_pct_max" in
+      check "lambda_agreement_pct"
+        (agree <= agree_max)
+        (Printf.sprintf
+           "mid-run windowed lambda within %.2f%% of end-of-run value (max \
+            %.2f%%)"
+           agree agree_max))
+
 (* ----- csm-bench-parallel/2: the parallel smoke bench ----- *)
 
 let run_parallel cur base previous tolerance =
@@ -225,10 +272,11 @@ let run current baseline previous tolerance =
   | "csm-bench-parallel/2" -> run_parallel cur base previous tolerance
   | "csm-bench-rs/1" -> run_rs cur base
   | "csm-bench-obs/1" -> run_obs cur base
+  | "csm-bench-live/1" -> run_live cur base
   | schema ->
     fail_usage
       "bench_gate: %s has schema %s (need csm-bench-parallel/2, \
-       csm-bench-rs/1 or csm-bench-obs/1)"
+       csm-bench-rs/1, csm-bench-obs/1 or csm-bench-live/1)"
       current schema
 
 let () =

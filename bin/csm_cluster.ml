@@ -8,6 +8,7 @@
                  [--trace] [--trace-out FILE] [--prom-out FILE]
                  [--flightrec] [--flightrec-out FILE]
                  [--expect-cross-flows N] [--replay FILE]
+                 [--serve PORT] [--watch] [--alert RULE] [--lambda-floor F]
 
    Runs N node runtimes plus a voting client over the chosen transport
    (loopback = threads in this process; socket = one forked process per
@@ -20,7 +21,17 @@
    withholds every protocol frame, `delay` sends frames ~20ms late
    (`delay:0.05` for a custom lag), `corrupt` mangles every payload so
    receivers detect and drop it (visible as csm_transport_frame_errors_total
-   when CSM_METRICS is set).
+   when CSM_METRICS is set), `lie` ships well-formed but wrong Result
+   vectors that only the peers' Reed-Solomon decode catches (suspicion).
+
+   Live telemetry: --serve PORT / --watch / --alert / --lambda-floor
+   (or CSM_TELEMETRY_INTERVAL=SEC) make the nodes stream
+   csm-node-telemetry/2 delta frames while the run is in flight; the
+   client merges them idempotently into windowed rates (lambda, per-
+   phase throughput, rolling latency quantiles) and evaluates SLO alert
+   rules on every merge.  --serve answers /metrics (Prometheus),
+   /healthz and /windows.json mid-run; an alert rising edge is a
+   flight-recorder dump trigger (reason "alert").
 
    Observability: --trace (or CSM_CLUSTER_TRACE=1, or =PATH) stamps
    every protocol frame with the frame-v2 trace extension, gathers each
@@ -52,6 +63,9 @@ module Prom = Csm_obs.Prom
 module Agg = Csm_obs.Agg
 module Clock = Csm_obs.Clock
 module Flight = Csm_obs.Flight
+module Live = Csm_obs.Live
+module Alert = Csm_obs.Alert
+module Http = Csm_obs.Http
 
 let parse_fault s =
   match String.index_opt s ':' with
@@ -65,6 +79,7 @@ let parse_fault s =
       match String.split_on_char ':' kind with
       | [ "drop" ] -> Some (node, Node.Drop)
       | [ "corrupt" ] -> Some (node, Node.Corrupt)
+      | [ "lie" ] -> Some (node, Node.Lie)
       | [ "delay" ] -> Some (node, Node.Delay 0.02)
       | [ "delay"; lag ] -> (
         match float_of_string_opt lag with
@@ -123,13 +138,33 @@ let config_json ~n ~k ~d ~b ~rounds ~seed ~transport ~faults =
              faults) );
     ]
 
-let result_json ~n ~k ~d ~b ~rounds ~seed ~transport ~faults (r : C.result) =
+(* Whole-run committed-command throughput: k commands per accepted
+   round over the client's measured wall time — the value the live
+   windowed λ is checked against. *)
+let final_lambda ~k (r : C.result) =
+  let accepted =
+    Array.fold_left
+      (fun acc e -> if Option.is_some e then acc + 1 else acc)
+      0 r.C.ledger
+  in
+  if r.C.run_seconds > 0.0 then
+    float_of_int (k * accepted) /. r.C.run_seconds
+  else 0.0
+
+let result_json ~n ~k ~d ~b ~rounds ~seed ~transport ~faults ?live
+    (r : C.result) =
   Json.Obj
     [
       ("schema", Json.Str "csm-cluster-report/1");
       ("host", Exporter.host ());
       ("config", config_json ~n ~k ~d ~b ~rounds ~seed ~transport ~faults);
       ("ok", Json.Bool r.C.ok);
+      ("run_seconds", Json.Float r.C.run_seconds);
+      ("lambda", Json.Float (final_lambda ~k r));
+      ( "live",
+        match live with
+        | None -> Json.Null
+        | Some live -> Live.windows_json live );
       ( "telemetry",
         match r.C.telemetry with
         | [] -> Json.Null
@@ -259,6 +294,8 @@ let replay_dump path =
       deadline = 5.0;
       trace = false;
       telemetry = false;
+      stream = None;
+      live = None;
     }
   in
   let reference = C.reference_ledger cfg in
@@ -300,7 +337,7 @@ let env_path spec =
 
 let run n k d b rounds seed transport dir port_base faults_s deadline out
     no_verify expect_frame_errors trace_flag trace_out prom_out flightrec_flag
-    flightrec_out expect_cross_flows replay =
+    flightrec_out expect_cross_flows replay serve watch alerts_s lambda_floor =
   (match replay with Some path -> replay_dump path | None -> ());
   Exporter.install ();
   let faults =
@@ -375,8 +412,104 @@ let run n k d b rounds seed transport dir port_base faults_s deadline out
     | None, None -> "csm-flightrec.json"
   in
   let telemetry = trace || flightrec_armed in
+  (* ---- live streaming telemetry (--serve / --watch / --alert /
+     CSM_TELEMETRY_INTERVAL) ---- *)
+  let interval_env =
+    match Sys.getenv_opt "CSM_TELEMETRY_INTERVAL" with
+    | None | Some "" -> None
+    | Some v -> (
+      match float_of_string_opt v with
+      | Some f when f > 0.0 && Float.is_finite f -> Some f
+      | _ ->
+        Printf.eprintf "csm_cluster: bad CSM_TELEMETRY_INTERVAL %S\n" v;
+        exit 2)
+  in
+  let alert_rules =
+    List.map
+      (fun spec ->
+        match Alert.parse spec with
+        | Some r -> r
+        | None ->
+          Printf.eprintf
+            "csm_cluster: bad --alert %S (want \"name:metric>thr\")\n" spec;
+          exit 2)
+      alerts_s
+  in
+  let streaming =
+    Option.is_some serve || watch || alerts_s <> []
+    || Option.is_some lambda_floor
+    || Option.is_some interval_env
+  in
+  let live =
+    if not streaming then None
+    else begin
+      (* node registries must be populated for the deltas to carry
+         anything; enable before C.run so forked children inherit it *)
+      Metric.enable ();
+      Some
+        (Live.create
+           ~rules:(Alert.default_rules ?lambda_floor () @ alert_rules)
+           ~k ())
+    end
+  in
+  let stream =
+    if streaming then Some (Option.value ~default:0.1 interval_env) else None
+  in
   let cfg =
-    { C.params; rounds; seed; mode; faults; deadline; trace; telemetry }
+    { C.params; rounds; seed; mode; faults; deadline; trace; telemetry;
+      stream; live }
+  in
+  (* the scrape endpoint serves the merged live view for the whole run *)
+  let server =
+    match (serve, live) with
+    | Some port, Some live ->
+      let s =
+        try
+          Http.serve ~port (fun path ->
+              match path with
+              | "/metrics" -> Some (Http.text (Live.scrape live))
+              | "/healthz" ->
+                Some (Http.text ~content_type:"text/plain" "ok\n")
+              | "/windows.json" ->
+                Some
+                  (Http.text ~content_type:"application/json"
+                     (Json.to_string (Live.windows_json live)))
+              | _ -> None)
+        with Unix.Unix_error (e, _, _) ->
+          Printf.eprintf "csm_cluster: --serve %d: %s\n" port
+            (Unix.error_message e);
+          exit 2
+      in
+      Printf.printf "serve: http://127.0.0.1:%d/metrics (also /healthz, \
+                     /windows.json)\n%!" (Http.port s);
+      Some s
+    | _ -> None
+  in
+  (* the terminal ticker: one status line per second while running *)
+  let watch_stop = Atomic.make false in
+  let watcher =
+    match (watch, live) with
+    | true, Some live ->
+      Some
+        (Thread.create
+           (fun () ->
+             let t0 = Clock.mono () in
+             while not (Atomic.get watch_stop) do
+               Live.evaluate_alerts live;
+               let firing = Alert.firing (Live.alerts live) in
+               Printf.printf "watch: +%5.1fs commits=%d lambda=%.1f/s%s\n%!"
+                 (Clock.mono () -. t0)
+                 (Live.commits live) (Live.lambda live)
+                 (match firing with
+                 | [] -> ""
+                 | fs ->
+                   " ALERTS="
+                   ^ String.concat ","
+                       (List.map (fun (r, _) -> r.Alert.a_name) fs));
+               Thread.delay 1.0
+             done)
+           ())
+    | _ -> None
   in
   Printf.printf "csm_cluster: N=%d K=%d d=%d b=%d rounds=%d seed=%d %s%s%s\n%!"
     n k d b rounds seed
@@ -392,6 +525,8 @@ let run n k d b rounds seed transport dir port_base faults_s deadline out
      else if telemetry then " flightrec=armed"
      else "");
   let result = C.run cfg in
+  Atomic.set watch_stop true;
+  Option.iter Thread.join watcher;
   (match !cleanup_dir with
   | Some d -> (
     try
@@ -410,6 +545,21 @@ let run n k d b rounds seed transport dir port_base faults_s deadline out
     result.C.ledger;
   let errors = total_frame_errors result in
   Printf.printf "transport: frame_errors=%d\n" errors;
+  (match live with
+  | Some live ->
+    let applied, stale, rejected = Live.deltas live in
+    let firing = Alert.firing (Live.alerts live) in
+    Printf.printf
+      "live: commits=%d lambda_window=%.1f/s lambda_run=%.1f/s \
+       deltas=%d(+%d stale, %d rejected)%s\n"
+      (Live.commits live) (Live.lambda live) (final_lambda ~k result) applied
+      stale rejected
+      (match firing with
+      | [] -> ""
+      | fs ->
+        " ALERTS="
+        ^ String.concat "," (List.map (fun (r, _) -> r.Alert.a_name) fs))
+  | None -> ());
   Array.iteri
     (fun i s ->
       match s with
@@ -431,7 +581,7 @@ let run n k d b rounds seed transport dir port_base faults_s deadline out
   if telemetry then begin
     let bundles = result.C.telemetry in
     let processes =
-      List.length (Agg.dedup_by_pid bundles)
+      List.length (Agg.dedup bundles)
     in
     Printf.printf "telemetry: bundles=%d/%d processes=%d cross_flows=%d hlc=%s\n"
       (List.length bundles) (n + 1) processes cross_flows
@@ -450,10 +600,16 @@ let run n k d b rounds seed transport dir port_base faults_s deadline out
           output_string oc (Prom.render_views (Agg.merged_views bundles)));
       Printf.printf "prom: wrote %s (cluster-merged)\n" path
     | None -> ());
+    let alert_fired =
+      match live with
+      | Some live -> Alert.fired_ever (Live.alerts live)
+      | None -> false
+    in
     let dump_reason =
       if (not no_verify) && not result.C.ok then Some "divergence"
       else if total_frame_errors result > 0 then Some "frame-errors"
       else if suspicion_detected bundles then Some "suspicion"
+      else if alert_fired then Some "alert"
       else if flightrec_requested then Some "requested"
       else None
     in
@@ -497,9 +653,10 @@ let run n k d b rounds seed transport dir port_base faults_s deadline out
   (match out with
   | Some path ->
     Json.write ~path
-      (result_json ~n ~k ~d ~b ~rounds ~seed ~transport ~faults result);
+      (result_json ~n ~k ~d ~b ~rounds ~seed ~transport ~faults ?live result);
     Printf.printf "report: wrote %s\n" path
   | None -> ());
+  Option.iter Http.stop server;
   let verified = no_verify || result.C.ok in
   Printf.printf "verify: %s\n"
     (if no_verify then "skipped" else if result.C.ok then "ok" else "MISMATCH");
@@ -632,6 +789,48 @@ let () =
              embedded seed and check the reference payloads byte-identical, \
              then exit.")
   in
+  let serve =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "serve" ]
+          ~doc:
+            "Serve the live cluster telemetry over HTTP on 127.0.0.1:PORT \
+             while the run is in flight ($(b,/metrics) Prometheus \
+             exposition, $(b,/healthz), $(b,/windows.json)); 0 picks an \
+             ephemeral port.  Turns on in-flight telemetry streaming \
+             (interval CSM_TELEMETRY_INTERVAL, default 0.1s).")
+  in
+  let watch =
+    Arg.(
+      value & flag
+      & info [ "watch" ]
+          ~doc:
+            "Print a live status line (commits, windowed lambda, firing \
+             alerts) every second while the run is in flight.  Turns on \
+             in-flight telemetry streaming.")
+  in
+  let alerts =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "alert" ]
+          ~doc:
+            "Add an SLO alert rule, e.g. \
+             $(b,skew:csm_hlc_skew_seconds>0.25) (repeatable; the \
+             suspicion / hlc-skew / frame-error defaults always apply).  \
+             Turns on in-flight telemetry streaming.")
+  in
+  let lambda_floor =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "lambda-floor" ]
+          ~doc:
+            "Fire the $(b,lambda-floor) alert when the windowed \
+             committed-command throughput falls below this many \
+             commands/second.  Turns on in-flight telemetry streaming.")
+  in
   let cmd =
     Cmd.v
       (Cmd.info "csm_cluster"
@@ -640,6 +839,6 @@ let () =
         const run $ n $ k $ d $ b $ rounds $ seed $ transport $ dir $ port_base
         $ faults $ deadline $ out $ no_verify $ expect_frame_errors $ trace
         $ trace_out $ prom_out $ flightrec $ flightrec_out $ expect_cross_flows
-        $ replay)
+        $ replay $ serve $ watch $ alerts $ lambda_floor)
   in
   exit (Cmd.eval cmd)

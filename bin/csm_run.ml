@@ -132,12 +132,14 @@ let run_real_transport ~transport ~params ~rounds ~seed ~adversary ~liars =
       cleanup := Some dir;
       Cluster.Uds dir
   in
-  (* the sim adversaries' closest transport-level analogues: withhold →
-     drop; lie/equivocate → detectably corrupt frames *)
+  (* the sim adversaries' transport-level analogues: withhold → drop;
+     lie → well-formed wrong Result vectors (decode-corrected);
+     equivocate → detectably corrupt frames *)
   let faults =
     match adversary with
     | "none" -> []
     | "withhold" -> List.map (fun i -> (i, Node.Drop)) liars
+    | "lie" -> List.map (fun i -> (i, Node.Lie)) liars
     | _ -> List.map (fun i -> (i, Node.Corrupt)) liars
   in
   let cfg =
@@ -150,6 +152,8 @@ let run_real_transport ~transport ~params ~rounds ~seed ~adversary ~liars =
       deadline = 5.0;
       trace = false;
       telemetry = false;
+      stream = None;
+      live = None;
     }
   in
   let res = Cl.run cfg in
@@ -193,7 +197,7 @@ let run_real_transport ~transport ~params ~rounds ~seed ~adversary ~liars =
   res.Cl.ok
 
 let run n k d b rounds network adversary seed transport trace report metrics
-    ticker =
+    ticker serve =
   let network =
     match network with
     | "partial" -> Params.Partial_sync
@@ -209,6 +213,32 @@ let run n k d b rounds network adversary seed transport trace report metrics
   Exporter.install ();
   if trace || report then Span.enable ();
   if metrics || report then Metric.enable ();
+  (* --serve: scrape this process's own registry while the run is in
+     flight (runtime gauges refreshed per scrape) *)
+  let server =
+    match serve with
+    | None -> None
+    | Some port ->
+      Metric.enable ();
+      let s =
+        try
+          Csm_obs.Http.serve ~port (fun path ->
+              match path with
+              | "/metrics" ->
+                Tel.sample_runtime ();
+                Some (Csm_obs.Http.text (Prom.render ()))
+              | "/healthz" ->
+                Some (Csm_obs.Http.text ~content_type:"text/plain" "ok\n")
+              | _ -> None)
+        with Unix.Unix_error (e, _, _) ->
+          Printf.eprintf "csm_run: --serve %d: %s\n" port
+            (Unix.error_message e);
+          exit 1
+      in
+      Format.printf "serve: http://127.0.0.1:%d/metrics@."
+        (Csm_obs.Http.port s);
+      Some s
+  in
   let machine = M.degree_machine d in
   let params =
     try Params.make ~network ~n ~k ~d ~b
@@ -332,6 +362,7 @@ let run n k d b rounds network adversary seed transport trace report metrics
       Format.printf "report: wrote %s@." path
     end
   end;
+  Option.iter Csm_obs.Http.stop server;
   if not transport_ok then exit 1
 
 let () =
@@ -394,11 +425,23 @@ let () =
             "Force the live per-round progress ticker on stderr (on by \
              default when stderr is a terminal; $(b,CSM_TICKER)=0 disables).")
   in
+  let serve =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "serve" ]
+          ~doc:
+            "Serve this process's metric registry over HTTP on \
+             127.0.0.1:PORT while the run is in flight ($(b,/metrics) \
+             Prometheus exposition with csm_gc_*/process gauges refreshed \
+             per scrape, $(b,/healthz)); 0 picks an ephemeral port.  \
+             Implies $(b,--metrics) registry activation.")
+  in
   let cmd =
     Cmd.v
       (Cmd.info "csm_run" ~doc:"Run the networked Coded State Machine")
       Term.(
         const run $ n $ k $ d $ b $ rounds $ network $ adversary $ seed
-        $ transport $ trace $ report $ metrics $ ticker)
+        $ transport $ trace $ report $ metrics $ ticker $ serve)
   in
   exit (Cmd.eval cmd)

@@ -26,10 +26,26 @@
    always all kept. *)
 
 let schema = "csm-node-telemetry/1"
+let schema_v2 = "csm-node-telemetry/2"
+
+(* What one bundle/delta's metric views describe.  Loopback node
+   runtimes share one process-wide registry (scope [Process]): their
+   snapshots are near-identical copies and must be deduped by pid
+   alone.  Forked node processes own their registry (scope [Node]):
+   even if two hosts' pids collide, their (pid, node) keys cannot. *)
+type scope = Process | Node
+
+let scope_name = function Process -> "process" | Node -> "node"
+
+let scope_of_name = function
+  | "process" -> Some Process
+  | "node" -> Some Node
+  | _ -> None
 
 type bundle = {
   b_node : int;
   b_pid : int;
+  b_scope : scope;
   b_hlc : Clock.stamp;  (* the node's clock when it snapshotted *)
   b_views : Metric.view list;
   b_spans : Span.record list;
@@ -105,21 +121,24 @@ let view_json (v : Metric.view) =
              v.Metric.samples) );
     ]
 
-let bundle_json ~node ~flight () =
+let bundle_json ?(scope = Process) ~node ~flight () =
   Json.Obj
     [
       ("schema", Json.Str schema);
       ("node", Json.Int node);
       ("pid", Json.Int (Unix.getpid ()));
+      ("registry", Json.Str (scope_name scope));
       ("hlc", Json.Int (Clock.peek ()));
+      ("events_total", Json.Int (Event.total ()));
+      ("events_dropped", Json.Int (Event.dropped ()));
       ("metrics", Json.List (List.map view_json (Metric.families ())));
       ("spans", Json.List (List.map span_json (Span.records ())));
       ("events", Json.List (List.map event_json (Event.recent ())));
       ("flight", Flight.to_json flight);
     ]
 
-let bundle_payload ~node ~flight () =
-  Json.to_string (bundle_json ~node ~flight ())
+let bundle_payload ?scope ~node ~flight () =
+  Json.to_string (bundle_json ?scope ~node ~flight ())
 
 (* ----- client side: total parsing ----- *)
 
@@ -287,10 +306,18 @@ let decode_bundle payload =
       | Some b_views, Some b_spans, Some b_events, Some (Json.List entries) -> (
         match opt_all Flight.decode_entry_json entries with
         | Some b_flight ->
+          (* "registry" is absent in pre-/2 bundles; those all came from
+             shared-registry (loopback) processes, so Process is both
+             the backward-compatible and the safe default *)
+          let b_scope =
+            Option.value ~default:Process
+              (Option.bind (mem_str "registry" j) scope_of_name)
+          in
           Some
             {
               b_node;
               b_pid;
+              b_scope;
               b_hlc;
               b_views;
               b_spans;
@@ -304,18 +331,100 @@ let decode_bundle payload =
       | _ -> None)
     | _ -> None)
 
+(* ----- streaming deltas (csm-node-telemetry/2) ----- *)
+
+type delta = {
+  d_node : int;
+  d_pid : int;
+  d_scope : scope;
+  d_seq : int;  (* per-source emission number, from 1 *)
+  d_full : bool;  (* full registry snapshot vs changed-families-only *)
+  d_hlc : Clock.stamp;
+  d_views : Metric.view list;  (* CUMULATIVE values for the families carried *)
+  d_events : Event.t list;  (* the event tail new since the last emission *)
+  d_events_total : int;
+  d_events_dropped : int;
+}
+
+let delta_json ~node ~scope ~seq ~full ~views ~events () =
+  Json.Obj
+    [
+      ("schema", Json.Str schema_v2);
+      ("node", Json.Int node);
+      ("pid", Json.Int (Unix.getpid ()));
+      ("registry", Json.Str (scope_name scope));
+      ("seq", Json.Int seq);
+      ("full", Json.Bool full);
+      ("hlc", Json.Int (Clock.peek ()));
+      ("events_total", Json.Int (Event.total ()));
+      ("events_dropped", Json.Int (Event.dropped ()));
+      ("metrics", Json.List (List.map view_json views));
+      ("events", Json.List (List.map event_json events));
+    ]
+
+let delta_payload ~node ~scope ~seq ~full ~views ~events () =
+  Json.to_string (delta_json ~node ~scope ~seq ~full ~views ~events ())
+
+let decode_delta payload =
+  match Json.parse payload with
+  | exception Json.Parse_error _ -> None
+  | j -> (
+    match
+      ( (mem_str "schema" j, mem_int "node" j, mem_int "pid" j),
+        (Option.bind (mem_str "registry" j) scope_of_name, mem_int "seq" j),
+        (mem_int "hlc" j, Json.member "metrics" j, Json.member "events" j) )
+    with
+    | ( (Some s, Some d_node, Some d_pid),
+        (Some d_scope, Some d_seq),
+        (Some d_hlc, Some (Json.List metrics), Some (Json.List events)) )
+      when s = schema_v2 && d_node >= 0 && d_seq >= 1 && d_hlc >= 0 -> (
+      match (opt_all view_of_json metrics, opt_all event_of_json events) with
+      | Some d_views, Some d_events ->
+        let d_events_total =
+          max 0 (Option.value ~default:0 (mem_int "events_total" j))
+        in
+        let d_events_dropped =
+          max 0 (Option.value ~default:0 (mem_int "events_dropped" j))
+        in
+        Some
+          {
+            d_node;
+            d_pid;
+            d_scope;
+            d_seq;
+            d_full =
+              Option.value ~default:false
+                (Option.bind (Json.member "full" j) Json.to_bool_opt);
+            d_hlc;
+            d_views;
+            d_events;
+            d_events_total;
+            d_events_dropped;
+          }
+      | _ -> None)
+    | _ -> None)
+
 (* ----- merging ----- *)
 
-(* One representative bundle per pid — the one with the latest HLC
-   snapshot, i.e. the most complete view of that process's shared
-   registry (loopback nodes snapshot the same state in turn). *)
-let dedup_by_pid bundles =
-  let best : (int, bundle) Hashtbl.t = Hashtbl.create 8 in
+(* One representative bundle per registry — keyed by (pid, node index)
+   so colliding pids across hosts cannot silently swallow a node's
+   telemetry.  Scope [Process] bundles (loopback: one shared registry
+   per process) collapse the node component, keeping the bundle with
+   the latest HLC snapshot, i.e. the most complete view of that shared
+   state; scope [Node] bundles each stand for their own registry. *)
+let dedup_key b =
+  match b.b_scope with
+  | Process -> (b.b_pid, -1)
+  | Node -> (b.b_pid, b.b_node)
+
+let dedup bundles =
+  let best : (int * int, bundle) Hashtbl.t = Hashtbl.create 8 in
   List.iter
     (fun b ->
-      match Hashtbl.find_opt best b.b_pid with
+      let key = dedup_key b in
+      match Hashtbl.find_opt best key with
       | Some prev when Clock.compare prev.b_hlc b.b_hlc >= 0 -> ()
-      | _ -> Hashtbl.replace best b.b_pid b)
+      | _ -> Hashtbl.replace best key b)
     bundles;
   let reps = Hashtbl.fold (fun _ b acc -> b :: acc) best [] in
   List.sort (fun a b -> Int.compare a.b_node b.b_node) reps
@@ -388,7 +497,7 @@ let merge_views (lists : Metric.view list list) : Metric.view list =
        !order)
 
 let merged_views bundles =
-  merge_views (List.map (fun b -> b.b_views) (dedup_by_pid bundles))
+  merge_views (List.map (fun b -> b.b_views) (dedup bundles))
 
 let max_hlc bundles =
   List.fold_left (fun acc b -> Clock.join acc b.b_hlc) 0 bundles
@@ -409,7 +518,7 @@ let flight_us (e : Flight.entry) =
 let wire_tid = 999  (* the per-process "wire" track for flight slices *)
 
 let cluster_trace (bundles : bundle list) : Json.t =
-  let reps = dedup_by_pid bundles in
+  let reps = dedup bundles in
   (* one shared time base across spans and flight entries, so rebased
      microsecond integers stay small and exact *)
   let base_us =

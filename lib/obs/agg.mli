@@ -8,9 +8,20 @@
 val schema : string
 (** ["csm-node-telemetry/1"]. *)
 
+val schema_v2 : string
+(** ["csm-node-telemetry/2"], the streaming-delta payload. *)
+
+type scope =
+  | Process  (** shared process-wide registry (loopback threads) *)
+  | Node  (** the node process owns its registry (forked modes) *)
+
+val scope_name : scope -> string
+val scope_of_name : string -> scope option
+
 type bundle = {
   b_node : int;
   b_pid : int;
+  b_scope : scope;  (** what the views describe; drives {!dedup} *)
   b_hlc : Clock.stamp;  (** the node's HLC when it snapshotted *)
   b_views : Metric.view list;
   b_spans : Span.record list;
@@ -19,21 +30,72 @@ type bundle = {
   b_flight_recorded : int;  (** ring total, including overwritten *)
 }
 
-val bundle_json : node:int -> flight:Flight.t -> unit -> Json.t
+val bundle_json : ?scope:scope -> node:int -> flight:Flight.t -> unit -> Json.t
 (** Snapshot this process's metric registry, span buffers, event-log
-    tail, HLC and the given flight ring. *)
+    tail, HLC and the given flight ring.  [scope] defaults to
+    [Process]. *)
 
-val bundle_payload : node:int -> flight:Flight.t -> unit -> string
+val bundle_payload :
+  ?scope:scope -> node:int -> flight:Flight.t -> unit -> string
 (** [bundle_json] rendered for a Telemetry frame payload. *)
 
 val decode_bundle : string -> bundle option
 (** Total: any malformed or wrong-schema payload yields [None], so a
-    Byzantine node's telemetry is dropped, not fatal. *)
+    Byzantine node's telemetry is dropped, not fatal.  Bundles without
+    a ["registry"] field (pre-/2 emitters) decode as scope
+    [Process]. *)
 
-val dedup_by_pid : bundle list -> bundle list
-(** One representative bundle per pid (the latest HLC snapshot), sorted
-    by node id.  Loopback nodes share one process's registries; their
-    bundles would otherwise multiply-count every shared channel. *)
+val dedup : bundle list -> bundle list
+(** One representative bundle per registry, sorted by node id: scope
+    [Node] bundles key on (pid, node index) — colliding pids across
+    hosts cannot swallow a node's telemetry — while scope [Process]
+    bundles (loopback threads sharing one registry) key on pid alone,
+    keeping the latest-HLC snapshot so shared channels are not
+    multiply counted. *)
+
+(** {1 Streaming deltas (csm-node-telemetry/2)} *)
+
+type delta = {
+  d_node : int;
+  d_pid : int;
+  d_scope : scope;
+  d_seq : int;  (** per-source emission number, from 1 *)
+  d_full : bool;  (** full registry snapshot vs changed-families-only *)
+  d_hlc : Clock.stamp;
+  d_views : Metric.view list;
+      (** CUMULATIVE values for the families carried — receivers diff
+          successive values themselves, so a lost or duplicated frame
+          can never corrupt an aggregate *)
+  d_events : Event.t list;  (** event tail new since the last emission *)
+  d_events_total : int;
+  d_events_dropped : int;
+}
+
+val delta_json :
+  node:int ->
+  scope:scope ->
+  seq:int ->
+  full:bool ->
+  views:Metric.view list ->
+  events:Event.t list ->
+  unit ->
+  Json.t
+
+val delta_payload :
+  node:int ->
+  scope:scope ->
+  seq:int ->
+  full:bool ->
+  views:Metric.view list ->
+  events:Event.t list ->
+  unit ->
+  string
+(** The in-flight Telemetry frame payload: the given (cumulative)
+    views and event tail under this process's pid, HLC and event
+    counters. *)
+
+val decode_delta : string -> delta option
+(** Total, like {!decode_bundle}. *)
 
 val merge_views : Metric.view list list -> Metric.view list
 (** Fold many registries' views into one: samples match on (family

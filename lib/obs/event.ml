@@ -58,6 +58,7 @@ let ring : t option array = Array.make capacity None
 let ring_lock = Mutex.create ()
 let next_seq = ref 0  (* guarded by ring_lock *)
 let emitted = Atomic.make 0
+let overwritten = Atomic.make 0
 
 let locked f =
   Mutex.lock ring_lock;
@@ -68,14 +69,27 @@ let emit ?(attrs = []) level name =
   if th <> 0 && level_value level >= th then begin
     let ts = Unix.gettimeofday () in
     let mono = Clock.mono () in
-    locked (fun () ->
-        let seq = !next_seq in
-        next_seq := seq + 1;
-        ring.(seq mod capacity) <- Some { seq; ts; mono; level; name; attrs });
-    Atomic.incr emitted
+    let dropped_one =
+      locked (fun () ->
+          let seq = !next_seq in
+          next_seq := seq + 1;
+          let slot = seq mod capacity in
+          let displaced = ring.(slot) <> None in
+          ring.(slot) <- Some { seq; ts; mono; level; name; attrs };
+          displaced)
+    in
+    Atomic.incr emitted;
+    if dropped_one then begin
+      (* the ring reclaimed an entry nobody read: make the truncation
+         observable instead of silent (metric update outside the ring
+         lock — the registry has its own) *)
+      Atomic.incr overwritten;
+      if Metric.enabled () then Metric.inc Telemetry.events_dropped
+    end
   end
 
 let total () = Atomic.get emitted
+let dropped () = Atomic.get overwritten
 
 (* Oldest-first chronological view of the surviving events. *)
 let recent () =
@@ -84,11 +98,17 @@ let recent () =
   in
   List.sort (fun a b -> Int.compare a.seq b.seq) items
 
+(* Surviving events with a sequence number past [after], oldest first —
+   the streaming-telemetry event tail. *)
+let since after =
+  List.filter (fun e -> e.seq > after) (recent ())
+
 let reset () =
   locked (fun () ->
       Array.fill ring 0 capacity None;
       next_seq := 0);
-  Atomic.set emitted 0
+  Atomic.set emitted 0;
+  Atomic.set overwritten 0
 
 let installed = ref false
 

@@ -150,6 +150,112 @@ let flightrec_dumps ~reason =
     ~labels:[ ("reason", reason) ]
     "csm_flightrec_dumps_total"
 
+let events_dropped =
+  Metric.counter
+    ~help:
+      "Event-log ring entries overwritten before being read — the \
+       telemetry event tail is truncated by this many entries"
+    "csm_events_dropped_total"
+
+let node_phases ~phase =
+  Metric.counter
+    ~help:
+      "Protocol phase completions across the cluster's node runtimes \
+       (commands | committed | computed | decoded), feeding the \
+       per-phase windowed throughput"
+    ~labels:[ ("phase", phase) ]
+    "csm_node_phases_total"
+
+let commands_committed ~node =
+  Metric.counter
+    ~help:
+      "Commands the node runtime committed and executed (K per accepted \
+       round) — the node-side λ numerator"
+    ~labels:[ node_label node ]
+    "csm_commands_committed_total"
+
+let alerts_fired ~rule =
+  Metric.counter
+    ~help:"SLO alert rising edges, by rule"
+    ~labels:[ ("rule", rule) ]
+    "csm_alerts_fired_total"
+
+(* ----- OCaml runtime family (Gc.quick_stat + /proc) ----- *)
+
+let gc_minor_collections =
+  Metric.gauge ~help:"Minor garbage collections since program start"
+    "csm_gc_minor_collections"
+
+let gc_major_collections =
+  Metric.gauge ~help:"Major garbage collection cycles since program start"
+    "csm_gc_major_collections"
+
+let gc_compactions =
+  Metric.gauge ~help:"Heap compactions since program start"
+    "csm_gc_compactions"
+
+let gc_heap_words =
+  Metric.gauge ~help:"Major heap size, words" "csm_gc_heap_words"
+
+let gc_top_heap_words =
+  Metric.gauge ~help:"Largest major heap size reached, words"
+    "csm_gc_top_heap_words"
+
+let gc_minor_words =
+  Metric.gauge ~help:"Words allocated in the minor heap since program start"
+    "csm_gc_minor_words"
+
+let process_rss_bytes =
+  Metric.gauge
+    ~help:"Resident set size from /proc/self/statm, bytes (0 where absent)"
+    "csm_process_rss_bytes"
+
+let process_start_time_seconds =
+  Metric.gauge
+    ~help:"Unix time the process sampled the runtime family first, seconds"
+    "csm_process_start_time_seconds"
+
+(* Wall time of the first runtime sample: a monotone-enough "start
+   time" that needs no /proc parsing and survives forks (each child
+   re-latches on its own first sample). *)
+let start_latch = Atomic.make 0.0
+
+let rss_bytes () =
+  (* statm field 2 is resident pages; page size is a safe constant on
+     every platform this repo targets, and 0 is an honest fallback *)
+  match open_in "/proc/self/statm" with
+  | exception Sys_error _ -> 0.0
+  | ic ->
+    let v =
+      match input_line ic with
+      | line -> (
+        match String.split_on_char ' ' line with
+        | _ :: resident :: _ -> (
+          match int_of_string_opt resident with
+          | Some pages -> float_of_int pages *. 4096.0
+          | None -> 0.0)
+        | _ -> 0.0)
+      | exception End_of_file -> 0.0
+    in
+    close_in_noerr ic;
+    v
+
+let sample_runtime () =
+  if Metric.enabled () then begin
+    let st = Gc.quick_stat () in
+    Metric.set gc_minor_collections (float_of_int st.Gc.minor_collections);
+    Metric.set gc_major_collections (float_of_int st.Gc.major_collections);
+    Metric.set gc_compactions (float_of_int st.Gc.compactions);
+    Metric.set gc_heap_words (float_of_int st.Gc.heap_words);
+    Metric.set gc_top_heap_words (float_of_int st.Gc.top_heap_words);
+    Metric.set gc_minor_words st.Gc.minor_words;
+    Metric.set process_rss_bytes (rss_bytes ());
+    if Atomic.get start_latch = 0.0 then
+      ignore
+        (Atomic.compare_and_set start_latch 0.0 (Unix.gettimeofday ()));
+    Metric.set process_start_time_seconds (Atomic.get start_latch)
+  end
+
 let throughput_lambda =
   Metric.gauge ~help:"Measured commands-per-round throughput λ"
     "csm_throughput_lambda"

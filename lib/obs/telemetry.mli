@@ -47,7 +47,38 @@ val hlc_skew : node:int -> Metric.gauge
 
 val flightrec_dumps : reason:string -> Metric.counter
 (** Flight-recorder dumps written, by trigger: ["divergence"],
-    ["frame-errors"], ["suspicion"], ["requested"]. *)
+    ["frame-errors"], ["suspicion"], ["alert"], ["requested"]. *)
+
+val events_dropped : Metric.counter
+(** Event-ring entries overwritten unread ([csm_events_dropped_total]):
+    how truncated the telemetry event tails are. *)
+
+val node_phases : phase:string -> Metric.counter
+(** Node-runtime phase completions ([commands] | [committed] |
+    [computed] | [decoded]) — the per-phase windowed throughput feed. *)
+
+val commands_committed : node:int -> Metric.counter
+(** Commands the node committed and executed (K per accepted round). *)
+
+val alerts_fired : rule:string -> Metric.counter
+(** SLO alert rising edges, by rule. *)
+
+(** {1 OCaml runtime family} *)
+
+val gc_minor_collections : Metric.gauge
+val gc_major_collections : Metric.gauge
+val gc_compactions : Metric.gauge
+val gc_heap_words : Metric.gauge
+val gc_top_heap_words : Metric.gauge
+val gc_minor_words : Metric.gauge
+val process_rss_bytes : Metric.gauge
+val process_start_time_seconds : Metric.gauge
+
+val sample_runtime : unit -> unit
+(** Refresh the [csm_gc_*] / process gauges from [Gc.quick_stat] and
+    [/proc/self/statm]; a no-op when metrics are disabled.  Call before
+    any exposition or telemetry emission that should carry runtime
+    health. *)
 
 val throughput_lambda : Metric.gauge
 val storage_gamma : Metric.gauge

@@ -23,6 +23,7 @@ module Pool = Csm_parallel.Pool
 module Clock = Csm_obs.Clock
 module Flight = Csm_obs.Flight
 module Agg = Csm_obs.Agg
+module Live = Csm_obs.Live
 
 type mode =
   | Loopback  (** threads in this process, in-memory frames *)
@@ -49,6 +50,14 @@ module Make (F : Field_intf.S) = struct
     deadline : float;
     trace : bool;  (* v2 trace extensions + per-node spans *)
     telemetry : bool;  (* gather end-of-run Telemetry bundles *)
+    stream : float option;
+        (* nodes emit in-flight csm-node-telemetry/2 deltas at most
+           this often; loopback threads share one registry, so there
+           only node 0 streams (independent per-thread sequence
+           numbers over one source would shadow each other) *)
+    live : Live.t option;
+        (* the client-side live store the deltas merge into — also fed
+           the client's own commit ticks (the λ window) *)
   }
 
   type result = {
@@ -59,6 +68,9 @@ module Make (F : Field_intf.S) = struct
     telemetry : Agg.bundle list;
         (* decoded node bundles (ordered by node id) then the client's
            own, when cfg.telemetry; [] otherwise *)
+    run_seconds : float;
+        (* client wall time from the first Command broadcast to the
+           last round's vote — the whole-run λ denominator *)
     ok : bool;  (* every round accepted and equal to the reference *)
   }
 
@@ -155,6 +167,19 @@ module Make (F : Field_intf.S) = struct
     in
     let ledger = Array.make cfg.rounds None in
     let outputs_received = Array.make cfg.rounds 0 in
+    (* a Telemetry frame carries an in-flight delta; merge it into the
+       live store (idempotent — duplicates and reordering are dropped
+       by the per-source sequence numbers) *)
+    let live_apply (fr : Frame.t) =
+      match cfg.live with
+      | None -> ()
+      | Some live -> (
+        match Live.apply live fr.Frame.payload with
+        | `Applied | `Stale -> ()
+        | `Malformed -> Transport.record_error tr)
+    in
+    let started = Unix.gettimeofday () in
+    Option.iter Live.mark_start cfg.live;
     for r = 0 to cfg.rounds - 1 do
       let commands = workload rng ~k r in
       let payload = W.encode_commands_bin commands in
@@ -182,6 +207,11 @@ module Make (F : Field_intf.S) = struct
             | None -> Transport.record_error tr)
           | Some fr when Frame.kind_eq fr.Frame.kind Frame.Stats -> ()
             (* late stats cannot occur before shutdown; ignore *)
+          | Some fr
+            when Frame.kind_eq fr.Frame.kind Frame.Telemetry
+                 && fr.Frame.sender >= 0
+                 && fr.Frame.sender < n ->
+            live_apply fr
           | Some _ -> Transport.record_error tr
           | None -> ());
           collect ()
@@ -199,8 +229,13 @@ module Make (F : Field_intf.S) = struct
       Hashtbl.iter
         (fun p c ->
           if c >= b + 1 && Option.is_none ledger.(r) then ledger.(r) <- Some p)
-        tally
+        tally;
+      (* the λ feed: the client, the only endpoint that knows what was
+         accepted, ticks the live window k commands per vote — never
+         derived from per-node counters, which would overcount ×n *)
+      if Option.is_some ledger.(r) then Option.iter Live.note_commit cfg.live
     done;
+    let run_seconds = Unix.gettimeofday () -. started in
     (* shutdown: every node answers with its transport counters (and,
        in telemetry mode, its observability bundle) *)
     let bye = Frame.make ~kind:Frame.Shutdown ~sender:n ~round:cfg.rounds "" in
@@ -231,15 +266,24 @@ module Make (F : Field_intf.S) = struct
           | Some s -> stats.(fr.Frame.sender) <- Some s
           | None -> Transport.record_error tr)
         | Some fr
-          when cfg.telemetry
-               && Frame.kind_eq fr.Frame.kind Frame.Telemetry
+          when Frame.kind_eq fr.Frame.kind Frame.Telemetry
                && fr.Frame.sender >= 0
                && fr.Frame.sender < n -> (
-          match Agg.decode_bundle fr.Frame.payload with
+          (* either an end-of-run v1 bundle or a straggling v2 delta *)
+          match
+            if cfg.telemetry then Agg.decode_bundle fr.Frame.payload else None
+          with
           | Some bdl ->
             record_recv fr;
             Hashtbl.replace bundles fr.Frame.sender bdl
-          | None -> Transport.record_error tr)
+          | None -> (
+            match cfg.live with
+            | Some _ -> live_apply fr
+            | None ->
+              (* no live store: in telemetry mode this was a malformed
+                 bundle; otherwise an unexpected kind we ignore, as the
+                 pre-streaming driver did *)
+              if cfg.telemetry then Transport.record_error tr))
         | Some _ -> ()  (* stragglers from the last round *)
         | None -> ());
         gather ()
@@ -251,9 +295,20 @@ module Make (F : Field_intf.S) = struct
         (fun i -> Hashtbl.find_opt bundles i)
         (List.init n (fun i -> i))
     in
-    (ledger, outputs_received, stats, node_bundles, flight)
+    (ledger, outputs_received, stats, node_bundles, flight, run_seconds)
 
   let node_config cfg i =
+    (* loopback node threads share this process's registry: their
+       snapshots describe the process, and only node 0 streams (per-
+       thread sequence numbers over one shared source would collide,
+       making most deltas look stale).  Forked nodes own their
+       registries: Node scope, everyone streams. *)
+    let scope = match cfg.mode with Loopback -> Agg.Process | _ -> Agg.Node in
+    let stream =
+      match cfg.mode with
+      | Loopback when i <> 0 -> None
+      | _ -> cfg.stream
+    in
     {
       N.node = i;
       params = cfg.params;
@@ -265,6 +320,8 @@ module Make (F : Field_intf.S) = struct
       deadline = cfg.deadline;
       trace = cfg.trace;
       telemetry = cfg.telemetry;
+      stream;
+      scope;
     }
 
   (* ---- loopback mode: one thread per node ---- *)
@@ -286,14 +343,14 @@ module Make (F : Field_intf.S) = struct
                 ())
         in
         let client = Loopback.endpoint net ~id:n in
-        let ledger, outputs_received, node_stats, bundles, flight =
+        let ledger, outputs_received, node_stats, bundles, flight, run_seconds =
           client_run cfg client
         in
         List.iter Thread.join threads;
         let stats = Array.copy node_stats in
         stats.(n) <- Some (Transport.snapshot client);
         client.Transport.close ();
-        (ledger, outputs_received, stats, bundles, flight))
+        (ledger, outputs_received, stats, bundles, flight, run_seconds))
 
   (* ---- socket mode: one forked process per node ---- *)
 
@@ -317,7 +374,7 @@ module Make (F : Field_intf.S) = struct
           | pid -> pid)
     in
     let client = Socket.endpoint ~addr ~id:n ~endpoints:(n + 1) in
-    let ledger, outputs_received, node_stats, bundles, flight =
+    let ledger, outputs_received, node_stats, bundles, flight, run_seconds =
       client_run cfg client
     in
     let stats = Array.copy node_stats in
@@ -343,11 +400,12 @@ module Make (F : Field_intf.S) = struct
       wait ()
     in
     List.iter reap pids;
-    (ledger, outputs_received, stats, bundles, flight)
+    (ledger, outputs_received, stats, bundles, flight, run_seconds)
 
   let run cfg =
     let n = cfg.params.Params.n in
-    let ledger, outputs_received, stats, node_bundles, client_flight =
+    let ledger, outputs_received, stats, node_bundles, client_flight, run_seconds
+        =
       match cfg.mode with
       | Loopback -> run_loopback cfg
       | Uds dir -> run_socket cfg (Socket.Uds dir)
@@ -372,5 +430,6 @@ module Make (F : Field_intf.S) = struct
         | Some p when p = reference.(r) -> ()
         | _ -> ok := false)
       ledger;
-    { ledger; reference; outputs_received; stats; telemetry; ok = !ok }
+    { ledger; reference; outputs_received; stats; telemetry; run_seconds;
+      ok = !ok }
 end

@@ -33,6 +33,15 @@ module Make (F : Field_intf.S) : sig
         (** gather each node's end-of-run [csm-node-telemetry/1] bundle
             (metrics, spans, events, flight ring) for cluster-wide
             aggregation *)
+    stream : float option;
+        (** nodes emit in-flight [csm-node-telemetry/2] delta frames at
+            most this often (seconds).  Loopback threads share one
+            registry, so there only node 0 streams; forked nodes all
+            do.  [None]: end-of-run telemetry only *)
+    live : Csm_obs.Live.t option;
+        (** client-side live store the deltas merge into; also receives
+            the client's commit ticks (k commands per accepted round —
+            the windowed-λ feed) and the run-start mark *)
   }
 
   type result = {
@@ -49,6 +58,10 @@ module Make (F : Field_intf.S) : sig
         (** when [config.telemetry]: the decoded node bundles (node-id
             order) then the client's own, every entry round-tripped
             through the wire codec; [[]] otherwise *)
+    run_seconds : float;
+        (** client wall time from the first Command broadcast to the
+            last round's vote — the whole-run λ denominator the live
+            windowed rate is checked against *)
     ok : bool;  (** every round accepted and byte-equal to the reference *)
   }
 

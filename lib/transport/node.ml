@@ -34,23 +34,32 @@ module Agg = Csm_obs.Agg
 module Span = Csm_obs.Span
 module Metric = Csm_obs.Metric
 module Tel = Csm_obs.Telemetry
+module Event = Csm_obs.Event
 
 type fault =
   | Honest
   | Drop  (** withhold every protocol frame *)
   | Delay of float  (** send protocol frames late by this many seconds *)
   | Corrupt  (** mangle every protocol payload (detectably malformed) *)
+  | Lie
+      (** ship a well-formed but wrong Result vector — the undetectable-
+          at-intake Byzantine case only the Reed–Solomon decode catches
+          (and attributes, feeding the suspicion gauge) *)
 
 let fault_name = function
   | Honest -> "honest"
   | Drop -> "drop"
   | Delay _ -> "delay"
   | Corrupt -> "corrupt"
+  | Lie -> "lie"
 
 (* Sent by a [Drop] node: nothing.  A [Corrupt] node's frames arrive but
    fail payload validation, so they add to frame errors, not to the
-   protocol state.  [Delay] frames arrive late but intact. *)
-let delivers = function Honest | Delay _ -> true | Drop | Corrupt -> false
+   protocol state.  [Delay] frames arrive late but intact; a [Lie]
+   node's frames validate everywhere — only the decode unmasks them. *)
+let delivers = function
+  | Honest | Delay _ | Lie -> true
+  | Drop | Corrupt -> false
 
 module Make (F : Field_intf.S) = struct
   module W = Csm_core.Wire.Make (F)
@@ -68,6 +77,14 @@ module Make (F : Field_intf.S) = struct
     deadline : float;  (* per-wait upper bound, seconds *)
     trace : bool;  (* stamp frame-v2 trace extensions + merge HLC *)
     telemetry : bool;  (* ship a Telemetry bundle after the Stats reply *)
+    stream : float option;
+        (* emit a csm-node-telemetry/2 delta frame to the client at
+           most this often (seconds) while running; None = end-of-run
+           telemetry only *)
+    scope : Agg.scope;
+        (* what this runtime's registry snapshots describe: [Process]
+           when node threads share the process registry (loopback),
+           [Node] when this process owns it (forked modes) *)
   }
 
   (* Peers whose protocol frames will actually arrive (and validate). *)
@@ -104,6 +121,14 @@ module Make (F : Field_intf.S) = struct
            extended frame of the round (the client's Command) *)
     flight : Flight.t;  (* this node's always-on black box *)
     mutable shutdown : bool;
+    (* streaming-delta emitter state (config.stream = Some _) *)
+    mutable st_seq : int;  (* deltas emitted so far *)
+    mutable st_next : float;  (* wall time the next delta is due *)
+    mutable st_last_event : int;  (* newest event seq already shipped *)
+    st_sent : (string, Metric.view) Hashtbl.t;
+        (* family name → view as last shipped, for changed-family
+           detection (views are immutable snapshots; structural
+           equality is exact) *)
   }
 
   let make_inbox ~node () =
@@ -114,6 +139,10 @@ module Make (F : Field_intf.S) = struct
       traces = Hashtbl.create 16;
       flight = Flight.create ~node ();
       shutdown = false;
+      st_seq = 0;
+      st_next = 0.0;
+      st_last_event = 0;
+      st_sent = Hashtbl.create 32;
     }
 
   let trace_of inbox round =
@@ -152,7 +181,9 @@ module Make (F : Field_intf.S) = struct
   let send_protocol cfg inbox (tr : Transport.t) ~dst frame =
     let frame = stamp cfg inbox frame in
     match cfg.fault with
-    | Honest ->
+    | Honest | Lie ->
+      (* a Lie node's *protocol machinery* is honest — the lie is
+         injected into the Result payload itself, in run_round *)
       record_send inbox ~dst frame;
       tr.Transport.send ~dst frame
     | Drop -> ()
@@ -164,6 +195,61 @@ module Make (F : Field_intf.S) = struct
       record_send inbox ~dst frame;
       tr.Transport.send ~dst
         { frame with Frame.payload = corrupt_payload frame.Frame.payload }
+
+  (* In-flight telemetry: at most every [interval] seconds, ship a
+     csm-node-telemetry/2 delta straight to the client.  Values are
+     cumulative and frames carry a per-source sequence number, so the
+     client's merge is idempotent — a duplicated, reordered or lost
+     frame can never corrupt the live aggregates.  Non-full frames
+     carry only the families that changed since the last emission; a
+     full registry snapshot goes out first and every tenth emission so
+     a late-joining scraper converges.  Like Stats, these are control
+     frames exempt from the node's fault — the live view needs even a
+     Byzantine node's health (the client validates the contents,
+     totally). *)
+  let maybe_stream cfg (tr : Transport.t) inbox =
+    match cfg.stream with
+    | None -> ()
+    | Some interval ->
+      let now = Unix.gettimeofday () in
+      if now >= inbox.st_next then begin
+        inbox.st_next <- now +. interval;
+        if Metric.enabled () then begin
+          Tel.sample_runtime ();
+          Metric.set
+            (Tel.hlc_skew ~node:cfg.node)
+            (Clock.skew_seconds (Clock.peek ()))
+        end;
+        let seq = inbox.st_seq + 1 in
+        inbox.st_seq <- seq;
+        let full = seq = 1 || seq mod 10 = 0 in
+        let families = Metric.families () in
+        let views =
+          if full then families
+          else
+            List.filter
+              (fun (v : Metric.view) ->
+                match Hashtbl.find_opt inbox.st_sent v.Metric.name with
+                | Some prev -> prev <> v
+                | None -> true)
+              families
+        in
+        List.iter
+          (fun (v : Metric.view) ->
+            Hashtbl.replace inbox.st_sent v.Metric.name v)
+          views;
+        let events = Event.since inbox.st_last_event in
+        List.iter
+          (fun (e : Event.t) ->
+            if e.Event.seq > inbox.st_last_event then
+              inbox.st_last_event <- e.Event.seq)
+          events;
+        tr.Transport.send ~dst:cfg.params.Params.n
+          (stamp cfg inbox
+             (Frame.make ~kind:Frame.Telemetry ~sender:cfg.node ~round:seq
+                (Agg.delta_payload ~node:cfg.node ~scope:cfg.scope ~seq ~full
+                   ~views ~events ())))
+      end
 
   (* Intake-time validation: decode the payload with the total decoders
      the moment the frame arrives, so a malformed body is counted and
@@ -250,11 +336,15 @@ module Make (F : Field_intf.S) = struct
     in
     drain ~timeout:within
 
-  (* Pump until [cond] holds or [cfg.deadline] passes. *)
+  (* Pump until [cond] holds or [cfg.deadline] passes.  Every lap also
+     gives the streaming emitter a chance to fire — waits are where a
+     node spends its wall time, so this is what keeps deltas flowing
+     even while a round stalls on a straggler. *)
   let wait_until cfg tr inbox cond =
     let limit = Unix.gettimeofday () +. cfg.deadline in
     let rec loop () =
       pump cfg tr inbox;
+      maybe_stream cfg tr inbox;
       if cond () then true
       else if inbox.shutdown || Unix.gettimeofday () >= limit then cond ()
       else begin
@@ -267,6 +357,7 @@ module Make (F : Field_intf.S) = struct
   (* ---- one protocol round ---- *)
 
   let phase inbox ~round name =
+    if Metric.enabled () then Metric.inc (Tel.node_phases ~phase:name);
     Flight.record inbox.flight ~trace:(trace_of inbox round)
       ~attrs:[ ("phase", name) ]
       ~hlc:(Clock.now ()) ~round "phase"
@@ -311,10 +402,19 @@ module Make (F : Field_intf.S) = struct
       let coded_command = E.node_encode_command engine ~node:me ~commands in
       let g = E.node_compute engine ~node:me ~coded_command in
       phase inbox ~round:r "computed";
-      (* 4. broadcast the result, keep our own *)
+      (* 4. broadcast the result, keep our own.  A [Lie] node ships a
+         well-formed but wrong vector (every coordinate nudged by one)
+         while keeping the honest gᵢ locally — intake validation passes
+         everywhere and only the peers' Reed–Solomon decode catches and
+         attributes the lie *)
+      let broadcast_g =
+        match cfg.fault with
+        | Lie -> Array.map (fun x -> F.add x F.one) g
+        | _ -> g
+      in
       let result =
         Frame.make ~kind:Frame.Result ~sender:me ~round:r
-          (W.encode_vector_bin g)
+          (W.encode_vector_bin broadcast_g)
       in
       for j = 0 to n - 1 do
         if j <> me then send_protocol cfg inbox tr ~dst:j result
@@ -345,6 +445,18 @@ module Make (F : Field_intf.S) = struct
         false
       | Some d ->
         phase inbox ~round:r "decoded";
+        (* attribute decoder-corrected error locations, like the
+           simulator protocol does: the suspicion gauge is both the
+           erasure hint for later decodes and the live alert signal *)
+        if Metric.enabled () then begin
+          List.iter
+            (fun j ->
+              Metric.inc (Tel.decode_errors ~node:j);
+              Metric.add (Tel.node_suspicion ~node:j) 1.0)
+            d.E.error_nodes;
+          Metric.inc ~by:cfg.params.Params.k
+            (Tel.commands_committed ~node:me)
+        end;
         (* 6. ship the decoded outputs + next states to the client *)
         let payload =
           W.encode_matrix_bin (Array.append d.E.outputs d.E.next_states)
@@ -402,12 +514,22 @@ module Make (F : Field_intf.S) = struct
     let n = cfg.params.Params.n in
     let node_attr = [ ("node", string_of_int cfg.node) ] in
     for r = 0 to cfg.rounds - 1 do
-      if not inbox.shutdown then
+      if not inbox.shutdown then begin
+        let t0 = Unix.gettimeofday () in
         ignore
           (Span.with_ ~name:"node.round"
              ~attrs:(("round", string_of_int r) :: node_attr)
-             (fun () -> run_round cfg tr engine inbox r))
+             (fun () -> run_round cfg tr engine inbox r));
+        if Metric.enabled () then
+          Metric.observe Tel.round_latency (Unix.gettimeofday () -. t0)
+      end
     done;
+    (* flush the emitter so the final cumulative values are on the wire
+       before the shutdown handshake *)
+    if cfg.stream <> None then begin
+      inbox.st_next <- 0.0;
+      maybe_stream cfg tr inbox
+    end;
     (* wait for the client's shutdown, reply with our counters (control
        frames are exempt from the node's fault: the driver needs them) *)
     ignore (wait_until cfg tr inbox (fun () -> inbox.shutdown));

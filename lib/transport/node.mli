@@ -15,12 +15,18 @@ type fault =
   | Drop  (** withhold every protocol frame *)
   | Delay of float  (** send protocol frames late by this many seconds *)
   | Corrupt  (** mangle every protocol payload (detectably malformed) *)
+  | Lie
+      (** broadcast a well-formed but wrong Result vector while keeping
+          honest local state and honest Commit echoes — intake
+          validation passes; only the peers' Reed–Solomon decode
+          catches it, attributing the error locations to the liar
+          (suspicion gauge, live [suspicion] alert) *)
 
 val fault_name : fault -> string
 
 val delivers : fault -> bool
 (** Whether a node with this fault contributes validated protocol frames
-    ([Honest]/[Delay] do; [Drop] withholds, [Corrupt] frames are
+    ([Honest]/[Delay]/[Lie] do; [Drop] withholds, [Corrupt] frames are
     rejected at intake). *)
 
 module Make (F : Field_intf.S) : sig
@@ -44,6 +50,18 @@ module Make (F : Field_intf.S) : sig
     telemetry : bool;
         (** after the Stats reply, ship a [csm-node-telemetry/1] bundle
             (metrics, spans, events, flight ring) in a Telemetry frame *)
+    stream : float option;
+        (** emit in-flight [csm-node-telemetry/2] delta frames to the
+            client at most this often (seconds) while running — changed
+            families with cumulative values, a full snapshot first and
+            every tenth emission, plus the new event-log tail.  [None]:
+            end-of-run telemetry only.  Deltas are control frames,
+            exempt from the node's fault like Stats *)
+    scope : Csm_obs.Agg.scope;
+        (** what this runtime's registry snapshots describe: [Process]
+            when node threads share one registry (loopback), [Node]
+            when this process owns it (forked modes) — drives the
+            client-side source keying and dedup *)
   }
 
   val corrupt_payload : string -> string

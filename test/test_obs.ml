@@ -820,10 +820,12 @@ let agg_bundle_round_trip () =
         Json.to_string (Json.Obj [ ("schema", Json.Str Agg.schema) ]) );
     ]
 
-let mk_bundle ?(views = []) ?(flight = []) ~node ~pid ~hlc () =
+let mk_bundle ?(views = []) ?(flight = []) ?(scope = Agg.Process) ~node ~pid
+    ~hlc () =
   {
     Agg.b_node = node;
     b_pid = pid;
+    b_scope = scope;
     b_hlc = hlc;
     b_views = views;
     b_spans = [];
@@ -840,12 +842,40 @@ let agg_dedup_by_pid () =
       mk_bundle ~node:2 ~pid:88 ~hlc:5 ();
     ]
   in
-  let reps = Agg.dedup_by_pid bundles in
+  let reps = Agg.dedup bundles in
   Alcotest.(check (list int)) "one rep per pid, sorted by node" [ 0; 2 ]
     (List.map (fun b -> b.Agg.b_node) reps);
   Alcotest.(check int) "latest snapshot wins" 20
     (List.find (fun b -> b.Agg.b_pid = 77) reps).Agg.b_hlc;
   Alcotest.(check int) "max_hlc joins all" 20 (Agg.max_hlc bundles)
+
+(* Node-scope bundles key on (pid, node index): two forked nodes on
+   different hosts may collide on pid, and neither may swallow the
+   other's telemetry — the regression the scope-aware dedup fixes. *)
+let agg_dedup_scope () =
+  let bundles =
+    [
+      mk_bundle ~scope:Agg.Node ~node:1 ~pid:77 ~hlc:10 ();
+      mk_bundle ~scope:Agg.Node ~node:0 ~pid:77 ~hlc:20 ();
+      mk_bundle ~scope:Agg.Node ~node:1 ~pid:77 ~hlc:30 ();
+      mk_bundle ~scope:Agg.Node ~node:2 ~pid:88 ~hlc:5 ();
+    ]
+  in
+  let reps = Agg.dedup bundles in
+  Alcotest.(check (list int)) "one rep per (pid, node), sorted" [ 0; 1; 2 ]
+    (List.map (fun b -> b.Agg.b_node) reps);
+  Alcotest.(check int) "latest snapshot wins per node" 30
+    (List.find (fun b -> b.Agg.b_node = 1) reps).Agg.b_hlc;
+  (* a Process-scope loopback bundle still dedups on pid alone *)
+  let mixed =
+    [
+      mk_bundle ~scope:Agg.Process ~node:0 ~pid:99 ~hlc:1 ();
+      mk_bundle ~scope:Agg.Process ~node:1 ~pid:99 ~hlc:2 ();
+      mk_bundle ~scope:Agg.Node ~node:1 ~pid:99 ~hlc:3 ();
+    ]
+  in
+  Alcotest.(check int) "process scope still keys on pid" 2
+    (List.length (Agg.dedup mixed))
 
 let counter_view name v =
   {
@@ -984,6 +1014,243 @@ let prom_escaping_edge_cases () =
         ("{l=\"a" ^ bs ^ bs ^ "b\"}")
         (Prom.label_block [ ("l", "a" ^ bs ^ "b") ]))
 
+(* ----- live streaming telemetry: windows, deltas, alerts, http ----- *)
+
+module Window = Csm_obs.Window
+module Alert = Csm_obs.Alert
+module Live = Csm_obs.Live
+module Http = Csm_obs.Http
+
+(* All window tests drive the clock explicitly through ?now — nothing
+   here depends on wall time. *)
+let window_rate_basics () =
+  let w = Window.create ~bucket_s:1.0 ~span_s:4.0 () in
+  Alcotest.(check (float 0.0)) "empty rate" 0.0 (Window.rate ~now:10.0 w);
+  Window.mark ~now:10.0 w;
+  Window.add ~now:10.5 w 10.0;
+  Window.add ~now:11.5 w 10.0;
+  Alcotest.(check (float 0.0)) "total" 20.0 (Window.total ~now:12.0 w);
+  Alcotest.(check (float 1e-9)) "rate over covered span" 10.0
+    (Window.rate ~now:12.0 w);
+  (* far past the span every bucket has expired *)
+  Alcotest.(check (float 0.0)) "expired" 0.0 (Window.total ~now:100.0 w)
+
+let window_rotation_no_double_count () =
+  let w = Window.create ~bucket_s:1.0 ~span_s:4.0 () in
+  Window.add ~now:0.5 w 7.0;
+  (* the ring has ceil(span/bucket)+1 = 5 slots; time 5.5 reuses slot
+     0 — the old count must be reclaimed, not added to *)
+  Window.add ~now:5.5 w 3.0;
+  Alcotest.(check (float 0.0)) "slot reclaimed on reuse" 3.0
+    (Window.total ~now:5.5 w);
+  (* an in-span revisit of the same bucket accumulates *)
+  Window.add ~now:5.9 w 2.0;
+  Alcotest.(check (float 0.0)) "same live bucket accumulates" 5.0
+    (Window.total ~now:6.0 w)
+
+let window_hist_quantiles () =
+  let h = Window.hist_create ~buckets:[| 0.01; 0.1; 1.0 |] () in
+  for _ = 1 to 90 do
+    Window.hist_observe ~now:1.0 h 0.05
+  done;
+  for _ = 1 to 10 do
+    Window.hist_observe ~now:1.0 h 0.5
+  done;
+  let s = Window.hist_snapshot ~now:1.5 h in
+  Alcotest.(check int) "count" 100 s.Metric.s_count;
+  let p50 = Metric.quantile s 0.5 and p99 = Metric.quantile s 0.99 in
+  Alcotest.(check bool) "p50 in the 0.01..0.1 bucket" true
+    (p50 > 0.01 && p50 <= 0.1);
+  Alcotest.(check bool) "p99 in the 0.1..1.0 bucket" true
+    (p99 > 0.1 && p99 <= 1.0);
+  (* rotation: far in the future everything has aged out *)
+  Alcotest.(check int) "expired" 0
+    (Window.hist_snapshot ~now:1000.0 h).Metric.s_count
+
+(* integer-valued floats keep every sum exact, so the merge laws can
+   demand structural equality *)
+let slots_arb =
+  QCheck.make
+    ~print:(fun s ->
+      String.concat ";"
+        (List.map (fun (i, v) -> Printf.sprintf "%d:%g" i v) s))
+    QCheck.Gen.(
+      small_list (pair (int_bound 20) (map float_of_int (int_bound 1000))))
+
+let qcheck_window_merge_assoc =
+  QCheck.Test.make ~name:"window slot merge associative" ~count:200
+    (QCheck.triple slots_arb slots_arb slots_arb)
+    (fun (a, b, c) ->
+      Window.merge a (Window.merge b c) = Window.merge (Window.merge a b) c)
+
+let qcheck_window_merge_comm =
+  QCheck.Test.make ~name:"window slot merge commutative" ~count:200
+    (QCheck.pair slots_arb slots_arb)
+    (fun (a, b) -> Window.merge a b = Window.merge b a)
+
+let qcheck_window_merge_total =
+  QCheck.Test.make ~name:"window slot merge preserves mass" ~count:200
+    (QCheck.pair slots_arb slots_arb)
+    (fun (a, b) ->
+      Window.slots_total (Window.merge a b)
+      = Window.slots_total a +. Window.slots_total b)
+
+(* a synthetic delta payload: one node's cumulative counter value *)
+let delta_payload ~node ~seq ~full v =
+  Agg.delta_payload ~node ~scope:Agg.Node ~seq ~full
+    ~views:
+      [
+        {
+          Metric.name = "csm_test_live_total";
+          help = "";
+          kind = Metric.K_counter;
+          samples =
+            [ { Metric.labels = [ ("node", string_of_int node) ];
+                value = Metric.V_counter v } ];
+        };
+      ]
+    ~events:[] ()
+
+let live_delta_merge_idempotent () =
+  let p1 = delta_payload ~node:0 ~seq:1 ~full:true 5 in
+  let p2 = delta_payload ~node:0 ~seq:2 ~full:false 8 in
+  let p3 = delta_payload ~node:0 ~seq:3 ~full:false 12 in
+  let ordered = Live.create ~k:1 () in
+  List.iter (fun p -> ignore (Live.apply ordered p)) [ p1; p2; p3 ];
+  let chaotic = Live.create ~k:1 () in
+  (* duplicated and reordered: the per-source seq plus cumulative
+     values must converge to the same state *)
+  List.iter
+    (fun p -> ignore (Live.apply chaotic p))
+    [ p1; p1; p2; p1; p3; p2; p3; p3 ];
+  Alcotest.(check string) "same merged views"
+    (Prom.render_views (Live.node_views ordered))
+    (Prom.render_views (Live.node_views chaotic));
+  let applied, stale, rejected = Live.deltas chaotic in
+  Alcotest.(check int) "three applied" 3 applied;
+  Alcotest.(check int) "five stale" 5 stale;
+  Alcotest.(check int) "none rejected" 0 rejected;
+  Alcotest.(check bool) "garbage rejected" true
+    (Live.apply chaotic "\x00nope" = `Malformed);
+  (* a fresh source (different node) does not collide *)
+  Alcotest.(check bool) "other node applies" true
+    (Live.apply chaotic (delta_payload ~node:1 ~seq:1 ~full:true 2) = `Applied)
+
+let live_lambda_window () =
+  let live = Live.create ~k:2 () in
+  Live.mark_start ~now:100.0 live;
+  List.iter (fun t -> Live.note_commit ~now:t live) [ 100.5; 101.0; 101.5 ];
+  (* 3 commits x k=2 over the 2s covered span *)
+  Alcotest.(check (float 1e-6)) "windowed lambda" 3.0
+    (Live.lambda ~now:102.0 live);
+  Alcotest.(check int) "commits" 3 (Live.commits live)
+
+let alert_parse_fixpoint () =
+  List.iter
+    (fun spec ->
+      match Alert.parse spec with
+      | None -> Alcotest.failf "parse %S failed" spec
+      | Some r ->
+        Alcotest.(check string) ("fixpoint " ^ spec) (Alert.to_string r)
+          (Alert.to_string
+             (Option.get (Alert.parse (Alert.to_string r)))))
+    [
+      "csm_node_suspicion>0";
+      "skew:csm_hlc_skew_seconds>=0.25";
+      "floor:csm_window_lambda<10";
+      "csm_x<=3.5";
+      " spaced : csm_y > 1 ";
+    ];
+  List.iter
+    (fun spec ->
+      Alcotest.(check bool) ("rejects " ^ spec) true (Alert.parse spec = None))
+    [ ""; "nope"; "m>"; ">1"; "bad name:m>1"; "m>nan"; "m!1"; ":m>1" ]
+
+let alert_engine_edges () =
+  let rule = Alert.rule ~name:"r" ~metric:"m" ~cmp:Alert.Gt 5.0 in
+  let e = Alert.create [ rule ] in
+  let values v metric = if metric = "m" then v else [] in
+  Alcotest.(check int) "quiet below threshold" 0
+    (List.length (Alert.evaluate e ~now:1.0 (values [ 4.0 ])));
+  Alcotest.(check bool) "not firing" true (Alert.firing e = []);
+  (* rising edge fires once, stays firing without re-edging *)
+  Alcotest.(check int) "rising edge" 1
+    (List.length (Alert.evaluate e ~now:2.0 (values [ 4.0; 6.0 ])));
+  Alcotest.(check int) "no re-edge while firing" 0
+    (List.length (Alert.evaluate e ~now:3.0 (values [ 7.0 ])));
+  Alcotest.(check (option (float 0.0))) "first_fired time" (Some 2.0)
+    (Alert.first_fired e "r");
+  (* falling edge resolves; a later rise is a new edge, first stays *)
+  Alcotest.(check int) "resolve" 0
+    (List.length (Alert.evaluate e ~now:4.0 (values [ 1.0 ])));
+  Alcotest.(check bool) "not firing after resolve" true (Alert.firing e = []);
+  Alcotest.(check int) "re-fire" 1
+    (List.length (Alert.evaluate e ~now:5.0 (values [ 9.0 ])));
+  Alcotest.(check (option (float 0.0))) "first time sticky" (Some 2.0)
+    (Alert.first_fired e "r");
+  Alcotest.(check bool) "fired_ever" true (Alert.fired_ever e);
+  (* no data = not firing *)
+  ignore (Alert.evaluate e ~now:6.0 (fun _ -> []));
+  Alcotest.(check bool) "missing family quiet" true (Alert.firing e = []);
+  match Alert.views e with
+  | [ v ] ->
+    Alcotest.(check string) "gauge family" "csm_alerts_firing" v.Metric.name
+  | _ -> Alcotest.fail "expected one synthesized family"
+
+let http_serve_scrape () =
+  let hits = ref 0 in
+  let srv =
+    Http.serve ~port:0 (fun path ->
+        match path with
+        | "/metrics" ->
+          incr hits;
+          Some (Http.text "csm_up 1\n")
+        | "/healthz" -> Some (Http.text "ok\n")
+        | _ -> None)
+  in
+  Fun.protect
+    ~finally:(fun () -> Http.stop srv)
+    (fun () ->
+      let port = Http.port srv in
+      (match Http.get ~port "/metrics" with
+      | Some (200, body) -> Alcotest.(check string) "body" "csm_up 1\n" body
+      | other ->
+        Alcotest.failf "GET /metrics: %s"
+          (match other with
+          | Some (c, _) -> string_of_int c
+          | None -> "no response"));
+      (match Http.get ~port "/healthz" with
+      | Some (200, body) -> Alcotest.(check string) "healthz" "ok\n" body
+      | _ -> Alcotest.fail "GET /healthz failed");
+      (match Http.get ~port "/nope" with
+      | Some (404, _) -> ()
+      | _ -> Alcotest.fail "expected 404");
+      Alcotest.(check int) "handler ran once" 1 !hits);
+  (* stop is idempotent and frees the port *)
+  Http.stop srv
+
+let event_overwrite_counts_drops () =
+  let saved = Event.current_level () in
+  Event.reset ();
+  Event.set_level (Some Event.Debug);
+  Fun.protect
+    ~finally:(fun () ->
+      Event.set_level saved;
+      Event.reset ())
+    (fun () ->
+      Alcotest.(check int) "clean" 0 (Event.dropped ());
+      for i = 1 to Event.capacity + 5 do
+        Event.emit Event.Info (string_of_int i)
+      done;
+      Alcotest.(check int) "overwrites counted" 5 (Event.dropped ());
+      Alcotest.(check int) "ring holds capacity" Event.capacity
+        (List.length (Event.recent ()));
+      (* since: the tail strictly after a seq *)
+      let all = Event.recent () in
+      let nth = List.nth all (List.length all - 3) in
+      Alcotest.(check int) "since tail" 2
+        (List.length (Event.since nth.Event.seq)))
+
 let suites =
   [
     ( "obs",
@@ -1023,11 +1290,36 @@ let suites =
         Alcotest.test_case "telemetry bundle round trip" `Quick
           agg_bundle_round_trip;
         Alcotest.test_case "bundle dedup by pid" `Quick agg_dedup_by_pid;
+        Alcotest.test_case "bundle dedup scope-aware" `Quick agg_dedup_scope;
         Alcotest.test_case "view merge sums/maxes, order-free" `Quick
           agg_merge_views;
         Alcotest.test_case "cross-node flow pairing" `Quick
           agg_cross_flow_pairing;
         Alcotest.test_case "event log monotonic timestamps" `Quick
           event_mono_field;
+      ] );
+    ( "live",
+      [
+        Alcotest.test_case "window rate over covered span" `Quick
+          window_rate_basics;
+        Alcotest.test_case "window rotation never double-counts" `Quick
+          window_rotation_no_double_count;
+        Alcotest.test_case "window histogram quantiles + expiry" `Quick
+          window_hist_quantiles;
+        QCheck_alcotest.to_alcotest ~long:false qcheck_window_merge_assoc;
+        QCheck_alcotest.to_alcotest ~long:false qcheck_window_merge_comm;
+        QCheck_alcotest.to_alcotest ~long:false qcheck_window_merge_total;
+        Alcotest.test_case "delta merge idempotent under dup/reorder" `Quick
+          live_delta_merge_idempotent;
+        Alcotest.test_case "lambda window from commit ticks" `Quick
+          live_lambda_window;
+        Alcotest.test_case "alert spec parse fixpoint" `Quick
+          alert_parse_fixpoint;
+        Alcotest.test_case "alert engine edge detection" `Quick
+          alert_engine_edges;
+        Alcotest.test_case "http scrape endpoint serves and 404s" `Quick
+          http_serve_scrape;
+        Alcotest.test_case "event ring overwrite counts drops" `Quick
+          event_overwrite_counts_drops;
       ] );
   ]

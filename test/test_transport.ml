@@ -16,6 +16,9 @@ module Cluster = Csm_transport.Cluster
 module C = Cluster.Make (F)
 module Agg = Csm_obs.Agg
 module Json = Csm_obs.Json
+module Metric = Csm_obs.Metric
+module Live = Csm_obs.Live
+module Alert = Csm_obs.Alert
 
 let check = Alcotest.check
 let checkb = Alcotest.(check bool)
@@ -476,7 +479,7 @@ let stats_payload_round_trip () =
 (* ----- end-to-end cluster runs (loopback, in-process) ----- *)
 
 let cluster_cfg ?(faults = []) ?(rounds = 2) ?(seed = 42) ?(trace = false)
-    ?(telemetry = false) () =
+    ?(telemetry = false) ?stream ?live () =
   {
     C.params = Params.make ~network:Params.Sync ~n:3 ~k:1 ~d:1 ~b:1;
     rounds;
@@ -486,6 +489,8 @@ let cluster_cfg ?(faults = []) ?(rounds = 2) ?(seed = 42) ?(trace = false)
     deadline = 10.0;
     trace;
     telemetry;
+    stream;
+    live;
   }
 
 let total_frame_errors (r : C.result) =
@@ -570,6 +575,65 @@ let cluster_loopback_telemetry () =
   checkb "no bundles untraced" true
     (match r0.C.telemetry with [] -> true | _ -> false)
 
+(* In-flight streaming: a loopback run with a live store merges the
+   nodes' csm-node-telemetry/2 deltas while rounds are still running,
+   the commit ticks feed the lambda window, and a lying node (well-
+   formed wrong Result vectors) trips the suspicion alert before the
+   run ends — the live-observability acceptance path. *)
+let cluster_loopback_streaming () =
+  Metric.enable ();
+  Metric.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Metric.reset ();
+      Metric.disable ())
+    (fun () ->
+      let live = Live.create ~k:1 () in
+      let r =
+        C.run
+          (cluster_cfg ~rounds:8 ~faults:[ (1, Node.Lie) ] ~stream:0.01 ~live
+             ())
+      in
+      let lam = Live.lambda live in
+      checkb "verified: the decode corrects the lie" true r.C.ok;
+      check Alcotest.int "lie frames are well-formed" 0 (total_frame_errors r);
+      checkb "run_seconds measured" true (r.C.run_seconds > 0.0);
+      check Alcotest.int "every round committed" 8 (Live.commits live);
+      let applied, _, rejected = Live.deltas live in
+      checkb "deltas applied in flight" true (applied > 0);
+      check Alcotest.int "no rejected deltas" 0 rejected;
+      checkb "windowed lambda positive" true (lam > 0.0);
+      (* the decoder attributed the lie: suspicion reached the live
+         view through the deltas and fired the alert mid-run *)
+      checkb "suspicion alert fired" true
+        (Alert.first_fired (Live.alerts live) "suspicion" <> None);
+      let scrape = Live.scrape live in
+      checkb "scrape carries windowed lambda" true
+        (contains_sub scrape "csm_window_lambda");
+      checkb "scrape carries the alert gauge" true
+        (contains_sub scrape "csm_alerts_firing{rule=\"suspicion\"} 1");
+      checkb "scrape carries merged node suspicion" true
+        (contains_sub scrape "csm_node_suspicion");
+      (match Json.parse (Json.to_string (Live.windows_json live)) with
+      | Json.Obj fields ->
+        checkb "windows.json has schema" true
+          (List.mem_assoc "schema" fields && List.mem_assoc "lambda" fields)
+      | _ -> Alcotest.fail "windows.json not an object"
+      | exception Json.Parse_error m -> Alcotest.failf "windows.json: %s" m);
+      (* idempotency end-to-end: re-applying a stale synthetic delta
+         changes nothing *)
+      let before = Csm_obs.Prom.render_views (Live.node_views live) in
+      (match
+         Live.apply live
+           (Agg.delta_payload ~node:0 ~scope:Agg.Process ~seq:1 ~full:false
+              ~views:[] ~events:[] ())
+       with
+      | `Stale -> ()
+      | `Applied -> Alcotest.fail "stale delta applied"
+      | `Malformed -> Alcotest.fail "synthetic delta malformed");
+      check Alcotest.string "state unchanged by stale delta" before
+        (Csm_obs.Prom.render_views (Live.node_views live)))
+
 (* ----- loopback vs socket equivalence through the binary ----- *)
 
 (* The driver is a declared dune dep living next to this executable's
@@ -594,30 +658,31 @@ let read_file path =
   close_in ic;
   s
 
-(* The reports differ only in config.transport (and nothing else: same
-   host, same ledgers, same per-endpoint counters). *)
+(* The reports differ only in config.transport and the wall-clock
+   fields (run_seconds and the lambda derived from it) — everything
+   else (host, ledgers, per-endpoint counters) must be identical. *)
 let normalize s =
-  let re_sub ~from ~to_ s =
-    let b = Buffer.create (String.length s) in
-    let fl = String.length from in
-    let i = ref 0 in
-    while !i < String.length s do
-      if
-        !i + fl <= String.length s
-        && String.sub s !i fl = from
-      then begin
-        Buffer.add_string b to_;
-        i := !i + fl
-      end
-      else begin
-        Buffer.add_char b s.[!i];
-        incr i
-      end
-    done;
-    Buffer.contents b
-  in
-  re_sub ~from:"\"transport\":\"loopback\"" ~to_:"\"transport\":\"X\""
-    (re_sub ~from:"\"transport\":\"socket\"" ~to_:"\"transport\":\"X\"" s)
+  match Json.parse s with
+  | Json.Obj fields ->
+    Json.to_string
+      (Json.Obj
+         (List.filter_map
+            (fun (k, v) ->
+              match (k, v) with
+              | ("run_seconds" | "lambda"), _ -> None
+              | "config", Json.Obj cf ->
+                Some
+                  ( k,
+                    Json.Obj
+                      (List.map
+                         (fun (ck, cv) ->
+                           if ck = "transport" then (ck, Json.Str "X")
+                           else (ck, cv))
+                         cf) )
+              | _ -> Some (k, v))
+            fields))
+  | other -> Json.to_string other
+  | exception Json.Parse_error m -> Alcotest.failf "report not JSON: %s" m
 
 let equivalence args =
   let out_loop = Filename.temp_file "csm_cluster_loop" ".json" in
@@ -703,6 +768,8 @@ let suites =
           cluster_loopback_delay_fault;
         Alcotest.test_case "cluster loopback deterministic" `Quick
           cluster_loopback_deterministic;
+        Alcotest.test_case "cluster loopback streaming + alerts" `Quick
+          cluster_loopback_streaming;
         Alcotest.test_case "cluster loopback telemetry + trace" `Quick
           cluster_loopback_telemetry;
         Alcotest.test_case "loopback = socket (binary, fault-free)" `Quick
