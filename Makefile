@@ -1,6 +1,6 @@
 # Convenience wrappers around dune; `make ci` is the full local gate.
 
-.PHONY: all build test lint lint-update bench-smoke bench-gate rs-smoke metrics-smoke cluster-smoke obs-smoke live-smoke ci clean
+.PHONY: all build test lint lint-update bench-smoke bench-gate rs-smoke metrics-smoke cluster-smoke obs-smoke live-smoke adversary-smoke ci clean
 
 all: build
 
@@ -117,6 +117,22 @@ live-smoke:
 # end-to-end — a CSM_TRACE'd demo run, a traced + gated smoke bench,
 # and a metrics exposition check — so linting, tracing, metrics and
 # the bench gate are driven on every commit.
+# Adversary-synthesis smoke: regenerate the Table-2 tightness
+# certification (search at b = muN must find no violation, at
+# b = muN + 1 must find a shrunk replayable witness, twice
+# byte-identically at the same seed) and gate every boolean plus the
+# searched budget/seed/schedule against bench/adversary_baseline.json.
+# The committed counterexample fixture must also still replay
+# byte-for-byte through the csm_adversary CLI.
+adversary-smoke:
+	dune exec bench/main.exe -- --adversary-smoke \
+	  --out /tmp/csm_ci_adversary_bench.json
+	dune exec bin/bench_gate.exe -- --current /tmp/csm_ci_adversary_bench.json \
+	  --baseline bench/adversary_baseline.json
+	dune exec bin/csm_adversary.exe -- \
+	  --replay test/fixtures/adversary_decode.json
+	@echo "adversary-smoke: ok"
+
 ci:
 	dune build @check @bench-smoke
 	$(MAKE) lint
@@ -132,6 +148,7 @@ ci:
 	$(MAKE) cluster-smoke
 	$(MAKE) obs-smoke
 	$(MAKE) live-smoke
+	$(MAKE) adversary-smoke
 
 clean:
 	dune clean

@@ -24,7 +24,10 @@
    (BENCH_rs.json, gated against bench/rs_baseline.json), and
    `main.exe --obs-smoke [--out FILE]` for the observability layer's
    allocation overhead (BENCH_obs.json, gated against
-   bench/obs_baseline.json). *)
+   bench/obs_baseline.json), and `main.exe --adversary-smoke
+   [--out FILE]` for the Table-2 tightness certification
+   (BENCH_adversary.json, gated against
+   bench/adversary_baseline.json). *)
 
 open Bechamel
 open Toolkit
@@ -1003,7 +1006,7 @@ let live_e2e ~rounds ~k =
               rounds;
               seed = 4242;
               mode = ClusterT.Loopback;
-              faults = [ (1, NodeT.Lie) ];
+              faults = [ (1, NodeT.Lie NodeT.lie_default) ];
               deadline = 30.0;
               trace = false;
               telemetry = false;
@@ -1135,6 +1138,91 @@ let run_live_smoke ~out =
     e.e_agreement_pct e.e_suspicion_fired ok;
   if not ok then exit 1
 
+(* ----- adversary-smoke mode: Table-2 tightness certification -----
+
+   BENCH_adversary.json (schema csm-bench-adversary/1, gated against
+   bench/adversary_baseline.json) certifies that the Table-2 fault
+   bounds are tight, adversary-side: for each representative bound the
+   search engine explores Byzantine strategies against the protocol
+   oracles and must find
+
+   - NO safety/liveness violation when the adversary controls at most
+     b = muN nodes (safety_holds_at_bound), and
+   - a violation witness when it controls b + 1
+     (witness_found_above_bound), shrunk to a canonical counterexample
+     that replays byte-for-byte from its own serialization (replay_ok).
+
+   The whole certification runs twice at the same seed; the two
+   reports must be byte-identical (deterministic).  Everything here is
+   oracle-side simulation — no wall clock, host-independent. *)
+
+module Adv = Csm_adversary
+module JsonB = Csm_obs.Json
+
+let adversary_budget () =
+  match Option.bind (Sys.getenv_opt "CSM_ADVERSARY_BUDGET") int_of_string_opt with
+  | Some b when b > 0 -> b
+  | Some _ | None -> 1000
+
+let run_adversary_smoke ~out =
+  let budget = adversary_budget () in
+  let seed = 0xAD5E in
+  let schedule = Adv.Search.Exhaustive in
+  let certify () =
+    (* the oracles already run metrics-disabled; reset any ambient
+       registry state so the second run starts from the same world *)
+    if MetricO.enabled () then MetricO.reset ();
+    Adv.Certify.all ~schedule ~budget ~seed ()
+  in
+  let r1 = certify () in
+  let r2 = certify () in
+  let j1 = JsonB.to_string (Adv.Certify.report_to_json r1) in
+  let j2 = JsonB.to_string (Adv.Certify.report_to_json r2) in
+  let deterministic = String.equal j1 j2 in
+  let report_fields =
+    match Adv.Certify.report_to_json r1 with
+    | JsonB.Obj fields -> fields
+    | _ -> []
+  in
+  let doc =
+    JsonB.Obj
+      ([
+         ("schema", JsonB.Str "csm-bench-adversary/1");
+         ("bench", JsonB.Str "adversary/table2-tightness");
+         ( "host",
+           JsonB.Obj
+             [
+               ("ocaml_version", JsonB.Str Sys.ocaml_version);
+               ("word_size", JsonB.Int Sys.word_size);
+             ] );
+         ("deterministic", JsonB.Bool deterministic);
+       ]
+      @ report_fields
+      @ [
+          ( "note",
+            JsonB.Str
+              "oracle-side search certification: candidate counts, \
+               verdicts and the shrunk witnesses are derived from the \
+               embedded seed only, so every field gates \
+               host-independently" );
+        ])
+  in
+  JsonB.write ~path:out doc;
+  let ok =
+    deterministic
+    && r1.Adv.Certify.safety_holds_at_bound
+    && r1.Adv.Certify.witness_found_above_bound
+    && r1.Adv.Certify.replay_ok
+  in
+  Format.printf
+    "wrote %s (bounds=%d deterministic=%b safe-at-bound=%b \
+     witness-above=%b replay=%b)@."
+    out
+    (List.length r1.Adv.Certify.bounds)
+    deterministic r1.Adv.Certify.safety_holds_at_bound
+    r1.Adv.Certify.witness_found_above_bound r1.Adv.Certify.replay_ok;
+  if not ok then exit 1
+
 (* ----- runner ----- *)
 
 let all_tests =
@@ -1214,4 +1302,6 @@ let () =
     run_obs_smoke ~out:(out_arg ~default:"BENCH_obs.json" argv)
   else if List.mem "--live-smoke" argv then
     run_live_smoke ~out:(out_arg ~default:"BENCH_live.json" argv)
+  else if List.mem "--adversary-smoke" argv then
+    run_adversary_smoke ~out:(out_arg ~default:"BENCH_adversary.json" argv)
   else run_all ()

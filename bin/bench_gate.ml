@@ -54,6 +54,20 @@
      lambdas measure this host, but their ratio is host-independent
      to first order).
 
+   csm-bench-adversary/1 (the Table-2 tightness certification, vs
+   bench/adversary_baseline.json):
+
+   - the certification booleans must all hold, globally and per bound:
+     two runs at the same seed byte-identical (deterministic), no
+     violation found with b = muN adversarial nodes
+     (safety_holds_at_bound), a violation witness at b = muN + 1
+     (witness_found_above_bound), and every shrunk witness replaying
+     byte-for-byte from its own trace (replay_ok);
+   - the searched configuration (budget / seed / schedule and the
+     number of certified bounds) must match the committed baseline — a
+     silently smaller budget would certify a smaller strategy class
+     than the one reviewed.
+
    Absolute wall-clock timings are deliberately NOT gated: they measure
    the CI host, not the code (the rs speedup is a same-process ratio,
    which is host-independent to first order).  The previous report,
@@ -67,10 +81,26 @@ module Json = Csm_obs.Json
 
 let fail_usage fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 2) fmt
 
+(* A missing or unreadable report is almost always a stale checkout:
+   name the `make` target whose smoke run regenerates the file. *)
+let regen_target path =
+  let base = Filename.basename path in
+  let contains sub =
+    let ls = String.length sub and lb = String.length base in
+    let rec go i = i + ls <= lb && (String.sub base i ls = sub || go (i + 1)) in
+    go 0
+  in
+  if contains "adversary" then "adversary-smoke"
+  else if contains "live" then "live-smoke"
+  else if contains "obs" then "obs-smoke"
+  else if contains "rs" then "rs-smoke"
+  else "bench-smoke"
+
 let load path =
+  let hint = Printf.sprintf "(regenerate it with `make %s`)" (regen_target path) in
   try Json.parse_file path with
-  | Sys_error m -> fail_usage "bench_gate: %s" m
-  | Json.Parse_error m -> fail_usage "bench_gate: %s: %s" path m
+  | Sys_error m -> fail_usage "bench_gate: %s %s" m hint
+  | Json.Parse_error m -> fail_usage "bench_gate: %s: %s %s" path m hint
 
 let str_field j key =
   match Option.bind (Json.member key j) Json.to_string_opt with
@@ -218,6 +248,61 @@ let run_live cur base =
             %.2f%%)"
            agree agree_max))
 
+(* ----- csm-bench-adversary/1: Table-2 tightness certification ----- *)
+
+let run_adversary cur base =
+  with_checks (fun check ->
+      (* the certificate itself: every boolean computed by the bench
+         must hold, globally and per bound *)
+      List.iter
+        (fun (key, detail) -> check key (bool_field cur key) detail)
+        [
+          ( "deterministic",
+            "two full certifications at the same seed are byte-identical" );
+          ( "safety_holds_at_bound",
+            "no searched strategy with b = muN nodes violates any bound" );
+          ( "witness_found_above_bound",
+            "a violation witness exists at b = muN + 1 for every bound" );
+          ( "replay_ok",
+            "every shrunk witness replays byte-for-byte from its trace" );
+        ];
+      (match Json.member "bounds" cur with
+      | Some (Json.List bounds) ->
+        let want = int_field base "bounds_certified" in
+        check "bounds_certified"
+          (List.length bounds = want)
+          (Printf.sprintf "current=%d baseline=%d (one per Table-2 \
+                           inequality)"
+             (List.length bounds) want);
+        List.iter
+          (fun bj ->
+            let name = str_field bj "bound" in
+            List.iter
+              (fun key ->
+                check
+                  (Printf.sprintf "%s.%s" name key)
+                  (bool_field bj key)
+                  (str_field bj "inequality"))
+              [
+                "safety_holds_at_bound";
+                "witness_found_above_bound";
+                "replay_ok";
+              ])
+          bounds
+      | Some _ | None -> fail_usage "bench_gate: missing list field \"bounds\"");
+      (* the searched configuration must match the committed baseline:
+         a silently smaller budget or different seed would certify a
+         smaller strategy class than the one reviewed *)
+      List.iter
+        (fun key ->
+          let c = int_field cur key and b = int_field base key in
+          check (Printf.sprintf "config.%s" key) (c = b)
+            (Printf.sprintf "current=%d baseline=%d" c b))
+        [ "budget"; "seed" ];
+      let cs = str_field cur "schedule" and bs = str_field base "schedule" in
+      check "config.schedule" (cs = bs)
+        (Printf.sprintf "current=%s baseline=%s" cs bs))
+
 (* ----- csm-bench-parallel/2: the parallel smoke bench ----- *)
 
 let run_parallel cur base previous tolerance =
@@ -273,10 +358,12 @@ let run current baseline previous tolerance =
   | "csm-bench-rs/1" -> run_rs cur base
   | "csm-bench-obs/1" -> run_obs cur base
   | "csm-bench-live/1" -> run_live cur base
+  | "csm-bench-adversary/1" -> run_adversary cur base
   | schema ->
     fail_usage
       "bench_gate: %s has schema %s (need csm-bench-parallel/2, \
-       csm-bench-rs/1, csm-bench-obs/1 or csm-bench-live/1)"
+       csm-bench-rs/1, csm-bench-obs/1, csm-bench-live/1 or \
+       csm-bench-adversary/1)"
       current schema
 
 let () =

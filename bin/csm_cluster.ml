@@ -23,6 +23,9 @@
    receivers detect and drop it (visible as csm_transport_frame_errors_total
    when CSM_METRICS is set), `lie` ships well-formed but wrong Result
    vectors that only the peers' Reed-Solomon decode catches (suspicion).
+   `--faults strategy:FILE` instead loads a whole adversary strategy —
+   a csm-adversary-trace/1 counterexample from csm_adversary, or bare
+   strategy JSON — and maps each searched plan onto a transport fault.
 
    Live telemetry: --serve PORT / --watch / --alert / --lambda-floor
    (or CSM_TELEMETRY_INTERVAL=SEC) make the nodes stream
@@ -67,38 +70,130 @@ module Live = Csm_obs.Live
 module Alert = Csm_obs.Alert
 module Http = Csm_obs.Http
 
-let parse_fault s =
-  match String.index_opt s ':' with
-  | None -> None
+module Adv = Csm_adversary
+
+(* ---- --faults parsing (a cmdliner conv: bad input is a usage error
+   that lists the valid kinds, exit 124) ---- *)
+
+let fault_kinds_hint =
+  "valid fault kinds: drop, corrupt, lie, delay (or delay:SECONDS); or \
+   give the whole spec as strategy:FILE to load a csm-adversary-trace/1 \
+   counterexample (or bare strategy JSON)"
+
+let parse_fault_token tok =
+  match String.index_opt tok ':' with
+  | None ->
+    Error (Printf.sprintf "bad fault %S (want NODE:KIND); %s" tok fault_kinds_hint)
   | Some i -> (
-    let node = String.sub s 0 i in
-    let kind = String.sub s (i + 1) (String.length s - i - 1) in
-    match int_of_string_opt node with
-    | None -> None
+    let node_s = String.sub tok 0 i in
+    let kind = String.sub tok (i + 1) (String.length tok - i - 1) in
+    match int_of_string_opt node_s with
+    | None ->
+      Error
+        (Printf.sprintf "bad fault node %S in %S; %s" node_s tok
+           fault_kinds_hint)
     | Some node -> (
       match String.split_on_char ':' kind with
-      | [ "drop" ] -> Some (node, Node.Drop)
-      | [ "corrupt" ] -> Some (node, Node.Corrupt)
-      | [ "lie" ] -> Some (node, Node.Lie)
-      | [ "delay" ] -> Some (node, Node.Delay 0.02)
+      | [ "drop" ] -> Ok (node, Node.Drop)
+      | [ "corrupt" ] -> Ok (node, Node.Corrupt)
+      | [ "lie" ] -> Ok (node, Node.Lie Node.lie_default)
+      | [ "delay" ] -> Ok (node, Node.Delay 0.02)
       | [ "delay"; lag ] -> (
         match float_of_string_opt lag with
-        | Some lag when lag >= 0.0 -> Some (node, Node.Delay lag)
-        | _ -> None)
-      | _ -> None))
+        | Some lag when lag >= 0.0 -> Ok (node, Node.Delay lag)
+        | _ ->
+          Error
+            (Printf.sprintf "bad delay %S for node %d (want seconds >= 0)" lag
+               node))
+      | k :: _ ->
+        Error
+          (Printf.sprintf "unknown fault kind %S for node %d; %s" k node
+             fault_kinds_hint)
+      | [] ->
+        Error
+          (Printf.sprintf "missing fault kind for node %d; %s" node
+             fault_kinds_hint)))
+
+(* A searched strategy's round schedule, coarsened to the transport
+   layer's (period, from) lie/drop schedule.  Only [r] uses a period
+   longer than any practical run so the fault fires exactly once. *)
+let schedule_of_rounds = function
+  | Adv.Strategy.Always -> (1, 0)
+  | Adv.Strategy.Only (r :: _) -> (1_000_000, max 0 r)
+  | Adv.Strategy.Only [] -> (1, 0)
+  | Adv.Strategy.From r -> (1, max 0 r)
+  | Adv.Strategy.Until _ -> (1, 0)
+  | Adv.Strategy.Every { period; phase } -> (max 1 period, max 0 phase)
+
+let fault_of_plan (p : Adv.Strategy.plan) =
+  match p.Adv.Strategy.steps with
+  | [] -> None
+  | s :: _ ->
+    let l_period, l_from = schedule_of_rounds s.Adv.Strategy.rounds in
+    let lie l_offset l_coord =
+      Node.Lie { Node.l_offset; l_coord; l_period; l_from }
+    in
+    Some
+      (match s.Adv.Strategy.act with
+      | Adv.Strategy.Silence _ -> (p.Adv.Strategy.node, Node.Drop)
+      | Adv.Strategy.Shift c -> (p.Adv.Strategy.node, lie c None)
+      | Adv.Strategy.Coord { index; delta } ->
+        (p.Adv.Strategy.node, lie delta (Some index))
+      | Adv.Strategy.Codeword _ | Adv.Strategy.Garbage _
+      | Adv.Strategy.Equivocate _ ->
+        ( p.Adv.Strategy.node,
+          Node.Lie
+            { Node.lie_default with Node.l_period = l_period; l_from } ))
+
+let faults_of_strategy_file path =
+  let doc =
+    try Ok (Json.parse_file path) with
+    | Sys_error m -> Error m
+    | Json.Parse_error m -> Error (Printf.sprintf "%s: %s" path m)
+  in
+  Result.bind doc (fun doc ->
+      let strategy =
+        match Option.bind (Json.member "schema" doc) Json.to_string_opt with
+        | Some _ ->
+          Result.map
+            (fun (t : Adv.Trace.t) -> t.Adv.Trace.strategy)
+            (Adv.Trace.of_json doc)
+        | None -> Adv.Strategy.of_json doc
+      in
+      Result.map
+        (fun s ->
+          List.filter_map fault_of_plan s.Adv.Strategy.plans)
+        strategy)
 
 let parse_faults s =
-  if String.trim s = "" then Some []
+  let s = String.trim s in
+  if s = "" then Ok []
+  else if String.length s > 9 && String.equal (String.sub s 0 9) "strategy:"
+  then faults_of_strategy_file (String.sub s 9 (String.length s - 9))
   else
-    let parts = String.split_on_char ',' (String.trim s) in
+    let parts = String.split_on_char ',' s in
     let rec go acc = function
-      | [] -> Some (List.rev acc)
-      | p :: rest -> (
-        match parse_fault (String.trim p) with
-        | Some f -> go (f :: acc) rest
-        | None -> None)
+      | [] -> Ok (List.rev acc)
+      | p :: rest ->
+        Result.bind (parse_fault_token (String.trim p)) (fun f ->
+            go (f :: acc) rest)
     in
     go [] parts
+
+let faults_conv =
+  let parse s =
+    match parse_faults s with
+    | Ok fs -> Ok fs
+    | Error m -> Error (`Msg m)
+  in
+  let print ppf fs =
+    Format.pp_print_string ppf
+      (String.concat ","
+         (List.map
+            (fun (i, f) -> Printf.sprintf "%d:%s" i (Node.fault_name f))
+            fs))
+  in
+  Arg.conv (parse, print)
 
 let stats_json = function
   | None -> Json.Obj [ ("missing", Json.Bool true) ]
@@ -335,19 +430,11 @@ let env_spec name =
 let env_path spec =
   match spec with Some "1" | Some "true" | None -> None | Some p -> Some p
 
-let run n k d b rounds seed transport dir port_base faults_s deadline out
+let run n k d b rounds seed transport dir port_base faults deadline out
     no_verify expect_frame_errors trace_flag trace_out prom_out flightrec_flag
     flightrec_out expect_cross_flows replay serve watch alerts_s lambda_floor =
   (match replay with Some path -> replay_dump path | None -> ());
   Exporter.install ();
-  let faults =
-    match parse_faults faults_s with
-    | Some fs -> fs
-    | None ->
-      Printf.eprintf "csm_cluster: bad --faults %S (want \"1:drop,2:corrupt\")\n"
-        faults_s;
-      exit 2
-  in
   List.iter
     (fun (i, _) ->
       if i < 0 || i >= n then begin
@@ -696,11 +783,17 @@ let () =
   in
   let faults =
     Arg.(
-      value & opt string ""
+      value
+      & opt faults_conv []
       & info [ "faults" ]
           ~doc:
             "Transport-level Byzantine faults, e.g. \
-             $(b,1:drop,2:corrupt,0:delay:0.05).")
+             $(b,1:drop,2:corrupt,0:delay:0.05).  Kinds: $(b,drop), \
+             $(b,corrupt), $(b,lie), $(b,delay)[$(b,:SECONDS)].  \
+             Alternatively $(b,strategy:FILE) loads a whole adversary \
+             strategy from a $(b,csm-adversary-trace/1) counterexample \
+             (as emitted by $(b,csm_adversary)) or bare strategy JSON, \
+             mapping each searched plan onto a transport fault.")
   in
   let deadline =
     Arg.(

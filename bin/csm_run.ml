@@ -139,7 +139,7 @@ let run_real_transport ~transport ~params ~rounds ~seed ~adversary ~liars =
     match adversary with
     | "none" -> []
     | "withhold" -> List.map (fun i -> (i, Node.Drop)) liars
-    | "lie" -> List.map (fun i -> (i, Node.Lie)) liars
+    | "lie" -> List.map (fun i -> (i, Node.Lie Node.lie_default)) liars
     | _ -> List.map (fun i -> (i, Node.Corrupt)) liars
   in
   let cfg =

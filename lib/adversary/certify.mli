@@ -1,0 +1,53 @@
+(** Table-2 tightness certification.
+
+    For each bound the certifier runs the search twice against the SAME
+    defender (thresholds built from the assumed bound b):
+
+    - at the bound: candidates control at most b nodes; the certificate
+      requires that no searched strategy violates safety or liveness
+      (with the exhaustive schedule and enough budget this covers the
+      whole bounded class — [at_exhausted] records whether it did);
+    - one past the bound: candidates control up to b + 1 nodes; the
+      certificate requires a violation witness, which is then shrunk to
+      a canonical trace and replayed from its own serialization.
+
+    Both booleans are hard-gated by [bin/bench_gate] on the
+    [csm-bench-adversary/1] document built from {!report_to_json}. *)
+
+type bound_report = {
+  bound : Oracle.bound;
+  instance : Oracle.instance;
+  at_candidates : int;
+  at_exhausted : bool;
+  safety_holds_at_bound : bool;
+  above_candidates : int;
+  witness : Trace.t option;  (** shrunk, canonical *)
+  witness_found_above_bound : bool;
+  replay_ok : bool;
+}
+
+type report = {
+  schedule : Search.schedule;
+  budget : int;
+  seed : int;
+  bounds : bound_report list;
+  safety_holds_at_bound : bool;  (** conjunction over [bounds] *)
+  witness_found_above_bound : bool;  (** conjunction over [bounds] *)
+  replay_ok : bool;  (** conjunction over [bounds] *)
+}
+
+val certify_bound :
+  schedule:Search.schedule -> budget:int -> seed:int -> Oracle.bound ->
+  bound_report
+
+val all :
+  ?bounds:Oracle.bound list ->
+  schedule:Search.schedule ->
+  budget:int ->
+  seed:int ->
+  unit ->
+  report
+(** Defaults to {!Oracle.certified_bounds} (one representative per
+    Table-2 inequality). *)
+
+val report_to_json : report -> Csm_obs.Json.t

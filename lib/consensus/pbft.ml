@@ -49,6 +49,12 @@ type payload =
       value : string;
       justification : (int * Auth.signature) list;
     }
+  | Decided of { value : string }
+      (* decision transfer: a decided replica's answer to a peer still
+         view-changing — a receiver adopts after f+1 matching answers
+         (at least one honest), so a Byzantine leader that selectively
+         withholds the value cannot starve a replica that already holds
+         a commit quorum *)
 
 type msg = { payload : payload; signature : Auth.signature; signer : int }
 
@@ -73,6 +79,7 @@ let payload_string cfg (p : payload) =
     | View_change { new_view; prepared = _ } -> Printf.sprintf "vc|%d" new_view
     | New_view { view; value; justification = _ } ->
       Printf.sprintf "nv|%d|%s" view value
+    | Decided { value } -> Printf.sprintf "dd|%s" value
   in
   cfg.instance ^ "!" ^ body
 
@@ -84,6 +91,7 @@ let phase_name = function
   | Commit _ -> "commit"
   | View_change _ -> "view_change"
   | New_view _ -> "new_view"
+  | Decided _ -> "decided"
 
 type node_state = {
   mutable view : int;
@@ -97,6 +105,7 @@ type node_state = {
   mutable timer_view : int;
   mutable pending_prepares : (int * int * digest * Auth.signature) list;
   mutable pending_commits : (int * int * digest) list;
+  mutable decided_votes : (int * string) list;  (* Decided answers seen *)
 }
 
 let timeout_for cfg view = cfg.base_timeout * (1 lsl min view 16)
@@ -132,6 +141,7 @@ let honest cfg ~me ?proposal ~(on_decide : int -> string -> unit) () :
       timer_view = 0;
       pending_prepares = [];
       pending_commits = [];
+      decided_votes = [];
     }
   in
   let make p =
@@ -144,168 +154,189 @@ let honest cfg ~me ?proposal ~(on_decide : int -> string -> unit) () :
   let record_prepare id sg = st.prepares <- (id, sg) :: st.prepares in
   let record_commit id = st.commits <- id :: st.commits in
   let rec handle api (m : msg) =
-    if st.decided <> None then ()
-    else if
+    if
       not
         (Auth.verify cfg.keyring ~id:m.signer
            (payload_string cfg m.payload)
            m.signature)
     then ()
-    else begin
-      (* counted after signature verification: only authenticated
-         messages advance the protocol *)
-      if Metric.enabled () then
-        Metric.inc (Tel.pbft_messages ~phase:(phase_name m.payload));
-      match m.payload with
-      | Pre_prepare { view; value } ->
-        on_pre_prepare api ~sender:m.signer view value
-      | New_view { view; value; justification } ->
-        if view >= st.view && m.signer = leader_of cfg view then begin
-          let vc_payload =
-            payload_string cfg (View_change { new_view = view; prepared = None })
-          in
-          let signers =
-            List.sort_uniq Int.compare (List.map fst justification)
-          in
-          let ok =
-            List.length signers >= quorum cfg
-            && List.for_all
-                 (fun (id, sg) -> Auth.verify cfg.keyring ~id vc_payload sg)
-                 justification
-          in
-          if ok then begin
-            enter_view api view;
-            on_pre_prepare api ~sender:m.signer view value
-          end
-        end
-      | Prepare { view; digest } -> (
-        if view = st.view then
-          match st.value with
-          | Some v when String.equal (digest_of v) digest ->
-            if not (List.mem_assoc m.signer st.prepares) then begin
-              record_prepare m.signer m.signature;
-              maybe_prepared api
-            end
-          | Some _ | None ->
-            if
-              not
-                (List.exists
-                   (fun (s, vw, _, _) -> s = m.signer && vw = view)
-                   st.pending_prepares)
-            then
-              st.pending_prepares <-
-                (m.signer, view, digest, m.signature) :: st.pending_prepares)
-      | Commit { view; digest } -> (
-        if view = st.view then
-          match st.value with
-          | Some v when String.equal (digest_of v) digest ->
-            if not (List.mem m.signer st.commits) then begin
-              record_commit m.signer;
-              maybe_committed api
-            end
-          | Some _ | None ->
-            if
-              not
-                (List.exists
-                   (fun (s, vw, _) -> s = m.signer && vw = view)
-                   st.pending_commits)
-            then
-              st.pending_commits <-
-                (m.signer, view, digest) :: st.pending_commits)
-      | View_change { new_view; prepared } ->
-        if new_view >= st.view then begin
-          (match prepared with
-          | Some pc when valid_cert cfg pc ->
-            let better =
-              match st.last_prepared with
-              | None -> true
-              | Some cur -> pc.pc_view > cur.pc_view
+    else
+      match st.decided with
+      | Some v -> (
+        (* a view-changing peer is behind: answer with the decision *)
+        match m.payload with
+        | View_change _ when m.signer <> me ->
+          api.Net.send m.signer (make (Decided { value = v }))
+        | _ -> ())
+      | None -> begin
+        (* counted after signature verification: only authenticated
+           messages advance the protocol *)
+        if Metric.enabled () then
+          Metric.inc (Tel.pbft_messages ~phase:(phase_name m.payload));
+        match m.payload with
+        | Pre_prepare { view; value } ->
+          on_pre_prepare api ~sender:m.signer view value
+        | New_view { view; value; justification } ->
+          if view >= st.view && m.signer = leader_of cfg view then begin
+            let vc_payload =
+              payload_string cfg (View_change { new_view = view; prepared = None })
             in
-            if better then st.last_prepared <- Some pc
-          | Some _ | None -> ());
-          let existing =
-            match List.assoc_opt new_view st.view_changes with
-            | Some l -> l
-            | None -> []
-          in
-          if not (List.mem_assoc m.signer existing) then begin
-            let updated = (m.signer, m.signature) :: existing in
-            st.view_changes <-
-              (new_view, updated)
-              :: List.remove_assoc new_view st.view_changes;
-            if
-              List.length updated >= quorum cfg
-              && leader_of cfg new_view = me
-              && new_view >= st.view
-            then begin
-              enter_view api new_view;
-              if st.value = None then begin
-                let value =
-                  match st.last_prepared with
-                  | Some pc -> pc.pc_value
-                  | None -> (
-                    match proposal with Some v -> v | None -> "")
-                in
-                let nv =
-                  make
-                    (New_view
-                       { view = new_view; value; justification = updated })
-                in
-                api.Net.broadcast nv;
-                handle api nv
+            let signers =
+              List.sort_uniq Int.compare (List.map fst justification)
+            in
+            let ok =
+              List.length signers >= quorum cfg
+              && List.for_all
+                   (fun (id, sg) -> Auth.verify cfg.keyring ~id vc_payload sg)
+                   justification
+            in
+            if ok then begin
+              enter_view api view;
+              on_pre_prepare api ~sender:m.signer view value
+            end
+          end
+        | Prepare { view; digest } -> (
+          if view = st.view then
+            match st.value with
+            | Some v when String.equal (digest_of v) digest ->
+              if not (List.mem_assoc m.signer st.prepares) then begin
+                record_prepare m.signer m.signature;
+                maybe_prepared api
+              end
+            | Some _ | None ->
+              if
+                not
+                  (List.exists
+                     (fun (s, vw, _, _) -> s = m.signer && vw = view)
+                     st.pending_prepares)
+              then
+                st.pending_prepares <-
+                  (m.signer, view, digest, m.signature) :: st.pending_prepares)
+        | Commit { view; digest } -> (
+          if view = st.view then
+            match st.value with
+            | Some v when String.equal (digest_of v) digest ->
+              if not (List.mem m.signer st.commits) then begin
+                record_commit m.signer;
+                maybe_committed api
+              end
+            | Some _ | None ->
+              if
+                not
+                  (List.exists
+                     (fun (s, vw, _) -> s = m.signer && vw = view)
+                     st.pending_commits)
+              then
+                st.pending_commits <-
+                  (m.signer, view, digest) :: st.pending_commits)
+        | Decided { value } ->
+          if not (List.mem_assoc m.signer st.decided_votes) then begin
+            st.decided_votes <- (m.signer, value) :: st.decided_votes;
+            let matching =
+              List.filter
+                (fun (_, v) -> String.equal v value)
+                st.decided_votes
+            in
+            if List.length matching >= cfg.f + 1 then begin
+              st.decided <- Some value;
+              st.phase <- Decided;
+              on_decide me value
+            end
+          end
+        | View_change { new_view; prepared } ->
+          if new_view >= st.view then begin
+            (match prepared with
+            | Some pc when valid_cert cfg pc ->
+              let better =
+                match st.last_prepared with
+                | None -> true
+                | Some cur -> pc.pc_view > cur.pc_view
+              in
+              if better then st.last_prepared <- Some pc
+            | Some _ | None -> ());
+            let existing =
+              match List.assoc_opt new_view st.view_changes with
+              | Some l -> l
+              | None -> []
+            in
+            if not (List.mem_assoc m.signer existing) then begin
+              let updated = (m.signer, m.signature) :: existing in
+              st.view_changes <-
+                (new_view, updated)
+                :: List.remove_assoc new_view st.view_changes;
+              if
+                List.length updated >= quorum cfg
+                && leader_of cfg new_view = me
+                && new_view >= st.view
+              then begin
+                enter_view api new_view;
+                if st.value = None then begin
+                  let value =
+                    match st.last_prepared with
+                    | Some pc -> pc.pc_value
+                    | None -> (
+                      match proposal with Some v -> v | None -> "")
+                  in
+                  let nv =
+                    make
+                      (New_view
+                         { view = new_view; value; justification = updated })
+                  in
+                  api.Net.broadcast nv;
+                  handle api nv
+                end
               end
             end
           end
-        end
-    end
+      end
 
-  and on_pre_prepare api ~sender view value =
-    if view = st.view && sender = leader_of cfg view && st.value = None then begin
-      st.value <- Some value;
-      st.phase <- Preprepared;
-      let p = make (Prepare { view; digest = digest_of value }) in
-      api.Net.broadcast p;
-      handle api p;
-      drain_buffers api
-    end
+    and on_pre_prepare api ~sender view value =
+      if view = st.view && sender = leader_of cfg view && st.value = None then begin
+        st.value <- Some value;
+        st.phase <- Preprepared;
+        let p = make (Prepare { view; digest = digest_of value }) in
+        api.Net.broadcast p;
+        handle api p;
+        drain_buffers api
+      end
 
-  and drain_buffers api =
-    match st.value with
-    | None -> ()
-    | Some v ->
-      let d = digest_of v in
-      List.iter
-        (fun (s, view, dg, sg) ->
-          if view = st.view && String.equal dg d
-             && not (List.mem_assoc s st.prepares)
-          then record_prepare s sg)
-        st.pending_prepares;
-      List.iter
-        (fun (s, view, dg) ->
-          if view = st.view && String.equal dg d && not (List.mem s st.commits)
-          then record_commit s)
-        st.pending_commits;
-      maybe_prepared api;
-      maybe_committed api
+    and drain_buffers api =
+      match st.value with
+      | None -> ()
+      | Some v ->
+        let d = digest_of v in
+        List.iter
+          (fun (s, view, dg, sg) ->
+            if view = st.view && String.equal dg d
+               && not (List.mem_assoc s st.prepares)
+            then record_prepare s sg)
+          st.pending_prepares;
+        List.iter
+          (fun (s, view, dg) ->
+            if view = st.view && String.equal dg d && not (List.mem s st.commits)
+            then record_commit s)
+          st.pending_commits;
+        maybe_prepared api;
+        maybe_committed api
 
-  and maybe_prepared api =
-    match (st.phase, st.value) with
-    | Preprepared, Some v when List.length st.prepares >= quorum cfg ->
-      st.phase <- Prepared;
-      st.last_prepared <-
-        Some { pc_view = st.view; pc_value = v; pc_prepares = st.prepares };
-      let c = make (Commit { view = st.view; digest = digest_of v }) in
-      api.Net.broadcast c;
-      handle api c
-    | _ -> ()
+    and maybe_prepared api =
+      match (st.phase, st.value) with
+      | Preprepared, Some v when List.length st.prepares >= quorum cfg ->
+        st.phase <- Prepared;
+        st.last_prepared <-
+          Some { pc_view = st.view; pc_value = v; pc_prepares = st.prepares };
+        let c = make (Commit { view = st.view; digest = digest_of v }) in
+        api.Net.broadcast c;
+        handle api c
+      | _ -> ()
 
-  and maybe_committed _api =
-    match (st.phase, st.value) with
-    | Prepared, Some v when List.length st.commits >= quorum cfg ->
-      if st.decided = None then begin
-        st.decided <- Some v;
-        st.phase <- Decided;
-        on_decide me v
+    and maybe_committed _api =
+      match (st.phase, st.value) with
+      | Prepared, Some v when List.length st.commits >= quorum cfg ->
+        if st.decided = None then begin
+          st.decided <- Some v;
+          st.phase <- Decided;
+          on_decide me v
       end
     | _ -> ()
 

@@ -24,6 +24,12 @@ type payload =
       value : string;
       justification : (int * Auth.signature) list;
     }
+  | Decided of { value : string }
+      (** decision transfer: a decided replica's answer to a peer still
+          view-changing; the peer adopts the value once f + 1 distinct
+          replicas report it (at least one of them honest), so a
+          Byzantine leader that selectively withholds the pre-prepare
+          cannot starve a replica forever *)
 
 type msg = { payload : payload; signature : Auth.signature; signer : int }
 

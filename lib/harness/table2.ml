@@ -178,22 +178,41 @@ let consensus_partial ~n =
     beyond_fails = not (run (b + 1));
   }
 
+(* The standard Table-2 case list, shared with the adversary-synthesis
+   certifier (lib/adversary) so the scripted boundary checks and the
+   searched tightness certificates always exercise the same
+   instances. *)
+type case =
+  | Decode_sync of { n : int; k : int; d : int }
+  | Decode_partial of { n : int; k : int; d : int }
+  | Output of { n : int }
+  | Consensus_sync of { n : int }
+  | Consensus_partial of { n : int }
+
+let standard_cases =
+  [
+    Decode_sync { n = 11; k = 3; d = 2 };
+    Decode_sync { n = 16; k = 4; d = 2 };
+    Decode_sync { n = 14; k = 5; d = 1 };
+    Decode_partial { n = 14; k = 3; d = 1 };
+    Decode_partial { n = 20; k = 3; d = 2 };
+    Output { n = 9 };
+    Output { n = 10 };
+    Consensus_sync { n = 5 };
+    Consensus_partial { n = 7 };
+    Consensus_partial { n = 10 };
+  ]
+
+let check_case = function
+  | Decode_sync { n; k; d } -> decoding_sync ~n ~k ~d
+  | Decode_partial { n; k; d } -> decoding_partial ~n ~k ~d
+  | Output { n } -> Some (output_delivery ~n)
+  | Consensus_sync { n } -> Some (consensus_sync ~n)
+  | Consensus_partial { n } -> Some (consensus_partial ~n)
+
 let run_all () =
   Csm_obs.Span.with_ ~name:"table2.run" (fun () ->
-  List.filter_map
-    (fun x -> x)
-    [
-      decoding_sync ~n:11 ~k:3 ~d:2;
-      decoding_sync ~n:16 ~k:4 ~d:2;
-      decoding_sync ~n:14 ~k:5 ~d:1;
-      decoding_partial ~n:14 ~k:3 ~d:1;
-      decoding_partial ~n:20 ~k:3 ~d:2;
-      Some (output_delivery ~n:9);
-      Some (output_delivery ~n:10);
-      Some (consensus_sync ~n:5);
-      Some (consensus_partial ~n:7);
-      Some (consensus_partial ~n:10);
-    ])
+      List.filter_map check_case standard_cases)
 
 let pp_check ppf c =
   Format.fprintf ppf "%-42s %-22s at-bound=%-5b beyond-fails=%b" c.label

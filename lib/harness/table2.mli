@@ -10,6 +10,21 @@ type check = {
   beyond_fails : bool;  (** breaks one step past it *)
 }
 
+(** The standard case list, one constructor per Table-2 row family;
+    shared with the adversary-synthesis certifier so scripted checks
+    and searched tightness certificates exercise the same instances. *)
+type case =
+  | Decode_sync of { n : int; k : int; d : int }
+  | Decode_partial of { n : int; k : int; d : int }
+  | Output of { n : int }
+  | Consensus_sync of { n : int }
+  | Consensus_partial of { n : int }
+
+val standard_cases : case list
+
+val check_case : case -> check option
+(** [None] when the instance is infeasible (b < 0). *)
+
 val run_all : unit -> check list
 
 val pp_check : Format.formatter -> check -> unit

@@ -180,6 +180,31 @@ let alerts_fired ~rule =
     ~labels:[ ("rule", rule) ]
     "csm_alerts_fired_total"
 
+(* ----- adversary-synthesis family (lib/adversary) ----- *)
+
+let adversary_candidates ~bound ~schedule =
+  Metric.counter
+    ~help:
+      "Byzantine strategies evaluated by the adversary search, by \
+       Table-2 bound and exploration schedule"
+    ~labels:[ ("bound", bound); ("schedule", schedule) ]
+    "csm_adversary_candidates_total"
+
+let adversary_violations ~bound ~kind =
+  Metric.counter
+    ~help:
+      "Oracle violations the adversary search produced, by Table-2 \
+       bound and violation kind (safety | liveness)"
+    ~labels:[ ("bound", bound); ("kind", kind) ]
+    "csm_adversary_violations_total"
+
+let adversary_shrink_steps =
+  Metric.counter
+    ~help:
+      "Accepted shrinking moves while minimizing failing strategies to \
+       canonical counterexamples"
+    "csm_adversary_shrink_steps_total"
+
 (* ----- OCaml runtime family (Gc.quick_stat + /proc) ----- *)
 
 let gc_minor_collections =

@@ -63,6 +63,20 @@ val commands_committed : node:int -> Metric.counter
 val alerts_fired : rule:string -> Metric.counter
 (** SLO alert rising edges, by rule. *)
 
+val adversary_candidates : bound:string -> schedule:string -> Metric.counter
+(** Byzantine strategies evaluated by the adversary search
+    ([csm_adversary_candidates_total]), by Table-2 bound and
+    exploration schedule. *)
+
+val adversary_violations : bound:string -> kind:string -> Metric.counter
+(** Oracle violations the adversary search produced
+    ([csm_adversary_violations_total]), by bound and kind
+    (["safety"] | ["liveness"]). *)
+
+val adversary_shrink_steps : Metric.counter
+(** Accepted shrinking moves while minimizing failing strategies
+    ([csm_adversary_shrink_steps_total]). *)
+
 (** {1 OCaml runtime family} *)
 
 val gc_minor_collections : Metric.gauge

@@ -58,6 +58,32 @@ let silent : 'm behavior =
     on_timer = (fun _ _ -> ());
   }
 
+(* Selective silence: run [inner] unchanged but deliver its sends only
+   to destinations passing [keep].  The wrapped api re-implements
+   [broadcast] as per-destination sends so the filter sees every
+   destination; the simulator still stamps the true sender, so this
+   cannot forge — it can only withhold. *)
+let filter_sends keep (inner : 'm behavior) : 'm behavior =
+  let wrap api =
+    let send dst m =
+      if keep ~dst ~now:(api.now ()) then api.send dst m
+    in
+    {
+      api with
+      send;
+      broadcast =
+        (fun m ->
+          for dst = 0 to api.n - 1 do
+            if dst <> api.me then send dst m
+          done);
+    }
+  in
+  {
+    init = (fun api -> inner.init (wrap api));
+    on_message = (fun api ~sender m -> inner.on_message (wrap api) ~sender m);
+    on_timer = (fun api tag -> inner.on_timer (wrap api) tag);
+  }
+
 (* Per-node arrays are indexed by node id; byte totals use the [?size]
    sizer passed to [run] (0 when omitted, so the arrays stay cheap). *)
 type stats = {

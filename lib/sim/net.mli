@@ -31,6 +31,13 @@ type 'm behavior = {
 val silent : 'm behavior
 (** Crash-style Byzantine strategy: never sends anything. *)
 
+val filter_sends :
+  (dst:int -> now:int -> bool) -> 'm behavior -> 'm behavior
+(** Selective silence toward a target set: run the inner behavior
+    unchanged but deliver its sends (and broadcasts, re-expanded per
+    destination) only to destinations passing the predicate.  Withholds
+    only — the simulator still stamps the true sender. *)
+
 type stats = {
   mutable messages_sent : int;
   mutable messages_delivered : int;

@@ -36,29 +36,55 @@ module Metric = Csm_obs.Metric
 module Tel = Csm_obs.Telemetry
 module Event = Csm_obs.Event
 
+type lie_spec = {
+  l_offset : int;
+  l_coord : int option;
+  l_period : int;
+  l_from : int;
+}
+
+let lie_default = { l_offset = 1; l_coord = None; l_period = 1; l_from = 0 }
+
+let lie_spec_eq a b =
+  a.l_offset = b.l_offset
+  && (match (a.l_coord, b.l_coord) with
+     | None, None -> true
+     | Some x, Some y -> x = y
+     | _ -> false)
+  && a.l_period = b.l_period && a.l_from = b.l_from
+
+let lie_active l ~round =
+  round >= l.l_from && (round - l.l_from) mod max 1 l.l_period = 0
+
 type fault =
   | Honest
   | Drop  (** withhold every protocol frame *)
   | Delay of float  (** send protocol frames late by this many seconds *)
   | Corrupt  (** mangle every protocol payload (detectably malformed) *)
-  | Lie
+  | Lie of lie_spec
       (** ship a well-formed but wrong Result vector — the undetectable-
           at-intake Byzantine case only the Reed–Solomon decode catches
-          (and attributes, feeding the suspicion gauge) *)
+          (and attributes, feeding the suspicion gauge); the spec
+          parameterizes the perturbation (offset, optional single
+          coordinate) and its round schedule (period/first round) *)
 
 let fault_name = function
   | Honest -> "honest"
   | Drop -> "drop"
   | Delay _ -> "delay"
   | Corrupt -> "corrupt"
-  | Lie -> "lie"
+  | Lie l when lie_spec_eq l lie_default -> "lie"
+  | Lie l ->
+    Printf.sprintf "lie(o=%d,c=%s,p=%d,f=%d)" l.l_offset
+      (match l.l_coord with None -> "*" | Some c -> string_of_int c)
+      l.l_period l.l_from
 
 (* Sent by a [Drop] node: nothing.  A [Corrupt] node's frames arrive but
    fail payload validation, so they add to frame errors, not to the
    protocol state.  [Delay] frames arrive late but intact; a [Lie]
    node's frames validate everywhere — only the decode unmasks them. *)
 let delivers = function
-  | Honest | Delay _ | Lie -> true
+  | Honest | Delay _ | Lie _ -> true
   | Drop | Corrupt -> false
 
 module Make (F : Field_intf.S) = struct
@@ -181,7 +207,7 @@ module Make (F : Field_intf.S) = struct
   let send_protocol cfg inbox (tr : Transport.t) ~dst frame =
     let frame = stamp cfg inbox frame in
     match cfg.fault with
-    | Honest | Lie ->
+    | Honest | Lie _ ->
       (* a Lie node's *protocol machinery* is honest — the lie is
          injected into the Result payload itself, in run_round *)
       record_send inbox ~dst frame;
@@ -403,13 +429,21 @@ module Make (F : Field_intf.S) = struct
       let g = E.node_compute engine ~node:me ~coded_command in
       phase inbox ~round:r "computed";
       (* 4. broadcast the result, keep our own.  A [Lie] node ships a
-         well-formed but wrong vector (every coordinate nudged by one)
-         while keeping the honest gᵢ locally — intake validation passes
-         everywhere and only the peers' Reed–Solomon decode catches and
-         attributes the lie *)
+         well-formed but wrong vector (coordinates nudged per its
+         lie_spec, on the spec's round schedule) while keeping the
+         honest gᵢ locally — intake validation passes everywhere and
+         only the peers' Reed–Solomon decode catches and attributes the
+         lie *)
       let broadcast_g =
         match cfg.fault with
-        | Lie -> Array.map (fun x -> F.add x F.one) g
+        | Lie l when lie_active l ~round:r ->
+          let off = F.of_int l.l_offset in
+          (match l.l_coord with
+          | None -> Array.map (fun x -> F.add x off) g
+          | Some c ->
+            let g' = Array.copy g in
+            if c >= 0 && c < Array.length g' then g'.(c) <- F.add g'.(c) off;
+            g')
         | _ -> g
       in
       let result =

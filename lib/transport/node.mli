@@ -10,17 +10,33 @@ module Field_intf = Csm_field.Field_intf
 module Frame = Csm_wire.Frame
 module Params = Csm_core.Params
 
+type lie_spec = {
+  l_offset : int;  (** field perturbation added to targeted coordinates *)
+  l_coord : int option;  (** [None]: every coordinate; [Some c]: just c *)
+  l_period : int;  (** lie on rounds r with (r − l_from) mod period = 0 *)
+  l_from : int;  (** first lying round *)
+}
+
+val lie_default : lie_spec
+(** Offset 1, every coordinate, every round from round 0 — the
+    original always-on [lie] fault. *)
+
+val lie_spec_eq : lie_spec -> lie_spec -> bool
+val lie_active : lie_spec -> round:int -> bool
+
 type fault =
   | Honest
   | Drop  (** withhold every protocol frame *)
   | Delay of float  (** send protocol frames late by this many seconds *)
   | Corrupt  (** mangle every protocol payload (detectably malformed) *)
-  | Lie
+  | Lie of lie_spec
       (** broadcast a well-formed but wrong Result vector while keeping
           honest local state and honest Commit echoes — intake
           validation passes; only the peers' Reed–Solomon decode
           catches it, attributing the error locations to the liar
-          (suspicion gauge, live [suspicion] alert) *)
+          (suspicion gauge, live [suspicion] alert).  The spec
+          parameterizes the perturbation and its round schedule, so
+          synthesized adversary strategies map onto it. *)
 
 val fault_name : fault -> string
 

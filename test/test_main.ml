@@ -25,5 +25,6 @@ let () =
          Test_parallel.suites;
          Test_obs.suites;
          Test_transport.suites;
+         Test_adversary.suites;
          Test_lint.suites;
        ])

@@ -591,7 +591,7 @@ let cluster_loopback_streaming () =
       let live = Live.create ~k:1 () in
       let r =
         C.run
-          (cluster_cfg ~rounds:8 ~faults:[ (1, Node.Lie) ] ~stream:0.01 ~live
+          (cluster_cfg ~rounds:8 ~faults:[ (1, Node.Lie Node.lie_default) ] ~stream:0.01 ~live
              ())
       in
       let lam = Live.lambda live in
