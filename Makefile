@@ -1,6 +1,6 @@
 # Convenience wrappers around dune; `make ci` is the full local gate.
 
-.PHONY: all build test lint lint-update bench-smoke bench-gate rs-smoke metrics-smoke cluster-smoke obs-smoke live-smoke adversary-smoke ci clean
+.PHONY: all build test lint lint-update lockdep-export bench-smoke bench-gate rs-smoke metrics-smoke cluster-smoke obs-smoke live-smoke adversary-smoke ci clean
 
 all: build
 
@@ -10,18 +10,37 @@ build:
 test:
 	dune runtest
 
-# Repo-invariant static analysis (bin/csm_lint.ml): determinism
-# boundary, polymorphic comparison, mutex discipline, shared-state
-# registry (lint/shared_state.allow), decoder totality.  Fails on any
-# finding not justified in lint/baseline.json.
+# Repo-invariant static analysis (bin/csm_lint.ml): per-file rules
+# R1-R5 (determinism boundary, polymorphic comparison, mutex
+# discipline, shared-state registry, decoder totality) plus the
+# whole-program passes under --taint — interprocedural Byzantine-taint
+# tracking R6-R8 and the static lock-order graph R9, cross-checked
+# against lint/lock_order.expected.  Fails on any finding not
+# justified in lint/baseline.json; the gate then holds the run to the
+# committed wall-clock budget in bench/lint_baseline.json.
 lint:
-	dune exec bin/csm_lint.exe -- --root . --baseline lint/baseline.json
+	dune exec bin/csm_lint.exe -- --root . --baseline lint/baseline.json \
+	  --taint --bench-out /tmp/csm_ci_lint.json
+	dune exec bin/bench_gate.exe -- --current /tmp/csm_ci_lint.json \
+	  --baseline bench/lint_baseline.json
 
 # Refresh lint/baseline.json from the current findings, keeping
 # existing reasons; new entries get a TODO reason to fill in.
 lint-update:
 	dune exec bin/csm_lint.exe -- --root . --baseline lint/baseline.json \
-	  --update-baseline
+	  --taint --update-baseline
+
+# Refresh lint/lock_order.expected from a real CSM_LOCKDEP=1 run: a
+# loopback cluster (all node threads in one process) records every
+# held->acquired pair, and the process dumps the observed graph on
+# exit.  csm-lint's static R9 pass contradicts any static edge whose
+# reverse order was recorded here.
+lockdep-export:
+	dune build bin/csm_cluster.exe
+	CSM_LOCKDEP=1 CSM_LOCKDEP_EXPORT=lint/lock_order.expected \
+	  ./_build/default/bin/csm_cluster.exe --transport loopback \
+	  -n 4 -k 1 -d 1 -b 1 --rounds 3 --faults 1:lie
+	@echo "lockdep-export: wrote lint/lock_order.expected"
 
 bench-smoke:
 	dune build @bench-smoke

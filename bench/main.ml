@@ -560,7 +560,9 @@ let rs_mode_stats ~algorithm =
     median
       (List.init reps (fun _ ->
            let t0 = Unix.gettimeofday () in
-           ignore (E8.decode_results ~algorithm engine received);
+           (match E8.decode_results ~algorithm engine received with
+           | Some _ -> ()
+           | None -> failwith "rs_mode_stats: decode failed");
            Unix.gettimeofday () -. t0))
     *. 1e9
   in

@@ -303,6 +303,28 @@ let run_adversary cur base =
       check "config.schedule" (cs = bs)
         (Printf.sprintf "current=%s baseline=%s" cs bs))
 
+(* ----- csm-bench-lint/1: the static analyzer run itself ----- *)
+
+let run_lint cur base =
+  with_checks (fun check ->
+      check "taint" (bool_field cur "taint")
+        "the gated lint run includes the whole-program passes (R6-R9)";
+      let findings = int_field cur "findings" in
+      check "findings" (findings = 0)
+        (Printf.sprintf
+           "current=%d (must be 0: fix it or justify it in lint/baseline.json)"
+           findings);
+      let files = int_field cur "files_scanned"
+      and files_min = int_field base "files_scanned_min" in
+      check "files_scanned" (files >= files_min)
+        (Printf.sprintf "current=%d min=%d (a shrunken scan would gate nothing)"
+           files files_min);
+      let wall = float_field cur "wall_s"
+      and wall_max = float_field base "wall_s_max" in
+      check "wall_s" (wall <= wall_max)
+        (Printf.sprintf "current=%.2fs max=%.2fs (whole-program lint budget)"
+           wall wall_max))
+
 (* ----- csm-bench-parallel/2: the parallel smoke bench ----- *)
 
 let run_parallel cur base previous tolerance =
@@ -359,11 +381,12 @@ let run current baseline previous tolerance =
   | "csm-bench-obs/1" -> run_obs cur base
   | "csm-bench-live/1" -> run_live cur base
   | "csm-bench-adversary/1" -> run_adversary cur base
+  | "csm-bench-lint/1" -> run_lint cur base
   | schema ->
     fail_usage
       "bench_gate: %s has schema %s (need csm-bench-parallel/2, \
-       csm-bench-rs/1, csm-bench-obs/1, csm-bench-live/1 or \
-       csm-bench-adversary/1)"
+       csm-bench-rs/1, csm-bench-obs/1, csm-bench-live/1, \
+       csm-bench-adversary/1 or csm-bench-lint/1)"
       current schema
 
 let () =

@@ -1,16 +1,21 @@
-(* csm-lint: the repo-invariant static analyzer (rules R1–R5, see
-   lib/analysis/rules.ml and DESIGN.md §5.9).
+(* csm-lint: the repo-invariant static analyzer (rules R1–R5 per file,
+   R6–R9 whole-program with --taint; see lib/analysis and DESIGN.md
+   §5.9/§5.14).
 
-   Exit codes: 0 clean, 1 findings, 2 usage/IO errors (cmdliner).
+   Exit codes: 0 clean, 1 findings (or baseline entries missing
+   reasons under --update-baseline), 2 usage/IO errors (cmdliner).
 
      csm_lint --root . --baseline lint/baseline.json
-     csm_lint --root . --baseline lint/baseline.json --update-baseline
-     csm_lint --format json *)
+     csm_lint --root . --taint --graph-out lock_order.dot
+     csm_lint --root . --taint --update-baseline
+     csm_lint --format sarif
+     csm_lint --taint --bench-out BENCH_lint.json *)
 
 module Json = Csm_obs.Json
 module Finding = Csm_analysis.Finding
 module Baseline = Csm_analysis.Baseline
 module Driver = Csm_analysis.Driver
+module Sarif = Csm_analysis.Sarif
 
 let json_of_finding (f : Finding.t) =
   Json.Obj
@@ -23,32 +28,79 @@ let json_of_finding (f : Finding.t) =
       ("message", Json.Str f.Finding.message);
     ]
 
-let run root baseline_path update format =
-  let baseline_path =
-    if Filename.is_relative baseline_path then
-      Filename.concat root baseline_path
-    else baseline_path
+(* Update the baseline from the current findings, carrying reasons over
+   for surviving entries.  New entries get a TODO reason and make the
+   run fail, so a refreshed baseline cannot land without a human
+   writing down why each new entry is acceptable. *)
+let update_baseline baseline_path (r : Driver.result) =
+  let old = Baseline.load baseline_path in
+  let entries = Baseline.of_findings ~old r.Driver.pairs in
+  Baseline.save baseline_path entries;
+  let todo =
+    List.filter (fun e -> e.Baseline.reason = "TODO: justify or fix") entries
   in
-  let r = Driver.lint_tree ~root ~baseline_path in
-  if update then begin
-    let old = Baseline.load baseline_path in
-    Baseline.save baseline_path (Baseline.of_findings ~old r.Driver.pairs);
-    Printf.printf "csm-lint: wrote %s (%d entr%s)\n" baseline_path
-      (List.length r.Driver.pairs)
-      (if List.length r.Driver.pairs = 1 then "y" else "ies");
-    0
+  Printf.printf "csm-lint: wrote %s (%d entr%s, %d carried reasons)\n"
+    baseline_path (List.length entries)
+    (if List.length entries = 1 then "y" else "ies")
+    (List.length entries - List.length todo);
+  if todo = [] then 0
+  else begin
+    Printf.printf
+      "csm-lint: %d new entr%s need a written reason before this baseline \
+       is acceptable:\n"
+      (List.length todo)
+      (if List.length todo = 1 then "y" else "ies");
+    List.iter
+      (fun e ->
+        Printf.printf "  [%s] %s: %s\n" e.Baseline.rule e.Baseline.file
+          e.Baseline.text)
+      todo;
+    1
   end
+
+let run root baseline_path update format taint graph_out bench_out =
+  let abs p = if Filename.is_relative p then Filename.concat root p else p in
+  let baseline_path = abs baseline_path in
+  (* csm-lint: allow R1 — wall-clock of the lint pass itself, for the bench gate *)
+  let t0 = Unix.gettimeofday () in
+  let r = Driver.lint_tree ~taint ~root ~baseline_path () in
+  (* csm-lint: allow R1 — wall-clock of the lint pass itself, for the bench gate *)
+  let wall_s = Unix.gettimeofday () -. t0 in
+  (match graph_out with
+  | Some path ->
+    Out_channel.with_open_text (abs path) (fun oc ->
+        Out_channel.output_string oc
+          (Csm_analysis.Lockgraph.to_dot r.Driver.lock_edges));
+    Printf.printf "csm-lint: wrote %s (%d lock edge(s))\n" path
+      (List.length r.Driver.lock_edges)
+  | None -> ());
+  (match bench_out with
+  | Some path ->
+    Json.write ~path:(abs path)
+      (Json.Obj
+         [
+           ("schema", Json.Str "csm-bench-lint/1");
+           ("files_scanned", Json.Int r.Driver.files_scanned);
+           ("taint", Json.Bool taint);
+           ("findings", Json.Int (List.length r.Driver.fresh));
+           ("baselined", Json.Int (List.length r.Driver.baselined));
+           ("lock_edges", Json.Int (List.length r.Driver.lock_edges));
+           ("wall_s", Json.Float wall_s);
+         ])
+  | None -> ());
+  if update then update_baseline baseline_path r
   else begin
     (match format with
     | `Text ->
-      List.iter
-        (fun f -> print_endline (Finding.to_line f))
-        r.Driver.fresh;
+      List.iter (fun f -> print_endline (Finding.to_line f)) r.Driver.fresh;
       Printf.printf
-        "csm-lint: %d file(s) scanned, %d finding(s), %d baselined\n"
+        "csm-lint: %d file(s) scanned, %d finding(s), %d baselined%s\n"
         r.Driver.files_scanned
         (List.length r.Driver.fresh)
         (List.length r.Driver.baselined)
+        (if taint then
+           Printf.sprintf ", %d lock edge(s)" (List.length r.Driver.lock_edges)
+         else "")
     | `Json ->
       print_endline
         (Json.to_string
@@ -58,7 +110,8 @@ let run root baseline_path update format =
                 ( "findings",
                   Json.List (List.map json_of_finding r.Driver.fresh) );
                 ("baselined", Json.Int (List.length r.Driver.baselined));
-              ])));
+              ]))
+    | `Sarif -> print_endline (Json.to_string (Sarif.render r.Driver.fresh)));
     if r.Driver.fresh = [] then 0 else 1
   end
 
@@ -80,18 +133,48 @@ let update =
   Arg.(
     value & flag
     & info [ "update-baseline" ]
-        ~doc:"Rewrite the baseline from the current findings and exit 0.")
+        ~doc:
+          "Rewrite the baseline from the current findings, preserving \
+           reasons for surviving entries; exits 1 if any new entry still \
+           needs a reason.")
 
 let format =
   Arg.(
     value
-    & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
-    & info [ "format" ] ~docv:"FMT" ~doc:"Output format: text or json.")
+    & opt (enum [ ("text", `Text); ("json", `Json); ("sarif", `Sarif) ]) `Text
+    & info [ "format" ] ~docv:"FMT" ~doc:"Output format: text, json or sarif.")
+
+let taint =
+  Arg.(
+    value & flag
+    & info [ "taint" ]
+        ~doc:
+          "Run the whole-program passes too: interprocedural Byzantine-taint \
+           tracking (R6-R8) and the static lock-order graph (R9).")
+
+let graph_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "graph-out" ] ~docv:"DOT"
+        ~doc:
+          "Write the static lock acquisition graph as Graphviz DOT (needs \
+           --taint).")
+
+let bench_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "bench-out" ] ~docv:"FILE"
+        ~doc:"Write a csm-bench-lint/1 report (wall-clock, counts) for the \
+              bench gate.")
 
 let cmd =
-  let doc = "static analyzer for the CSM repo invariants (R1-R5)" in
+  let doc = "static analyzer for the CSM repo invariants (R1-R9)" in
   Cmd.v
     (Cmd.info "csm_lint" ~doc)
-    Term.(const run $ root $ baseline $ update $ format)
+    Term.(
+      const run $ root $ baseline $ update $ format $ taint $ graph_out
+      $ bench_out)
 
 let () = exit (Cmd.eval' cmd)

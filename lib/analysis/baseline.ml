@@ -1,23 +1,44 @@
 (* Accepted-findings baseline.
 
-   An entry is keyed by (rule, file, trimmed source line text) rather
-   than by line number, so unrelated edits that shift lines do not
-   invalidate it; [count] bounds how many findings the entry may
+   An entry is keyed by (rule, file, normalized source line text)
+   rather than by line number, so unrelated edits that shift lines do
+   not invalidate it; [count] bounds how many findings the entry may
    absorb, so a *new* violation on an already-baselined line still
    fails the gate.  Every entry carries a human reason — the baseline
-   is a reviewed allowlist, not a dumping ground. *)
+   is a reviewed allowlist, not a dumping ground.
+
+   Line text is normalized (whitespace runs collapsed to one space,
+   ends trimmed) on both sides of the comparison, so reformatting —
+   re-indentation, alignment changes, tabs vs spaces — does not
+   invalidate entries either.  Only edits that change the tokens on
+   the line do. *)
 
 module Json = Csm_obs.Json
+
+(* Collapse every whitespace run to a single space and trim. *)
+let normalize s =
+  let b = Buffer.create (String.length s) in
+  let pending = ref false in
+  String.iter
+    (fun c ->
+      if c = ' ' || c = '\t' || c = '\r' || c = '\012' then pending := true
+      else begin
+        if !pending && Buffer.length b > 0 then Buffer.add_char b ' ';
+        pending := false;
+        Buffer.add_char b c
+      end)
+    s;
+  Buffer.contents b
 
 type entry = {
   rule : string;
   file : string;
-  text : string;  (* trimmed source line at the finding *)
+  text : string;  (* normalized source line at the finding *)
   count : int;
   reason : string;
 }
 
-let key e = (e.rule, e.file, e.text)
+let key e = (e.rule, e.file, normalize e.text)
 
 let entry_of_json j =
   let str name = Option.bind (Json.member name j) Json.to_string_opt in
@@ -88,7 +109,7 @@ let apply entries (pairs : (Finding.t * string) list) =
     entries;
   List.partition_map
     (fun ((f : Finding.t), text) ->
-      let k = (f.Finding.rule, f.Finding.file, text) in
+      let k = (f.Finding.rule, f.Finding.file, normalize text) in
       match Hashtbl.find_opt budget k with
       | Some r when !r > 0 ->
         decr r;
@@ -107,7 +128,7 @@ let of_findings ~old (pairs : (Finding.t * string) list) =
   let order = ref [] in
   List.iter
     (fun ((f : Finding.t), text) ->
-      let k = (f.Finding.rule, f.Finding.file, text) in
+      let k = (f.Finding.rule, f.Finding.file, normalize text) in
       match Hashtbl.find_opt counts k with
       | Some r -> incr r
       | None ->

@@ -96,27 +96,104 @@ let source_files ~root =
     scan_dirs;
   List.rev !out
 
+(* ----- whole-program passes (R6–R9) ----- *)
+
+(* Apply each unit's in-source suppression markers to whole-program
+   findings, exactly as [lint_string] does for the per-file rules. *)
+let apply_suppressions units findings =
+  let by_path = Hashtbl.create 16 in
+  List.iter
+    (fun (u : Program.unit_) -> Hashtbl.replace by_path u.Program.path u)
+    units;
+  List.filter
+    (fun (f : Finding.t) ->
+      match Hashtbl.find_opt by_path f.Finding.file with
+      | Some u ->
+        not
+          (Suppress.active u.Program.suppress ~rule:f.Finding.rule
+             ~line:f.Finding.line)
+      | None -> true)
+    findings
+
+(* Taint (R6–R8) and lock-order (R9) findings over a set of parsed
+   units, suppressions applied.  Also returns the static lock edges
+   for [--graph-out] / lockdep-export comparison. *)
+let whole_program ?registry ?(expected = []) units =
+  let taint = Taint.analyze ?registry units in
+  let lg = Lockgraph.analyze ~expected units in
+  let findings = apply_suppressions units (taint @ lg.Lockgraph.findings) in
+  (List.sort_uniq Finding.order findings, lg.Lockgraph.edges)
+
+(* Test-facing multi-unit entry point: whole-program rules only, over
+   inline fixture sources. *)
+let lint_strings ?registry ?expected (sources : (string * string) list) :
+    Finding.t list =
+  let units =
+    List.map (fun (path, src) -> Program.of_string ~path src) sources
+  in
+  fst (whole_program ?registry ?expected units)
+
 type result = {
   files_scanned : int;
   fresh : Finding.t list;  (* not baselined, not suppressed *)
   baselined : Finding.t list;
   pairs : (Finding.t * string) list;  (* every finding with its line text *)
+  (* static acquisition graph, with the site that created each edge *)
+  lock_edges : (string * string * Location.t) list;
 }
 
-let lint_tree ~root ~baseline_path =
+let load_expected path =
+  if Sys.file_exists path then Lockgraph.parse_expected (read_file path)
+  else []
+
+let lint_tree ?(taint = false) ~root ~baseline_path () =
   let registry =
     load_registry (Filename.concat root "lint/shared_state.allow")
   in
   let files = source_files ~root in
+  let sources =
+    List.map (fun rel -> (rel, read_file (Filename.concat root rel))) files
+  in
   let pairs =
     List.concat_map
-      (fun rel ->
-        let src = read_file (Filename.concat root rel) in
+      (fun (rel, src) ->
         let lines = line_texts src in
         lint_string ~registry ~path:rel src
         |> List.map (fun (f : Finding.t) -> (f, text_at lines f.Finding.line)))
-      files
+      sources
   in
+  let wp_pairs, lock_edges =
+    if not taint then ([], [])
+    else begin
+      let units =
+        List.filter_map
+          (fun (rel, src) ->
+            if Filename.check_suffix rel ".ml" then
+              Some (Program.of_string ~path:rel src)
+            else None)
+          sources
+      in
+      let expected =
+        load_expected (Filename.concat root "lint/lock_order.expected")
+      in
+      let findings, edges = whole_program ~registry ~expected units in
+      let by_path = Hashtbl.create 64 in
+      List.iter
+        (fun (u : Program.unit_) -> Hashtbl.replace by_path u.Program.path u)
+        units;
+      ( List.map
+          (fun (f : Finding.t) ->
+            let text =
+              match Hashtbl.find_opt by_path f.Finding.file with
+              | Some u -> Program.line_text u f.Finding.line
+              | None -> ""
+            in
+            (f, text))
+          findings,
+        edges )
+    end
+  in
+  let pairs = pairs @ wp_pairs in
   let baseline = Baseline.load baseline_path in
   let fresh, baselined = Baseline.apply baseline pairs in
   {
@@ -124,4 +201,5 @@ let lint_tree ~root ~baseline_path =
     fresh = List.sort Finding.order fresh;
     baselined = List.sort Finding.order baselined;
     pairs;
+    lock_edges;
   }

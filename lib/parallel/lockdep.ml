@@ -180,6 +180,48 @@ let wait cond t = Condition.wait cond t.m
 
 let violations () = locked_meta (fun () -> List.rev !recorded)
 
+(* ----- export: the observed graph, for the static R9 cross-check ----- *)
+
+let plain_name id =
+  match Hashtbl.find_opt names id with
+  | Some n -> n
+  | None -> Printf.sprintf "#%d" id
+
+(* Every held→acquired edge observed so far, as (held, acquired) name
+   pairs, deduplicated and sorted — the runtime twin of the analyzer's
+   static acquisition graph. *)
+let edges () =
+  locked_meta (fun () ->
+      Hashtbl.fold
+        (fun src l acc ->
+          List.fold_left
+            (fun acc dst ->
+              let e = (plain_name src, plain_name dst) in
+              if List.mem e acc then acc else e :: acc)
+            acc !l)
+        succs []
+      |> List.sort (fun (a1, b1) (a2, b2) ->
+             match String.compare a1 a2 with
+             | 0 -> String.compare b1 b2
+             | c -> c))
+
+let export path =
+  let es = edges () in
+  Out_channel.with_open_text path (fun oc ->
+      output_string oc
+        "# CSM_LOCKDEP runtime lock-order edges: \"a -> b\" means b was\n\
+         # acquired while a was held.  Regenerate with `make lockdep-export`;\n\
+         # csm-lint --taint flags any static edge that contradicts an order\n\
+         # recorded here (rule R9).\n";
+      List.iter (fun (a, b) -> Printf.fprintf oc "%s -> %s\n" a b) es)
+
+(* [CSM_LOCKDEP_EXPORT=path] dumps the observed graph when the process
+   exits, so any checked run can refresh lint/lock_order.expected. *)
+let () =
+  match Sys.getenv_opt "CSM_LOCKDEP_EXPORT" with
+  | Some path when path <> "" -> at_exit (fun () -> export path)
+  | _ -> ()
+
 let reset () =
   locked_meta (fun () ->
       Hashtbl.reset succs;

@@ -47,3 +47,14 @@ val violations : unit -> string list
 val reset : unit -> unit
 (** Clear the order graph, acquisition stacks and violation log (for
     tests that deliberately invert a pair). *)
+
+val edges : unit -> (string * string) list
+(** Every held→acquired edge observed since the last {!reset}, as
+    (held, acquired) name pairs, deduplicated and sorted. *)
+
+val export : string -> unit
+(** Write {!edges} to [path] in the [lint/lock_order.expected] format
+    ("a -> b" lines, ['#'] comments).  Also runs automatically at
+    process exit when [CSM_LOCKDEP_EXPORT=path] is set, so a
+    [CSM_LOCKDEP=1] run can refresh the committed expectation that
+    csm-lint's static R9 pass cross-checks. *)

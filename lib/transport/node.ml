@@ -277,9 +277,18 @@ module Make (F : Field_intf.S) = struct
                    ~views ~events ())))
       end
 
-  (* Intake-time validation: decode the payload with the total decoders
-     the moment the frame arrives, so a malformed body is counted and
-     dropped exactly once no matter when the round logic looks. *)
+  (* An adversary-chosen round number is a Hashtbl key into the inbox:
+     left unvalidated, a forged stream of distinct rounds grows
+     protocol state (commands/commits/results/traces) without bound.
+     Rounds are dense — 0..rounds-1 for protocol frames, with [rounds]
+     itself serving as the shutdown/stats epoch — so a total decoder
+     bounds the key space to rounds+1 values. *)
+  let decode_round ~rounds r = if r >= 0 && r <= rounds then Some r else None
+
+  (* Intake-time validation: bound the round and decode the payload
+     with the total decoders the moment the frame arrives, so a
+     malformed frame is counted and dropped exactly once no matter when
+     the round logic looks. *)
   let dispatch cfg (tr : Transport.t) inbox (fr : Frame.t) =
     let n = cfg.params.Params.n in
     let k = cfg.params.Params.k in
@@ -292,18 +301,19 @@ module Make (F : Field_intf.S) = struct
       | Some e -> (Clock.observe (Clock.of_wire e.Frame.hlc), e.Frame.trace_id)
       | None -> (Clock.now (), 0L)
     in
-    let record_recv () =
-      if rx_trace <> 0L && not (Hashtbl.mem inbox.traces fr.Frame.round) then
-        Hashtbl.replace inbox.traces fr.Frame.round rx_trace;
+    let record_recv ~round () =
+      if rx_trace <> 0L && not (Hashtbl.mem inbox.traces round) then
+        (* csm-lint: allow R6 — trace ids are opaque correlation tokens: the key is the validated round, the value fixed-width, never indexed or interpreted *)
+        Hashtbl.replace inbox.traces round rx_trace;
       Flight.record inbox.flight ~trace:rx_trace
         ~attrs:
           [
             ("src", string_of_int sender);
             ("frame", Frame.kind_name fr.Frame.kind);
           ]
-        ~hlc:rx_hlc ~round:fr.Frame.round "recv"
+        ~hlc:rx_hlc ~round "recv"
     in
-    let record_bad reason =
+    let record_bad ~round reason =
       Transport.record_error tr;
       Flight.record inbox.flight ~trace:rx_trace
         ~attrs:
@@ -312,43 +322,49 @@ module Make (F : Field_intf.S) = struct
             ("frame", Frame.kind_name fr.Frame.kind);
             ("reason", reason);
           ]
-        ~hlc:rx_hlc ~round:fr.Frame.round "error"
+        ~hlc:rx_hlc ~round "error"
     in
-    match fr.Frame.kind with
-    | Frame.Command when sender = n -> (
-      match
-        W.decode_commands_bin ~k ~dim:cfg.machine.M.input_dim fr.Frame.payload
-      with
-      | Some cs ->
-        record_recv ();
-        if not (Hashtbl.mem inbox.commands fr.Frame.round) then
-          Hashtbl.replace inbox.commands fr.Frame.round (fr.Frame.payload, cs)
-      | None -> record_bad "bad-payload")
-    | Frame.Commit when sender >= 0 && sender < n && sender <> cfg.node -> (
-      match
-        W.decode_commands_bin ~k ~dim:cfg.machine.M.input_dim fr.Frame.payload
-      with
-      | Some _ ->
-        record_recv ();
-        if not (Hashtbl.mem inbox.commits (fr.Frame.round, sender)) then
-          Hashtbl.replace inbox.commits (fr.Frame.round, sender)
+    match decode_round ~rounds:cfg.rounds fr.Frame.round with
+    | None ->
+      (* the flight entry logs the forged value, but nothing keys on it *)
+      record_bad ~round:fr.Frame.round "bad-round"
+    | Some round -> (
+      match fr.Frame.kind with
+      | Frame.Command when sender = n -> (
+        match
+          W.decode_commands_bin ~k ~dim:cfg.machine.M.input_dim
             fr.Frame.payload
-      | None -> record_bad "bad-payload")
-    | Frame.Result when sender >= 0 && sender < n && sender <> cfg.node -> (
-      let dim = cfg.machine.M.state_dim + cfg.machine.M.output_dim in
-      match W.decode_vector_bin ~dim fr.Frame.payload with
-      | Some g ->
-        record_recv ();
-        if not (Hashtbl.mem inbox.results (fr.Frame.round, sender)) then
-          Hashtbl.replace inbox.results (fr.Frame.round, sender) g
-      | None -> record_bad "bad-payload")
-    | Frame.Shutdown when sender = n ->
-      record_recv ();
-      inbox.shutdown <- true
-    | _ ->
-      (* unexpected kind/sender combination: malformed at the protocol
-         level, counted like any other bad frame *)
-      record_bad "unexpected-kind"
+        with
+        | Some cs ->
+          record_recv ~round ();
+          if not (Hashtbl.mem inbox.commands round) then
+            Hashtbl.replace inbox.commands round (fr.Frame.payload, cs)
+        | None -> record_bad ~round "bad-payload")
+      | Frame.Commit when sender >= 0 && sender < n && sender <> cfg.node -> (
+        match
+          W.decode_commands_bin ~k ~dim:cfg.machine.M.input_dim
+            fr.Frame.payload
+        with
+        | Some _ ->
+          record_recv ~round ();
+          if not (Hashtbl.mem inbox.commits (round, sender)) then
+            Hashtbl.replace inbox.commits (round, sender) fr.Frame.payload
+        | None -> record_bad ~round "bad-payload")
+      | Frame.Result when sender >= 0 && sender < n && sender <> cfg.node -> (
+        let dim = cfg.machine.M.state_dim + cfg.machine.M.output_dim in
+        match W.decode_vector_bin ~dim fr.Frame.payload with
+        | Some g ->
+          record_recv ~round ();
+          if not (Hashtbl.mem inbox.results (round, sender)) then
+            Hashtbl.replace inbox.results (round, sender) g
+        | None -> record_bad ~round "bad-payload")
+      | Frame.Shutdown when sender = n ->
+        record_recv ~round ();
+        inbox.shutdown <- true
+      | _ ->
+        (* unexpected kind/sender combination: malformed at the
+           protocol level, counted like any other bad frame *)
+        record_bad ~round "unexpected-kind")
 
   (* Drain everything already delivered, waiting at most [within] for
      the first frame. *)

@@ -400,8 +400,11 @@ let binary_strictness () =
     let s =
       String.init (Csm_rng.int rng 64) (fun _ -> Char.chr (Csm_rng.int rng 256))
     in
+    (* csm-lint: allow R7 — the fuzz oracle is "never raises"; the verdict itself is irrelevant *)
     ignore (W.decode_vector_bin ~dim:(Csm_rng.int rng 6) s);
+    (* csm-lint: allow R7 — fuzz oracle, as above *)
     ignore (W.decode_commands_bin ~k:(Csm_rng.int rng 4) ~dim:(Csm_rng.int rng 4) s);
+    (* csm-lint: allow R7 — fuzz oracle, as above *)
     ignore (W.decode_matrix_bin s)
   done
 
